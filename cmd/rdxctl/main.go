@@ -1,0 +1,245 @@
+// Command rdxctl is the RDX control-plane CLI: it binds CodeFlows to
+// running rdxd nodes over TCP and manages their extensions remotely.
+//
+// Usage:
+//
+//	rdxctl info    -node host:7700
+//	rdxctl deploy  -node host:7700 -hook kv -udf 'len > 128 && proto != 3'
+//	rdxctl deploy  -node host:7700 -hook ingress -synthetic 1300
+//	rdxctl stats   -node host:7700 -hook kv
+//	rdxctl detach  -node host:7700 -hook kv
+//	rdxctl bench   -node host:7700 -hook ingress -n 50 -synthetic 1300
+//	rdxctl apply   -plan plan.rdx -nodes edge-1=host1:7700,edge-2=host2:7700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rdx/internal/core"
+	"rdx/internal/ebpf/progen"
+	"rdx/internal/ext"
+	"rdx/internal/node"
+	"rdx/internal/orchestrator"
+	"rdx/internal/telemetry"
+	"rdx/internal/udf"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: rdxctl <command> [flags]
+
+commands:
+  info     show a node's architecture, hooks, GOT, and XState index
+  deploy   validate, compile, link, and deploy an extension to a hook
+  stats    read a hook's data-plane counters
+  detach   clear a hook's dispatch pointer (remote teardown)
+  bench    deploy repeatedly and report injection latency
+  apply    execute a declarative orchestration plan across nodes
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		nodeAddr  = fs.String("node", "127.0.0.1:7700", "rdxd RNIC address")
+		hook      = fs.String("hook", "ingress", "target hook")
+		udfSrc    = fs.String("udf", "", "UDF expression to deploy")
+		synthetic = fs.Int("synthetic", 0, "deploy a synthetic eBPF program of N instructions")
+		n         = fs.Int("n", 20, "bench repetitions")
+		planFile  = fs.String("plan", "", "orchestration plan file (apply)")
+		nodeList  = fs.String("nodes", "", "name=addr pairs for apply, comma-separated")
+	)
+	fs.Parse(os.Args[2:])
+
+	if cmd == "apply" {
+		runApply(*planFile, *nodeList)
+		return
+	}
+
+	cf := mustConnect(*nodeAddr)
+	defer cf.Close()
+
+	switch cmd {
+	case "info":
+		runInfo(cf)
+	case "deploy":
+		e := buildExtension(*udfSrc, *synthetic)
+		rep, err := cf.InjectExtension(e, *hook)
+		if err != nil {
+			log.Fatalf("rdxctl: deploy: %v", err)
+		}
+		fmt.Printf("deployed %s to %s: version=%d blob=%#x total=%s (validate=%s compile=%s link=%s alloc=%s write=%s cacheHit=%v)\n",
+			e.Name(), *hook, rep.Version, rep.Blob,
+			telemetry.FormatDuration(rep.Total), telemetry.FormatDuration(rep.Validate),
+			telemetry.FormatDuration(rep.Compile), telemetry.FormatDuration(rep.Link),
+			telemetry.FormatDuration(rep.Alloc), telemetry.FormatDuration(rep.Write), rep.CacheHit)
+	case "stats":
+		execs, drops, version, err := cf.HookStats(*hook)
+		if err != nil {
+			log.Fatalf("rdxctl: stats: %v", err)
+		}
+		fmt.Printf("hook %s: execs=%d drops=%d version=%d\n", *hook, execs, drops, version)
+	case "detach":
+		hookAddr, err := cf.HookAddr(*hook)
+		if err != nil {
+			log.Fatalf("rdxctl: %v", err)
+		}
+		if err := cf.Tx(nil, core.QwordSwap{Addr: hookAddr + node.HookOffDispatch, New: 0}); err != nil {
+			log.Fatalf("rdxctl: detach: %v", err)
+		}
+		fmt.Printf("hook %s detached (pass-through)\n", *hook)
+	case "bench":
+		runBench(cf, *hook, buildExtension(*udfSrc, *synthetic), *n)
+	default:
+		usage()
+	}
+}
+
+func mustConnect(addr string) *core.CodeFlow {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatalf("rdxctl: dial %s: %v", addr, err)
+	}
+	cp := core.NewControlPlane()
+	cf, err := cp.CreateCodeFlow(conn)
+	if err != nil {
+		log.Fatalf("rdxctl: create codeflow: %v", err)
+	}
+	return cf
+}
+
+func buildExtension(udfSrc string, synthetic int) *ext.Extension {
+	switch {
+	case udfSrc != "":
+		p, err := udf.New("cli-udf", udfSrc)
+		if err != nil {
+			log.Fatalf("rdxctl: %v", err)
+		}
+		return ext.FromUDF(p)
+	case synthetic > 0:
+		return ext.FromEBPF(progen.MustGenerate(progen.Options{
+			Size: synthetic, Seed: time.Now().UnixNano() % 1000, WithHelpers: true,
+		}))
+	default:
+		log.Fatal("rdxctl: specify -udf or -synthetic")
+		return nil
+	}
+}
+
+func runInfo(cf *core.CodeFlow) {
+	fmt.Printf("node %#x, architecture %s\n", cf.NodeID, cf.Arch)
+	got := cf.GOT()
+	var hooks, helpers, others []string
+	for sym := range got {
+		switch {
+		case strings.HasPrefix(sym, "hook:"):
+			hooks = append(hooks, sym[5:])
+		case strings.HasPrefix(sym, "helper:"):
+			helpers = append(helpers, sym[7:])
+		default:
+			others = append(others, sym)
+		}
+	}
+	sort.Strings(hooks)
+	sort.Strings(helpers)
+	sort.Strings(others)
+	fmt.Printf("hooks:   %s\n", strings.Join(hooks, ", "))
+	fmt.Printf("helpers: %s\n", strings.Join(helpers, ", "))
+	fmt.Printf("context: %s\n", strings.Join(others, ", "))
+	if xs, err := cf.ListXStates(); err == nil {
+		fmt.Printf("xstates: %d deployed", len(xs))
+		for _, addr := range xs {
+			if v, err := cf.AttachXState(addr); err == nil {
+				count, _ := v.Count()
+				fmt.Printf("  [%#x %s k=%d v=%d n=%d]", addr, v.Type(), v.KeySize(), v.ValueSize(), count)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func runBench(cf *core.CodeFlow, hook string, e *ext.Extension, n int) {
+	hist := telemetry.NewHistogram()
+	var cacheHits int
+	for i := 0; i < n; i++ {
+		rep, err := cf.InjectExtension(e, hook)
+		if err != nil {
+			log.Fatalf("rdxctl: bench deploy %d: %v", i, err)
+		}
+		hist.RecordDuration(rep.Total)
+		if rep.CacheHit {
+			cacheHits++
+		}
+	}
+	fmt.Printf("%d deploys of %s: %s (registry hits: %d)\n", n, e.Name(), hist.Summary(), cacheHits)
+}
+
+func runApply(planFile, nodeList string) {
+	if planFile == "" || nodeList == "" {
+		log.Fatal("rdxctl: apply requires -plan and -nodes")
+	}
+	src, err := os.ReadFile(planFile)
+	if err != nil {
+		log.Fatalf("rdxctl: %v", err)
+	}
+	plan, err := orchestrator.Parse(string(src))
+	if err != nil {
+		log.Fatalf("rdxctl: %v", err)
+	}
+	cp := core.NewControlPlane()
+	o := orchestrator.New(cp)
+	for _, pair := range strings.Split(nodeList, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			log.Fatalf("rdxctl: bad -nodes entry %q (want name=addr)", pair)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			log.Fatalf("rdxctl: dial %s (%s): %v", addr, name, err)
+		}
+		cf, err := cp.CreateCodeFlow(conn)
+		if err != nil {
+			log.Fatalf("rdxctl: codeflow %s: %v", name, err)
+		}
+		defer cf.Close()
+		o.AddNode(name, cf)
+	}
+	res, err := o.Execute(plan)
+	for _, sr := range res.Steps {
+		status := "ok"
+		if sr.Err != nil {
+			status = "FAILED: " + sr.Err.Error()
+		}
+		fmt.Printf("line %d: %v hook=%s nodes=%v took=%s versions=%v %s\n",
+			sr.Step.Line, stepName(sr.Step.Kind), sr.Step.Hook, sr.Step.Nodes,
+			telemetry.FormatDuration(sr.Took), sr.Versions, status)
+	}
+	if err != nil {
+		log.Fatalf("rdxctl: %v", err)
+	}
+	fmt.Printf("plan applied in %s\n", telemetry.FormatDuration(res.Took))
+}
+
+func stepName(k orchestrator.StepKind) string {
+	switch k {
+	case orchestrator.StepDeploy:
+		return "deploy"
+	case orchestrator.StepLimit:
+		return "limit"
+	case orchestrator.StepRollback:
+		return "rollback"
+	default:
+		return "step"
+	}
+}

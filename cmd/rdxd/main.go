@@ -1,0 +1,89 @@
+// Command rdxd hosts an RDX data-plane node over real TCP: a software RNIC
+// serving one-sided verbs against the node's arena, plus an optional KV
+// application whose commands run on the node's simulated cores and flow
+// through a hook.
+//
+// Usage:
+//
+//	rdxd -id node0 -listen :7700 [-kv :7701] [-hooks ingress,kv] [-cores 4]
+//
+// A control plane (cmd/rdxctl or any rdx.ControlPlane user) connects to the
+// -listen address, creates a CodeFlow, and manages extensions remotely; the
+// node itself runs no control software after boot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"rdx/internal/kvstore"
+	"rdx/internal/native"
+	"rdx/internal/node"
+	"rdx/internal/rdma"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "node0", "node identifier")
+		listen = flag.String("listen", ":7700", "RNIC listen address (TCP)")
+		kvAddr = flag.String("kv", "", "optional KV application listen address")
+		hooks  = flag.String("hooks", "ingress,kv", "comma-separated hook names")
+		cores  = flag.Int("cores", 4, "simulated CPU cores")
+		arch   = flag.String("arch", "x64", "native architecture (x64|a64)")
+		kvHook = flag.String("kv-hook", "kv", "hook the KV app routes commands through ('' disables)")
+	)
+	flag.Parse()
+
+	targetArch, err := native.ParseArch(*arch)
+	if err != nil {
+		log.Fatalf("rdxd: %v", err)
+	}
+	n, err := node.New(node.Config{
+		ID:      *id,
+		Arch:    targetArch,
+		Cores:   *cores,
+		Hooks:   strings.Split(*hooks, ","),
+		Latency: rdma.DefaultLatency(),
+	})
+	if err != nil {
+		log.Fatalf("rdxd: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("rdxd: %v", err)
+	}
+	log.Printf("rdxd: node %s (%s, %d cores) serving RNIC on %s, hooks %s",
+		*id, targetArch, *cores, l.Addr(), *hooks)
+	go func() {
+		if err := n.Serve(l); err != nil {
+			log.Printf("rdxd: RNIC serve: %v", err)
+		}
+	}()
+
+	if *kvAddr != "" {
+		kvl, err := net.Listen("tcp", *kvAddr)
+		if err != nil {
+			log.Fatalf("rdxd: kv listen: %v", err)
+		}
+		srv := kvstore.NewServer(n, *kvHook)
+		log.Printf("rdxd: KV application on %s (hook %q)", kvl.Addr(), *kvHook)
+		go func() {
+			if err := srv.Serve(kvl); err != nil {
+				log.Printf("rdxd: kv serve: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "rdxd: shutting down")
+	n.Close()
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"rdx/internal/ebpf"
+	"rdx/internal/xabi"
+)
+
+// buildCounter assembles the per-protocol request counter: the canonical
+// eBPF lookup-or-insert pattern over an XState hash map.
+func buildCounter() *ebpf.Program {
+	spec := ebpf.MapSpec{
+		Name: "protostats", Type: xabi.MapTypeHash,
+		KeySize: 4, ValueSize: 8, MaxEntries: 64,
+	}
+	insns := []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeW, ebpf.R6, ebpf.R1, int16(xabi.CtxOffProtocol)),
+		ebpf.StoreMem(ebpf.SizeW, ebpf.R10, ebpf.R6, -4),
+		ebpf.StoreImm(ebpf.SizeDW, ebpf.R10, -16, 1),
+	}
+	insns = append(insns, ebpf.LoadMapPtr(ebpf.R1, 0)...)
+	insns = append(insns,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R2, -4),
+		ebpf.Call(xabi.HelperMapLookup),
+		ebpf.JmpImm(ebpf.JmpJNE, ebpf.R0, 0, 9), // hit → increment in place
+	)
+	insns = append(insns, ebpf.LoadMapPtr(ebpf.R1, 0)...)
+	insns = append(insns,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R2, -4),
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R3, -16),
+		ebpf.Mov64Imm(ebpf.R4, 0),
+		ebpf.Call(xabi.HelperMapUpdate),
+		ebpf.Ja(3),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R3, ebpf.R0, 0),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R3, 1),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R0, ebpf.R3, 0),
+		ebpf.Mov64Imm(ebpf.R0, int32(xabi.VerdictPass)),
+		ebpf.Exit(),
+	)
+	return ebpf.NewProgram("protostats", ebpf.ProgTypeSocketFilter, insns, spec)
+}

@@ -1,0 +1,85 @@
+// Quickstart: boot one data-plane node, bind a CodeFlow, inject a UDF
+// remotely, and watch request verdicts change — the whole RDX loop in ~60
+// lines of API surface.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"rdx"
+)
+
+func main() {
+	// 1. Boot a data-plane node: ctx_init lays out the arena (hooks, GOT,
+	//    code region, XState scratchpad); ctx_register exposes it via the
+	//    software RNIC. After this the node runs no control software.
+	n, err := rdx.NewNode(rdx.NodeConfig{
+		ID:    "quickstart-node",
+		Hooks: []string{"ingress"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer n.Close()
+
+	fabric := rdx.NewFabric()
+	l, err := fabric.Listen("quickstart-node")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go n.Serve(l)
+
+	// 2. Control plane: create a CodeFlow — MR discovery + GOT snapshot
+	//    over the fabric, no agent involved.
+	cp := rdx.NewControlPlane()
+	conn, err := fabric.Dial("quickstart-node")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cf, err := cp.CreateCodeFlow(conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cf.Close()
+	fmt.Printf("CodeFlow bound: node %#x, arch %s\n", cf.NodeID, cf.Arch)
+
+	// 3. Deploy a per-query sampling UDF: validated and compiled on the
+	//    control plane, linked against the node's GOT, written into the
+	//    node's memory, and published with an atomic pointer flip.
+	sampler, err := rdx.NewUDF("sampler", "len > 128 && ((hash(flow) & 0x7fffffffffffffff) % 100) < 25")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := cf.InjectExtension(sampler, "ingress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected %q in %s (validate %s, compile %s, link %s, write %s)\n",
+		"sampler", rep.Total, rep.Validate, rep.Compile, rep.Link, rep.Write)
+
+	// 4. Data plane: requests now flow through the injected logic.
+	sampled := 0
+	const total = 400
+	for flow := uint64(0); flow < total; flow++ {
+		ctx := make([]byte, rdx.CtxSize)
+		binary.LittleEndian.PutUint32(ctx[rdx.CtxOffDataLen:], 512)
+		binary.LittleEndian.PutUint64(ctx[rdx.CtxOffFlowID:], flow)
+		res, err := n.ExecHook("ingress", ctx, nil)
+		if err != nil && err != rdx.ErrDropped {
+			log.Fatal(err)
+		}
+		if res.Verdict != 0 {
+			sampled++
+		}
+	}
+	fmt.Printf("sampler selected %d/%d flows (~25%% expected)\n", sampled, total)
+
+	// 5. Remote introspection: read the hook's counters over RDMA.
+	execs, drops, version, err := cf.HookStats("ingress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hook stats (read remotely): execs=%d drops=%d version=%d\n", execs, drops, version)
+}

@@ -1,0 +1,84 @@
+// Rollback and hot-patching (§4 case study): a buggy extension starts
+// dropping traffic; the control plane detects it through remote hook
+// counters and reverts to the previous version with a commit-only
+// transaction — microseconds, no node CPU, no traffic draining — then hot
+// patches a fixed version through the normal injection pipeline.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"rdx"
+)
+
+func main() {
+	n, err := rdx.NewNode(rdx.NodeConfig{ID: "edge", Hooks: []string{"ingress"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer n.Close()
+	fabric := rdx.NewFabric()
+	l, _ := fabric.Listen("edge")
+	go n.Serve(l)
+
+	cp := rdx.NewControlPlane()
+	conn, _ := fabric.Dial("edge")
+	cf, err := cp.CreateCodeFlow(conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cf.Close()
+
+	deployUDF := func(name, src string) {
+		e, err := rdx.NewUDF(name, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cf.InjectExtension(e, "ingress"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deployed %q\n", name)
+	}
+
+	drive := func(label string) (drops uint64) {
+		before, beforeDrops, _, _ := cf.HookStats("ingress")
+		for i := 0; i < 200; i++ {
+			ctx := make([]byte, rdx.CtxSize)
+			binary.LittleEndian.PutUint32(ctx[rdx.CtxOffDataLen:], uint32(100+i%400))
+			n.ExecHook("ingress", ctx, nil)
+		}
+		after, afterDrops, version, _ := cf.HookStats("ingress")
+		fmt.Printf("%-22s execs+%d drops+%d (version %d)\n",
+			label+":", after-before, afterDrops-beforeDrops, version)
+		return afterDrops - beforeDrops
+	}
+
+	// A healthy policy: drop only tiny packets.
+	deployUDF("v1-healthy", "len >= 64")
+	drive("with v1")
+
+	// An operator pushes a broken policy: the inverted comparison drops
+	// nearly everything.
+	deployUDF("v2-buggy", "len < 64")
+	drops := drive("with v2 (buggy)")
+
+	// The control plane's inspector notices the drop spike and reverts.
+	if drops > 100 {
+		fmt.Printf("\n!! drop spike detected (%d drops): rolling back\n", drops)
+		start := time.Now()
+		prev, err := cf.Rollback("ingress")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rolled back to %q in %s (commit-only: one CAS + cc_event)\n\n",
+			prev.Name, time.Since(start))
+	}
+	drive("after rollback")
+
+	// Hot patch: the corrected policy ships through the normal pipeline.
+	deployUDF("v3-hotfix", "len >= 64 && len <= 9000")
+	drive("with v3 (hotfix)")
+}

@@ -1,0 +1,3 @@
+module rdx
+
+go 1.24

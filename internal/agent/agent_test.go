@@ -1,0 +1,173 @@
+package agent
+
+import (
+	"context"
+	"encoding/binary"
+	"testing"
+
+	"rdx/internal/ebpf"
+	"rdx/internal/ebpf/progen"
+	"rdx/internal/ext"
+	"rdx/internal/node"
+	"rdx/internal/rdma"
+	"rdx/internal/udf"
+	"rdx/internal/wasm"
+	"rdx/internal/xabi"
+)
+
+func newTestAgent(t *testing.T) (*Agent, *node.Node) {
+	t.Helper()
+	n, err := node.New(node.Config{
+		ID: "agentnode", Hooks: []string{"ingress"},
+		Latency: rdma.NoLatency(), Cores: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return New(n), n
+}
+
+func constExt(ret int32) *ext.Extension {
+	return ext.FromEBPF(ebpf.NewProgram("c", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, ret), ebpf.Exit(),
+	}))
+}
+
+func TestAgentInjectEBPF(t *testing.T) {
+	a, n := newTestAgent(t)
+	rep, err := a.Inject(context.Background(), "ingress", constExt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verify <= 0 || rep.Compile <= 0 || rep.Total <= 0 {
+		t.Errorf("stage timings missing: %+v", rep)
+	}
+	res, err := n.ExecHook("ingress", make([]byte, xabi.CtxSize), nil)
+	if err != nil || res.Verdict != 4 {
+		t.Errorf("res=%+v err=%v", res, err)
+	}
+	// Agent work consumed node cores — the defining cost of the baseline.
+	if n.Cores.Stats().TasksCompleted == 0 {
+		t.Error("agent injection did not run on node cores")
+	}
+}
+
+func TestAgentInjectUsesCPUPerInjection(t *testing.T) {
+	a, n := newTestAgent(t)
+	e := constExt(1)
+	for i := 0; i < 3; i++ {
+		if _, err := a.Inject(context.Background(), "ingress", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No cross-injection cache: three injections, three core tasks.
+	if got := n.Cores.Stats().TasksCompleted; got != 3 {
+		t.Errorf("core tasks = %d, want 3", got)
+	}
+}
+
+func TestAgentInjectWasmAndUDF(t *testing.T) {
+	a, n := newTestAgent(t)
+	m := wasm.SimpleFilter("w", 1, nil, wasm.NewBody().I64Const(8).End().Bytes())
+	if _, err := a.Inject(context.Background(), "ingress", ext.FromWasm(m)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.ExecHook("ingress", make([]byte, xabi.CtxSize), nil)
+	if err != nil || res.Verdict != 8 {
+		t.Fatalf("wasm res=%+v err=%v", res, err)
+	}
+
+	p, _ := udf.New("u", "tenant + 1")
+	if _, err := a.Inject(context.Background(), "ingress", ext.FromUDF(p)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := make([]byte, xabi.CtxSize)
+	binary.LittleEndian.PutUint64(ctx[xabi.CtxOffTenant:], 41)
+	res, err = n.ExecHook("ingress", ctx, nil)
+	if err != nil || res.Verdict != 42 {
+		t.Fatalf("udf res=%+v err=%v", res, err)
+	}
+}
+
+func TestAgentInjectRejectsInvalid(t *testing.T) {
+	a, _ := newTestAgent(t)
+	bad := ext.FromEBPF(ebpf.NewProgram("bad", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{
+		ebpf.Ja(-1),
+	}))
+	if _, err := a.Inject(context.Background(), "ingress", bad); err == nil {
+		t.Error("looping program injected")
+	}
+}
+
+func TestAgentPollState(t *testing.T) {
+	a, _ := newTestAgent(t)
+	e := ext.FromEBPF(progen.MustGenerate(progen.Options{Size: 64, Seed: 1, WithMap: true}))
+	if _, err := a.Inject(context.Background(), "ingress", e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.PollState(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentNetworkInject(t *testing.T) {
+	a, n := newTestAgent(t)
+	fab := rdma.NewFabric()
+	l, err := fab.Listen("agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go a.Serve(l)
+
+	conn, err := fab.Dial("agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+
+	rep, err := c.Inject("ingress", constExt(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total <= 0 || rep.Version == 0 {
+		t.Errorf("report over network: %+v", rep)
+	}
+	res, err := n.ExecHook("ingress", make([]byte, xabi.CtxSize), nil)
+	if err != nil || res.Verdict != 6 {
+		t.Errorf("res=%+v err=%v", res, err)
+	}
+	// Error propagation.
+	if _, err := c.Inject("no-such-hook", constExt(1)); err == nil {
+		t.Error("bad hook accepted over network")
+	}
+}
+
+func TestWireRoundTripAllKinds(t *testing.T) {
+	exts := []*ext.Extension{
+		constExt(1),
+		ext.FromWasm(wasm.SimpleFilter("w", 1, nil, wasm.NewBody().I64Const(1).End().Bytes())),
+	}
+	p, _ := udf.New("u", "len > 5")
+	exts = append(exts, ext.FromUDF(p))
+	for _, e := range exts {
+		b, err := ext.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ext.Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%v: %v", e.Kind, err)
+		}
+		if got.Kind != e.Kind || got.Digest() != e.Digest() {
+			t.Errorf("%v: round trip digest mismatch", e.Kind)
+		}
+	}
+	if _, err := ext.Unmarshal(nil); err == nil {
+		t.Error("empty unmarshal accepted")
+	}
+	if _, err := ext.Unmarshal([]byte{99}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package agent
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"rdx/internal/ext"
+)
+
+// Network protocol between the controller and node agents — the
+// configuration-push channel of the baseline architecture (e.g., an xDS or
+// Cilium-style control connection). Frames are length-prefixed:
+//
+//	request:  [4B len][1B op][2B hookLen][hook][extension payload]
+//	response: [4B len][1B status][report: 6 × 8B LE]
+const (
+	opInject   uint8 = 1
+	statusOK   uint8 = 0
+	statusFail uint8 = 1
+)
+
+// Serve handles controller connections until the listener closes.
+func (a *Agent) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go a.serveConn(conn)
+	}
+}
+
+func (a *Agent) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		frame, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		resp := a.handle(frame)
+		if err := writeFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (a *Agent) handle(frame []byte) []byte {
+	fail := func(err error) []byte {
+		out := []byte{statusFail}
+		return append(out, err.Error()...)
+	}
+	if len(frame) < 3 || frame[0] != opInject {
+		return fail(fmt.Errorf("agent: malformed request"))
+	}
+	hl := int(binary.LittleEndian.Uint16(frame[1:3]))
+	if len(frame) < 3+hl {
+		return fail(fmt.Errorf("agent: truncated hook name"))
+	}
+	hook := string(frame[3 : 3+hl])
+	e, err := ext.Unmarshal(frame[3+hl:])
+	if err != nil {
+		return fail(err)
+	}
+	rep, err := a.Inject(context.Background(), hook, e)
+	if err != nil {
+		return fail(err)
+	}
+	out := []byte{statusOK}
+	for _, d := range []time.Duration{rep.Verify, rep.Compile, rep.Link, rep.Load, rep.Total} {
+		out = binary.LittleEndian.AppendUint64(out, uint64(d))
+	}
+	return binary.LittleEndian.AppendUint64(out, rep.Version)
+}
+
+// Client is the controller-side handle to one node agent.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// NewClient wraps an established controller→agent connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Close closes the control connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Inject ships the extension IR to the agent and waits for the agent-side
+// pipeline to finish.
+func (c *Client) Inject(hook string, e *ext.Extension) (Report, error) {
+	payload, err := ext.Marshal(e)
+	if err != nil {
+		return Report{}, err
+	}
+	frame := []byte{opInject}
+	frame = binary.LittleEndian.AppendUint16(frame, uint16(len(hook)))
+	frame = append(frame, hook...)
+	frame = append(frame, payload...)
+	if err := writeFrame(c.bw, frame); err != nil {
+		return Report{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Report{}, err
+	}
+	resp, err := readFrame(c.br)
+	if err != nil {
+		return Report{}, err
+	}
+	if len(resp) < 1 {
+		return Report{}, fmt.Errorf("agent: empty response")
+	}
+	if resp[0] != statusOK {
+		return Report{}, fmt.Errorf("agent: remote error: %s", resp[1:])
+	}
+	if len(resp) != 1+6*8 {
+		return Report{}, fmt.Errorf("agent: short report (%d bytes)", len(resp))
+	}
+	var rep Report
+	rep.Verify = time.Duration(binary.LittleEndian.Uint64(resp[1:]))
+	rep.Compile = time.Duration(binary.LittleEndian.Uint64(resp[9:]))
+	rep.Link = time.Duration(binary.LittleEndian.Uint64(resp[17:]))
+	rep.Load = time.Duration(binary.LittleEndian.Uint64(resp[25:]))
+	rep.Total = time.Duration(binary.LittleEndian.Uint64(resp[33:]))
+	rep.Version = binary.LittleEndian.Uint64(resp[41:])
+	return rep, nil
+}
+
+const maxFrame = 16 << 20
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("agent: frame too large")
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("agent: frame of %d too large", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,141 @@
+// Package core implements RDX's contribution: the CodeFlow abstraction and
+// its remote control plane (Table 1 of the paper).
+//
+// A ControlPlane is the centralized authority that replaces every per-node
+// agent. It validates extension IR once, JIT-compiles it once per target
+// architecture into relocatable binaries (cached by content digest), and
+// deploys them to any number of data-plane nodes through one-sided RDMA
+// verbs — allocation via remote FETCH_ADD on the node's bump pointers, code
+// injection via WRITE, publication via CAS of the hook dispatch pointer,
+// and cache exposure via WRITE_WITH_IMM doorbells. No code on the target
+// node's CPUs participates in any of it.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rdx/internal/ext"
+	"rdx/internal/native"
+)
+
+// ControlPlane is the remote control plane: validation, the
+// compile-once/deploy-anywhere registry, and CodeFlow creation.
+type ControlPlane struct {
+	mu       sync.Mutex
+	verified map[string]ext.Info            // digest → validation facts
+	compiled map[registryKey]*native.Binary // (digest, arch) → instrumented binary
+
+	// Stats counts registry effectiveness (ablation: disable the cache).
+	Stats RegistryStats
+	// DisableCache forces re-validation and re-compilation on every call
+	// (the "no registry" ablation).
+	DisableCache bool
+
+	policy   *AccessPolicy
+	auditLog []auditEntry
+}
+
+type registryKey struct {
+	digest string
+	arch   native.Arch
+}
+
+// RegistryStats counts cache behavior.
+type RegistryStats struct {
+	ValidateHits   uint64
+	ValidateMisses uint64
+	CompileHits    uint64
+	CompileMisses  uint64
+}
+
+// NewControlPlane creates an empty control plane.
+func NewControlPlane() *ControlPlane {
+	return &ControlPlane{
+		verified: map[string]ext.Info{},
+		compiled: map[registryKey]*native.Binary{},
+	}
+}
+
+// ValidateCode is rdx_validate_code: run the extension's validator on the
+// control plane (not on any data-plane node), memoized by digest.
+func (cp *ControlPlane) ValidateCode(e *ext.Extension) (ext.Info, error) {
+	digest := e.Digest()
+	cp.mu.Lock()
+	if info, ok := cp.verified[digest]; ok && !cp.DisableCache {
+		cp.Stats.ValidateHits++
+		cp.mu.Unlock()
+		return info, nil
+	}
+	cp.Stats.ValidateMisses++
+	cp.mu.Unlock()
+
+	info, err := e.Validate()
+	if err != nil {
+		return ext.Info{}, err
+	}
+	cp.mu.Lock()
+	cp.verified[digest] = info
+	cp.mu.Unlock()
+	return info, nil
+}
+
+// JITCompileCode is rdx_JIT_compile_code: cross-architecture compilation on
+// the control plane, producing an instrumented relocatable binary. Results
+// are cached by (digest, arch); callers receive clones because linking
+// mutates code.
+func (cp *ControlPlane) JITCompileCode(e *ext.Extension, arch native.Arch) (*native.Binary, error) {
+	key := registryKey{e.Digest(), arch}
+	cp.mu.Lock()
+	if bin, ok := cp.compiled[key]; ok && !cp.DisableCache {
+		cp.Stats.CompileHits++
+		cp.mu.Unlock()
+		return bin.Clone(), nil
+	}
+	cp.Stats.CompileMisses++
+	cp.mu.Unlock()
+
+	// Validation gates compilation, as in the kernel pipeline.
+	if _, err := cp.ValidateCode(e); err != nil {
+		return nil, err
+	}
+	bin, err := e.Compile(arch)
+	if err != nil {
+		return nil, err
+	}
+	cp.mu.Lock()
+	cp.compiled[key] = bin
+	cp.mu.Unlock()
+	return bin.Clone(), nil
+}
+
+// Precompile validates and compiles for every architecture in Targets,
+// warming the registry (the "validate and compile each extension once,
+// deploy anywhere on demand" workflow of §3.2).
+func (cp *ControlPlane) Precompile(e *ext.Extension, targets ...native.Arch) error {
+	if len(targets) == 0 {
+		targets = []native.Arch{native.ArchX64, native.ArchA64}
+	}
+	for _, arch := range targets {
+		if _, err := cp.JITCompileCode(e, arch); err != nil {
+			return fmt.Errorf("core: precompile %v: %w", arch, err)
+		}
+	}
+	return nil
+}
+
+// Report carries the per-stage timings of one RDX injection (Fig 4b's
+// right-hand bars). Validate/Compile are zero on registry hits.
+type Report struct {
+	Validate time.Duration
+	Compile  time.Duration
+	Link     time.Duration
+	Alloc    time.Duration // remote FETCH_ADD allocations + XState setup
+	Write    time.Duration // one-sided code WRITE
+	Commit   time.Duration // CAS pointer flip (+ cc_event)
+	Total    time.Duration
+	CacheHit bool
+	Version  uint64
+	Blob     uint64
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rdx/internal/rdma"
+	"rdx/internal/xabi"
+)
+
+// RemoteMemory adapts a queue pair plus the target's MR table to the
+// extension ABI, so control-plane code (the XState map implementation in
+// particular) operates on remote node memory exactly as local extensions
+// do — every access becomes a one-sided verb. This is what makes
+// rdx_deploy_xstate and the XState lookup/update interfaces of §3.4 work
+// without host involvement.
+type RemoteMemory struct {
+	qp  *rdma.QP
+	mrs []rdma.MR // sorted by Addr
+}
+
+// NewRemoteMemory builds a remote memory over the MR table.
+func NewRemoteMemory(qp *rdma.QP, mrs []rdma.MR) *RemoteMemory {
+	sorted := append([]rdma.MR(nil), mrs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	return &RemoteMemory{qp: qp, mrs: sorted}
+}
+
+// rkeyFor locates the MR covering [addr, addr+n).
+func (m *RemoteMemory) rkeyFor(addr uint64, n int) (uint32, error) {
+	for i := range m.mrs {
+		mr := &m.mrs[i]
+		if addr >= mr.Addr && addr-mr.Addr+uint64(n) <= mr.Len {
+			return mr.RKey, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no MR covers [%#x,+%d)", addr, n)
+}
+
+// ReadMem implements xabi.Memory.
+func (m *RemoteMemory) ReadMem(addr uint64, size int) (uint64, error) {
+	rkey, err := m.rkeyFor(addr, size)
+	if err != nil {
+		return 0, err
+	}
+	b, err := m.qp.Read(rkey, addr, size)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+// WriteMem implements xabi.Memory.
+func (m *RemoteMemory) WriteMem(addr uint64, size int, val uint64) error {
+	rkey, err := m.rkeyFor(addr, size)
+	if err != nil {
+		return err
+	}
+	b := make([]byte, size)
+	for i := 0; i < size; i++ {
+		b[i] = byte(val >> (8 * i))
+	}
+	return m.qp.Write(rkey, addr, b)
+}
+
+// ReadBytes implements xabi.Memory.
+func (m *RemoteMemory) ReadBytes(addr uint64, n int) ([]byte, error) {
+	rkey, err := m.rkeyFor(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	return m.qp.Read(rkey, addr, n)
+}
+
+// WriteBytes implements xabi.Memory.
+func (m *RemoteMemory) WriteBytes(addr uint64, b []byte) error {
+	rkey, err := m.rkeyFor(addr, len(b))
+	if err != nil {
+		return err
+	}
+	return m.qp.Write(rkey, addr, b)
+}
+
+// CompareAndSwapMem implements maps.AtomicMemory via the RDMA CAS verb.
+func (m *RemoteMemory) CompareAndSwapMem(addr uint64, old, new uint64) (uint64, bool, error) {
+	rkey, err := m.rkeyFor(addr, 8)
+	if err != nil {
+		return 0, false, err
+	}
+	prev, err := m.qp.CompareAndSwap(rkey, addr, old, new)
+	if err != nil {
+		return 0, false, err
+	}
+	return prev, prev == old, nil
+}
+
+// FetchAddMem performs a remote FETCH_ADD (used for bump allocation).
+func (m *RemoteMemory) FetchAddMem(addr uint64, delta uint64) (uint64, error) {
+	rkey, err := m.rkeyFor(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return m.qp.FetchAdd(rkey, addr, delta)
+}
+
+// WriteImm performs a WRITE_WITH_IMM (the cc_event doorbell).
+func (m *RemoteMemory) WriteImm(addr uint64, imm uint32, data []byte) error {
+	n := len(data)
+	if n == 0 {
+		n = 1
+	}
+	rkey, err := m.rkeyFor(addr, n)
+	if err != nil {
+		return err
+	}
+	return m.qp.WriteImm(rkey, addr, imm, data)
+}
+
+var _ xabi.Memory = (*RemoteMemory)(nil)

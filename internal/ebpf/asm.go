@@ -1,0 +1,102 @@
+package ebpf
+
+// Assembler builders: convenience constructors for common instruction forms,
+// mirroring the mnemonic style of the kernel's bpf_insn macros. They make
+// hand-written programs and the synthetic generator readable.
+
+// Mov64Imm emits dst = imm (sign-extended to 64 bits).
+func Mov64Imm(dst uint8, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | AluMov | SrcK, Dst: dst, Imm: imm}
+}
+
+// Mov64Reg emits dst = src.
+func Mov64Reg(dst, src uint8) Instruction {
+	return Instruction{Op: ClassALU64 | AluMov | SrcX, Dst: dst, Src: src}
+}
+
+// Mov32Imm emits dst = uint32(imm) (upper 32 bits zeroed).
+func Mov32Imm(dst uint8, imm int32) Instruction {
+	return Instruction{Op: ClassALU | AluMov | SrcK, Dst: dst, Imm: imm}
+}
+
+// Alu64Imm emits dst = dst <op> imm on 64 bits.
+func Alu64Imm(op uint8, dst uint8, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | op | SrcK, Dst: dst, Imm: imm}
+}
+
+// Alu64Reg emits dst = dst <op> src on 64 bits.
+func Alu64Reg(op uint8, dst, src uint8) Instruction {
+	return Instruction{Op: ClassALU64 | op | SrcX, Dst: dst, Src: src}
+}
+
+// Alu32Imm emits dst = uint32(dst <op> imm).
+func Alu32Imm(op uint8, dst uint8, imm int32) Instruction {
+	return Instruction{Op: ClassALU | op | SrcK, Dst: dst, Imm: imm}
+}
+
+// Alu32Reg emits dst = uint32(dst <op> src).
+func Alu32Reg(op uint8, dst, src uint8) Instruction {
+	return Instruction{Op: ClassALU | op | SrcX, Dst: dst, Src: src}
+}
+
+// Neg64 emits dst = -dst.
+func Neg64(dst uint8) Instruction {
+	return Instruction{Op: ClassALU64 | AluNeg, Dst: dst}
+}
+
+// JmpImm emits a conditional jump comparing dst against imm.
+func JmpImm(op uint8, dst uint8, imm int32, off int16) Instruction {
+	return Instruction{Op: ClassJMP | op | SrcK, Dst: dst, Imm: imm, Off: off}
+}
+
+// JmpReg emits a conditional jump comparing dst against src.
+func JmpReg(op uint8, dst, src uint8, off int16) Instruction {
+	return Instruction{Op: ClassJMP | op | SrcX, Dst: dst, Src: src, Off: off}
+}
+
+// Ja emits an unconditional jump.
+func Ja(off int16) Instruction {
+	return Instruction{Op: ClassJMP | JmpJA, Off: off}
+}
+
+// Call emits a helper call by helper id.
+func Call(helper int32) Instruction {
+	return Instruction{Op: ClassJMP | JmpCall, Imm: helper}
+}
+
+// Exit emits the program exit.
+func Exit() Instruction {
+	return Instruction{Op: ClassJMP | JmpExit}
+}
+
+// LoadMem emits dst = *(size *)(src + off).
+func LoadMem(size uint8, dst, src uint8, off int16) Instruction {
+	return Instruction{Op: ClassLDX | size | ModeMEM, Dst: dst, Src: src, Off: off}
+}
+
+// StoreMem emits *(size *)(dst + off) = src.
+func StoreMem(size uint8, dst, src uint8, off int16) Instruction {
+	return Instruction{Op: ClassSTX | size | ModeMEM, Dst: dst, Src: src, Off: off}
+}
+
+// StoreImm emits *(size *)(dst + off) = imm.
+func StoreImm(size uint8, dst uint8, off int16, imm int32) Instruction {
+	return Instruction{Op: ClassST | size | ModeMEM, Dst: dst, Off: off, Imm: imm}
+}
+
+// LoadImm64 emits the two-slot dst = imm64.
+func LoadImm64(dst uint8, imm uint64) []Instruction {
+	return []Instruction{
+		{Op: OpLDDW, Dst: dst, Imm: int32(uint32(imm))},
+		{Imm: int32(uint32(imm >> 32))},
+	}
+}
+
+// LoadMapPtr emits the two-slot map-reference load. The immediate carries a
+// placeholder map index; the loader patches the real runtime handle in.
+func LoadMapPtr(dst uint8, mapIndex int32) []Instruction {
+	return []Instruction{
+		{Op: OpLDDW, Dst: dst, Src: PseudoMapFD, Imm: mapIndex},
+		{},
+	}
+}

@@ -1,0 +1,216 @@
+package ebpf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rdx/internal/xabi"
+)
+
+func TestInsnEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		Mov64Imm(R0, -1),
+		Mov64Reg(R3, R7),
+		Alu64Imm(AluAdd, R1, 1000),
+		Alu32Reg(AluXor, R2, R4),
+		JmpImm(JmpJSGT, R5, -7, -12),
+		JmpReg(JmpJEQ, R1, R2, 300),
+		Call(5),
+		Exit(),
+		LoadMem(SizeB, R0, R1, 17),
+		StoreMem(SizeDW, R10, R6, -8),
+		StoreImm(SizeW, R10, -16, 99),
+		Ja(-3),
+	}
+	for _, want := range cases {
+		b := want.Encode(nil)
+		if len(b) != InsnSize {
+			t.Fatalf("encode size %d", len(b))
+		}
+		got, err := DecodeInstruction(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestInsnRoundTripProperty(t *testing.T) {
+	f := func(op, dst, src uint8, off int16, imm int32) bool {
+		want := Instruction{Op: op, Dst: dst & 0x0f, Src: src & 0x0f, Off: off, Imm: imm}
+		got, err := DecodeInstruction(want.Encode(nil))
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamEncodeDecode(t *testing.T) {
+	insns := []Instruction{Mov64Imm(R0, 1), Exit()}
+	b := Encode(insns)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != insns[0] || got[1] != insns[1] {
+		t.Errorf("decode mismatch: %+v", got)
+	}
+	if _, err := Decode(b[:9]); err == nil {
+		t.Error("odd-length stream accepted")
+	}
+	if _, err := DecodeInstruction(b[:4]); err == nil {
+		t.Error("short instruction accepted")
+	}
+}
+
+func TestImm64(t *testing.T) {
+	const v = uint64(0xDEADBEEF_CAFEBABE)
+	pair := LoadImm64(R1, v)
+	if got := Imm64(pair[0], pair[1]); got != v {
+		t.Errorf("Imm64 = %#x, want %#x", got, v)
+	}
+	insns := []Instruction{pair[0], pair[1]}
+	SetImm64(insns, 0, 0x1122334455667788)
+	if got := Imm64(insns[0], insns[1]); got != 0x1122334455667788 {
+		t.Errorf("SetImm64 round trip = %#x", got)
+	}
+}
+
+func TestLoadMapPtrShape(t *testing.T) {
+	pair := LoadMapPtr(R1, 3)
+	if !pair[0].IsLDDW() || pair[0].Src != PseudoMapFD || pair[0].Imm != 3 {
+		t.Errorf("LoadMapPtr first slot: %+v", pair[0])
+	}
+	if pair[1].Op != 0 {
+		t.Errorf("LoadMapPtr second slot: %+v", pair[1])
+	}
+}
+
+func TestProgramMapRefs(t *testing.T) {
+	insns := []Instruction{Mov64Imm(R0, 0)}
+	insns = append(insns, LoadMapPtr(R1, 0)...)
+	insns = append(insns, LoadImm64(R2, 42)...) // plain LDDW: not a map ref
+	insns = append(insns, LoadMapPtr(R3, 1)...)
+	insns = append(insns, Exit())
+
+	p := NewProgram("t", ProgTypeSocketFilter, insns,
+		MapSpec{Name: "a", Type: xabi.MapTypeArray, KeySize: 4, ValueSize: 8, MaxEntries: 1},
+		MapSpec{Name: "b", Type: xabi.MapTypeHash, KeySize: 8, ValueSize: 8, MaxEntries: 16},
+	)
+	refs := p.MapRefs()
+	if len(refs) != 2 {
+		t.Fatalf("got %d map refs, want 2: %+v", len(refs), refs)
+	}
+	if refs[0].InsnIdx != 1 || refs[0].MapIdx != 0 {
+		t.Errorf("ref 0 = %+v", refs[0])
+	}
+	if refs[1].InsnIdx != 5 || refs[1].MapIdx != 1 {
+		t.Errorf("ref 1 = %+v", refs[1])
+	}
+}
+
+func TestProgramHelperRefs(t *testing.T) {
+	insns := []Instruction{
+		Mov64Imm(R1, 0),
+		Call(5),
+		Call(7),
+		Call(5), // duplicate
+		Mov64Imm(R0, 0),
+		Exit(),
+	}
+	p := NewProgram("t", ProgTypeSocketFilter, insns)
+	refs := p.HelperRefs()
+	if len(refs) != 2 {
+		t.Fatalf("helper refs = %v", refs)
+	}
+}
+
+func TestProgramDigestStable(t *testing.T) {
+	mk := func() *Program {
+		return NewProgram("x", ProgTypeSocketFilter, []Instruction{Mov64Imm(R0, 7), Exit()})
+	}
+	a, b := mk(), mk()
+	if a.Digest() != b.Digest() {
+		t.Error("identical programs produced different digests")
+	}
+	c := NewProgram("x", ProgTypeSocketFilter, []Instruction{Mov64Imm(R0, 8), Exit()})
+	if a.Digest() == c.Digest() {
+		t.Error("different programs produced equal digests")
+	}
+	d := NewProgram("x", ProgTypeXDP, []Instruction{Mov64Imm(R0, 7), Exit()})
+	if a.Digest() == d.Digest() {
+		t.Error("program type not part of digest")
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := NewProgram("p", ProgTypeSocketFilter, []Instruction{Mov64Imm(R0, 1), Exit()},
+		MapSpec{Name: "m", Type: xabi.MapTypeArray, KeySize: 4, ValueSize: 8, MaxEntries: 4})
+	c := p.Clone()
+	c.Insns[0].Imm = 99
+	c.Maps[0].Name = "changed"
+	if p.Insns[0].Imm != 1 || p.Maps[0].Name != "m" {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestMapSpecValidate(t *testing.T) {
+	good := MapSpec{Name: "m", Type: xabi.MapTypeHash, KeySize: 8, ValueSize: 16, MaxEntries: 100}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []MapSpec{
+		{Type: xabi.MapTypeHash, KeySize: 8, ValueSize: 8, MaxEntries: 1},                  // no name
+		{Name: "m", Type: xabi.MapTypeHash, KeySize: 0, ValueSize: 8, MaxEntries: 1},       // key 0
+		{Name: "m", Type: xabi.MapTypeHash, KeySize: 8, ValueSize: 0, MaxEntries: 1},       // val 0
+		{Name: "m", Type: xabi.MapTypeHash, KeySize: 8, ValueSize: 8, MaxEntries: 0},       // entries 0
+		{Name: "m", Type: xabi.MapTypeArray, KeySize: 8, ValueSize: 8, MaxEntries: 1},      // array key != 4
+		{Name: "m", Type: xabi.MapType(99), KeySize: 4, ValueSize: 8, MaxEntries: 1},       // type
+		{Name: "m", Type: xabi.MapTypeHash, KeySize: 1024, ValueSize: 8, MaxEntries: 1},    // key too big
+		{Name: "m", Type: xabi.MapTypeHash, KeySize: 8, ValueSize: 1 << 20, MaxEntries: 1}, // val too big
+		{Name: "m", Type: xabi.MapTypeHash, KeySize: 8, ValueSize: 8, MaxEntries: 1 << 30}, // entries too big
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := map[string]Instruction{
+		"mov r0, 5":         Mov64Imm(R0, 5),
+		"add32 r1, r2":      Alu32Reg(AluAdd, R1, R2),
+		"exit":              Exit(),
+		"call 5":            Call(5),
+		"jeq r1, 0, +3":     JmpImm(JmpJEQ, R1, 0, 3),
+		"ldxw r0, [r1+16]":  LoadMem(SizeW, R0, R1, 16),
+		"stxdw [r10-8], r1": StoreMem(SizeDW, R10, R1, -8),
+		"lddw r1, map#2":    LoadMapPtr(R1, 2)[0],
+	}
+	for want, ins := range cases {
+		if got := ins.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if s := Ja(-3).String(); !strings.Contains(s, "-3") {
+		t.Errorf("ja string: %q", s)
+	}
+}
+
+func TestMetadataPopulated(t *testing.T) {
+	p := NewProgram("named", ProgTypeSocketFilter, []Instruction{Mov64Imm(R0, 0), Exit()})
+	if p.Meta.InsnCnt != 2 {
+		t.Errorf("InsnCnt = %d", p.Meta.InsnCnt)
+	}
+	if p.Meta.Tag == "" || len(p.Meta.Tag) != 16 {
+		t.Errorf("Tag = %q", p.Meta.Tag)
+	}
+	if !p.Meta.GPLCompatible || p.Meta.CreatedNS == 0 {
+		t.Error("defaults not set")
+	}
+}

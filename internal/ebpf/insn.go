@@ -1,0 +1,333 @@
+// Package ebpf implements the eBPF extension frontend: the classic 64-bit
+// instruction set with its 8-byte wire encoding, an assembler for building
+// programs, and the Program container with the metadata that real
+// bpf_program objects carry.
+//
+// The instruction encoding follows the Linux eBPF ISA: each instruction is
+//
+//	[ op:8 ][ dst:4 src:4 ][ off:16 LE ][ imm:32 LE ]
+//
+// with LDDW (64-bit immediate loads, including map references) occupying two
+// consecutive slots.
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InsnSize is the wire size of one instruction slot.
+const InsnSize = 8
+
+// Instruction classes (low 3 bits of the opcode).
+const (
+	ClassLD  = 0x00
+	ClassLDX = 0x01
+	ClassST  = 0x02
+	ClassSTX = 0x03
+	ClassALU = 0x04
+	ClassJMP = 0x05
+	// ClassJMP32 (0x06) is not implemented; ClassALU64 covers 64-bit ALU.
+	ClassALU64 = 0x07
+)
+
+// ALU/JMP source bit: operate on register (X) or immediate (K).
+const (
+	SrcK = 0x00
+	SrcX = 0x08
+)
+
+// ALU operation codes (bits 4-7).
+const (
+	AluAdd  = 0x00
+	AluSub  = 0x10
+	AluMul  = 0x20
+	AluDiv  = 0x30
+	AluOr   = 0x40
+	AluAnd  = 0x50
+	AluLsh  = 0x60
+	AluRsh  = 0x70
+	AluNeg  = 0x80
+	AluMod  = 0x90
+	AluXor  = 0xa0
+	AluMov  = 0xb0
+	AluArsh = 0xc0
+)
+
+// JMP operation codes (bits 4-7).
+const (
+	JmpJA   = 0x00
+	JmpJEQ  = 0x10
+	JmpJGT  = 0x20
+	JmpJGE  = 0x30
+	JmpJSET = 0x40
+	JmpJNE  = 0x50
+	JmpJSGT = 0x60
+	JmpJSGE = 0x70
+	JmpCall = 0x80
+	JmpExit = 0x90
+	JmpJLT  = 0xa0
+	JmpJLE  = 0xb0
+	JmpJSLT = 0xc0
+	JmpJSLE = 0xd0
+)
+
+// Load/store width (bits 3-4).
+const (
+	SizeW  = 0x00 // 4 bytes
+	SizeH  = 0x08 // 2 bytes
+	SizeB  = 0x10 // 1 byte
+	SizeDW = 0x18 // 8 bytes
+)
+
+// Load/store mode (bits 5-7).
+const (
+	ModeIMM = 0x00
+	ModeMEM = 0x60
+)
+
+// Registers.
+const (
+	R0  = 0 // return value
+	R1  = 1 // argument 1 / context pointer on entry
+	R2  = 2
+	R3  = 3
+	R4  = 4
+	R5  = 5
+	R6  = 6 // callee-saved
+	R7  = 7
+	R8  = 8
+	R9  = 9
+	R10 = 10 // frame pointer, read-only
+	// NumRegs is the register file size.
+	NumRegs = 11
+)
+
+// Composite opcodes used throughout.
+const (
+	OpLDDW   = ClassLD | SizeDW | ModeIMM // two-slot 64-bit immediate load
+	OpExit   = ClassJMP | JmpExit
+	OpCall   = ClassJMP | JmpCall
+	OpJA     = ClassJMP | JmpJA
+	OpMov64I = ClassALU64 | AluMov | SrcK
+	OpMov64X = ClassALU64 | AluMov | SrcX
+)
+
+// PseudoMapFD in the src register of an LDDW marks the immediate as a map
+// reference to be resolved at load/link time (mirroring BPF_PSEUDO_MAP_FD).
+const PseudoMapFD = 1
+
+// Instruction is one decoded eBPF instruction slot.
+type Instruction struct {
+	Op  uint8
+	Dst uint8
+	Src uint8
+	Off int16
+	Imm int32
+}
+
+// Class returns the instruction class bits.
+func (i Instruction) Class() uint8 { return i.Op & 0x07 }
+
+// AluOp returns the operation bits for ALU-class instructions.
+func (i Instruction) AluOp() uint8 { return i.Op & 0xf0 }
+
+// JmpOp returns the operation bits for JMP-class instructions.
+func (i Instruction) JmpOp() uint8 { return i.Op & 0xf0 }
+
+// UsesX reports whether the ALU/JMP source is a register.
+func (i Instruction) UsesX() bool { return i.Op&SrcX != 0 }
+
+// MemSize returns the access width in bytes for LD/ST-class instructions.
+func (i Instruction) MemSize() int {
+	switch i.Op & 0x18 {
+	case SizeW:
+		return 4
+	case SizeH:
+		return 2
+	case SizeB:
+		return 1
+	default:
+		return 8
+	}
+}
+
+// IsLDDW reports whether this is the first slot of a two-slot LDDW.
+func (i Instruction) IsLDDW() bool { return i.Op == OpLDDW }
+
+// String renders a compact disassembly of the instruction.
+func (i Instruction) String() string {
+	switch i.Class() {
+	case ClassALU, ClassALU64:
+		suffix := ""
+		if i.Class() == ClassALU {
+			suffix = "32"
+		}
+		if i.UsesX() {
+			return fmt.Sprintf("%s%s r%d, r%d", aluName(i.AluOp()), suffix, i.Dst, i.Src)
+		}
+		return fmt.Sprintf("%s%s r%d, %d", aluName(i.AluOp()), suffix, i.Dst, i.Imm)
+	case ClassJMP:
+		switch i.JmpOp() {
+		case JmpExit:
+			return "exit"
+		case JmpCall:
+			return fmt.Sprintf("call %d", i.Imm)
+		case JmpJA:
+			return fmt.Sprintf("ja %+d", i.Off)
+		}
+		if i.UsesX() {
+			return fmt.Sprintf("%s r%d, r%d, %+d", jmpName(i.JmpOp()), i.Dst, i.Src, i.Off)
+		}
+		return fmt.Sprintf("%s r%d, %d, %+d", jmpName(i.JmpOp()), i.Dst, i.Imm, i.Off)
+	case ClassLDX:
+		return fmt.Sprintf("ldx%s r%d, [r%d%+d]", sizeName(i.Op), i.Dst, i.Src, i.Off)
+	case ClassSTX:
+		return fmt.Sprintf("stx%s [r%d%+d], r%d", sizeName(i.Op), i.Dst, i.Off, i.Src)
+	case ClassST:
+		return fmt.Sprintf("st%s [r%d%+d], %d", sizeName(i.Op), i.Dst, i.Off, i.Imm)
+	case ClassLD:
+		if i.IsLDDW() {
+			if i.Src == PseudoMapFD {
+				return fmt.Sprintf("lddw r%d, map#%d", i.Dst, i.Imm)
+			}
+			return fmt.Sprintf("lddw r%d, %d(lo)", i.Dst, i.Imm)
+		}
+	}
+	return fmt.Sprintf("op=%#02x dst=r%d src=r%d off=%d imm=%d", i.Op, i.Dst, i.Src, i.Off, i.Imm)
+}
+
+func aluName(op uint8) string {
+	switch op {
+	case AluAdd:
+		return "add"
+	case AluSub:
+		return "sub"
+	case AluMul:
+		return "mul"
+	case AluDiv:
+		return "div"
+	case AluOr:
+		return "or"
+	case AluAnd:
+		return "and"
+	case AluLsh:
+		return "lsh"
+	case AluRsh:
+		return "rsh"
+	case AluNeg:
+		return "neg"
+	case AluMod:
+		return "mod"
+	case AluXor:
+		return "xor"
+	case AluMov:
+		return "mov"
+	case AluArsh:
+		return "arsh"
+	default:
+		return fmt.Sprintf("alu%#02x", op)
+	}
+}
+
+func jmpName(op uint8) string {
+	switch op {
+	case JmpJEQ:
+		return "jeq"
+	case JmpJGT:
+		return "jgt"
+	case JmpJGE:
+		return "jge"
+	case JmpJSET:
+		return "jset"
+	case JmpJNE:
+		return "jne"
+	case JmpJSGT:
+		return "jsgt"
+	case JmpJSGE:
+		return "jsge"
+	case JmpJLT:
+		return "jlt"
+	case JmpJLE:
+		return "jle"
+	case JmpJSLT:
+		return "jslt"
+	case JmpJSLE:
+		return "jsle"
+	default:
+		return fmt.Sprintf("jmp%#02x", op)
+	}
+}
+
+func sizeName(op uint8) string {
+	switch op & 0x18 {
+	case SizeW:
+		return "w"
+	case SizeH:
+		return "h"
+	case SizeB:
+		return "b"
+	default:
+		return "dw"
+	}
+}
+
+// Encode appends the 8-byte wire form of the instruction to dst.
+func (i Instruction) Encode(dst []byte) []byte {
+	var b [InsnSize]byte
+	b[0] = i.Op
+	b[1] = i.Dst&0x0f | i.Src<<4
+	binary.LittleEndian.PutUint16(b[2:4], uint16(i.Off))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(i.Imm))
+	return append(dst, b[:]...)
+}
+
+// DecodeInstruction parses one instruction slot.
+func DecodeInstruction(b []byte) (Instruction, error) {
+	if len(b) < InsnSize {
+		return Instruction{}, fmt.Errorf("ebpf: short instruction (%d bytes)", len(b))
+	}
+	return Instruction{
+		Op:  b[0],
+		Dst: b[1] & 0x0f,
+		Src: b[1] >> 4,
+		Off: int16(binary.LittleEndian.Uint16(b[2:4])),
+		Imm: int32(binary.LittleEndian.Uint32(b[4:8])),
+	}, nil
+}
+
+// Encode serializes a full instruction stream.
+func Encode(insns []Instruction) []byte {
+	out := make([]byte, 0, len(insns)*InsnSize)
+	for _, i := range insns {
+		out = i.Encode(out)
+	}
+	return out
+}
+
+// Decode parses a full instruction stream.
+func Decode(b []byte) ([]Instruction, error) {
+	if len(b)%InsnSize != 0 {
+		return nil, fmt.Errorf("ebpf: bytecode length %d not a multiple of %d", len(b), InsnSize)
+	}
+	out := make([]Instruction, 0, len(b)/InsnSize)
+	for off := 0; off < len(b); off += InsnSize {
+		ins, err := DecodeInstruction(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}
+
+// Imm64 returns the 64-bit immediate of an LDDW given its two slots.
+func Imm64(lo, hi Instruction) uint64 {
+	return uint64(uint32(lo.Imm)) | uint64(uint32(hi.Imm))<<32
+}
+
+// SetImm64 writes a 64-bit immediate into an LDDW's two slots.
+func SetImm64(insns []Instruction, idx int, v uint64) {
+	insns[idx].Imm = int32(uint32(v))
+	insns[idx+1].Imm = int32(uint32(v >> 32))
+}

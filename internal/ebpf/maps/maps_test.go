@@ -1,0 +1,364 @@
+package maps
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdx/internal/ebpf"
+	"rdx/internal/xabi"
+)
+
+func newMem(t *testing.T, size int) *xabi.RegionMemory {
+	t.Helper()
+	m, err := xabi.NewRegionMemory(&xabi.Region{
+		Base: 0x1000, Data: make([]byte, size), Writable: true, Name: "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func key32(k uint32) []byte {
+	return binary.LittleEndian.AppendUint32(nil, k)
+}
+
+func val64(v uint64, size int) []byte {
+	b := make([]byte, size)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestArrayMapBasics(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "a", Type: xabi.MapTypeArray, KeySize: 4, ValueSize: 8, MaxEntries: 10}
+	mem := newMem(t, int(Size(spec))+0x1000)
+	v, err := Create(mem, 0x1000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Update(key32(3), val64(99, 8), xabi.UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	addr, found, err := v.Lookup(key32(3))
+	if err != nil || !found {
+		t.Fatalf("lookup: %v %v", found, err)
+	}
+	got, _ := mem.ReadMem(addr, 8)
+	if got != 99 {
+		t.Errorf("value = %d", got)
+	}
+	// Array lookups always succeed in range; zero value otherwise.
+	_, found, _ = v.Lookup(key32(9))
+	if !found {
+		t.Error("in-range array index not found")
+	}
+	_, found, _ = v.Lookup(key32(10))
+	if found {
+		t.Error("out-of-range array index found")
+	}
+	if err := v.Update(key32(10), val64(1, 8), xabi.UpdateAny); err == nil {
+		t.Error("out-of-range array update accepted")
+	}
+	if err := v.Delete(key32(0)); err == nil {
+		t.Error("array delete accepted")
+	}
+}
+
+func TestHashMapCRUD(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "h", Type: xabi.MapTypeHash, KeySize: 8, ValueSize: 16, MaxEntries: 32}
+	mem := newMem(t, int(Size(spec))+0x1000)
+	v, err := Create(mem, 0x1000, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("key00001")
+	if _, found, _ := v.Lookup(key); found {
+		t.Error("empty map lookup found something")
+	}
+	if err := v.Update(key, val64(7, 16), xabi.UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	addr, found, err := v.Lookup(key)
+	if err != nil || !found {
+		t.Fatalf("lookup after insert: %v %v", found, err)
+	}
+	if got, _ := mem.ReadMem(addr, 8); got != 7 {
+		t.Errorf("value = %d", got)
+	}
+	// Overwrite.
+	if err := v.Update(key, val64(8, 16), xabi.UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, _ = v.Lookup(key)
+	if got, _ := mem.ReadMem(addr, 8); got != 8 {
+		t.Errorf("overwritten value = %d", got)
+	}
+	if n, _ := v.Count(); n != 1 {
+		t.Errorf("count = %d, want 1", n)
+	}
+	// Delete.
+	if err := v.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := v.Lookup(key); found {
+		t.Error("lookup found deleted key")
+	}
+	if err := v.Delete(key); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	if n, _ := v.Count(); n != 0 {
+		t.Errorf("count after delete = %d", n)
+	}
+}
+
+func TestHashMapUpdateFlags(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "h", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 8}
+	mem := newMem(t, int(Size(spec))+0x1000)
+	v, _ := Create(mem, 0x1000, spec)
+
+	if err := v.Update(key32(1), val64(1, 8), xabi.UpdateExist); !errors.Is(err, ErrNotFound) {
+		t.Errorf("UpdateExist on missing key: %v", err)
+	}
+	if err := v.Update(key32(1), val64(1, 8), xabi.UpdateNoExist); err != nil {
+		t.Fatalf("UpdateNoExist insert: %v", err)
+	}
+	if err := v.Update(key32(1), val64(2, 8), xabi.UpdateNoExist); err == nil {
+		t.Error("UpdateNoExist on existing key accepted")
+	}
+	if err := v.Update(key32(1), val64(3, 8), xabi.UpdateExist); err != nil {
+		t.Errorf("UpdateExist on existing key: %v", err)
+	}
+}
+
+func TestHashMapFull(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "h", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 4}
+	mem := newMem(t, int(Size(spec))+0x1000)
+	v, _ := Create(mem, 0x1000, spec)
+	for i := uint32(0); i < 4; i++ {
+		if err := v.Update(key32(i), val64(uint64(i), 8), xabi.UpdateAny); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Update(key32(99), val64(1, 8), xabi.UpdateAny); !errors.Is(err, ErrFull) {
+		t.Errorf("overfill: %v, want ErrFull", err)
+	}
+	// Delete then reinsert must succeed (tombstone reuse).
+	if err := v.Delete(key32(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Update(key32(99), val64(1, 8), xabi.UpdateAny); err != nil {
+		t.Errorf("insert after delete: %v", err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "l", Type: xabi.MapTypeLRU, KeySize: 4, ValueSize: 8, MaxEntries: 3}
+	mem := newMem(t, int(Size(spec))+0x1000)
+	v, _ := Create(mem, 0x1000, spec)
+	for i := uint32(1); i <= 3; i++ {
+		if err := v.Update(key32(i), val64(uint64(i), 8), xabi.UpdateAny); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch 1 so 2 becomes the oldest.
+	if _, found, _ := v.Lookup(key32(1)); !found {
+		t.Fatal("key 1 missing")
+	}
+	// Insert a 4th: must evict key 2.
+	if err := v.Update(key32(4), val64(4, 8), xabi.UpdateAny); err != nil {
+		t.Fatalf("LRU insert at capacity: %v", err)
+	}
+	if _, found, _ := v.Lookup(key32(2)); found {
+		t.Error("least-recently-used key 2 survived eviction")
+	}
+	for _, k := range []uint32{1, 3, 4} {
+		if _, found, _ := v.Lookup(key32(k)); !found {
+			t.Errorf("key %d evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestAttach(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "h", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 8}
+	mem := newMem(t, int(Size(spec))+0x1000)
+	v1, _ := Create(mem, 0x1000, spec)
+	v1.Update(key32(5), val64(50, 8), xabi.UpdateAny)
+
+	// A second view attached to the same bytes sees the same entries —
+	// this is exactly how the remote control plane introspects XState.
+	v2, err := Attach(mem, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Type() != xabi.MapTypeHash || v2.KeySize() != 4 || v2.ValueSize() != 8 || v2.MaxEntries() != 8 {
+		t.Errorf("attached shape: %v %d %d %d", v2.Type(), v2.KeySize(), v2.ValueSize(), v2.MaxEntries())
+	}
+	addr, found, err := v2.Lookup(key32(5))
+	if err != nil || !found {
+		t.Fatalf("attached lookup: %v %v", found, err)
+	}
+	if got, _ := mem.ReadMem(addr, 8); got != 50 {
+		t.Errorf("attached value = %d", got)
+	}
+}
+
+func TestAttachRejectsGarbage(t *testing.T) {
+	mem := newMem(t, 4096)
+	if _, err := Attach(mem, 0x1000); err == nil {
+		t.Error("attach to zeroed memory succeeded")
+	}
+	mem.WriteMem(0x1000, 4, uint64(Magic))
+	mem.WriteMem(0x1000+offKeySz, 4, 0) // key size 0: corrupt
+	if _, err := Attach(mem, 0x1000); err == nil {
+		t.Error("attach to corrupt header succeeded")
+	}
+}
+
+func TestKeyValueSizeChecks(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "h", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 8}
+	mem := newMem(t, int(Size(spec))+0x1000)
+	v, _ := Create(mem, 0x1000, spec)
+	if _, _, err := v.Lookup([]byte{1, 2}); err == nil {
+		t.Error("short key accepted")
+	}
+	if err := v.Update(key32(1), []byte{1}, xabi.UpdateAny); err == nil {
+		t.Error("short value accepted")
+	}
+	if err := v.Delete([]byte{1}); err == nil {
+		t.Error("short delete key accepted")
+	}
+}
+
+func TestIterate(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "h", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 16}
+	mem := newMem(t, int(Size(spec))+0x1000)
+	v, _ := Create(mem, 0x1000, spec)
+	want := map[uint32]uint64{1: 10, 2: 20, 3: 30}
+	for k, val := range want {
+		v.Update(key32(k), val64(val, 8), xabi.UpdateAny)
+	}
+	got := map[uint32]uint64{}
+	err := v.Iterate(func(key, value []byte) bool {
+		got[binary.LittleEndian.Uint32(key)] = binary.LittleEndian.Uint64(value)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 10 || got[2] != 20 || got[3] != 30 {
+		t.Errorf("iterate got %v", got)
+	}
+	// Early stop.
+	n := 0
+	v.Iterate(func(_, _ []byte) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop visited %d", n)
+	}
+}
+
+func TestHashMapModelProperty(t *testing.T) {
+	// Property: a randomized op sequence agrees with a Go map model.
+	spec := ebpf.MapSpec{Name: "h", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 16}
+	f := func(seed int64) bool {
+		mem, err := xabi.NewRegionMemory(&xabi.Region{Base: 0x1000, Data: make([]byte, Size(spec)), Writable: true, Name: "m"})
+		if err != nil {
+			return false
+		}
+		v, err := Create(mem, 0x1000, spec)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		model := map[uint32]uint64{}
+		for op := 0; op < 200; op++ {
+			k := uint32(rng.Intn(24))
+			switch rng.Intn(3) {
+			case 0: // update
+				val := rng.Uint64()
+				err := v.Update(key32(k), val64(val, 8), xabi.UpdateAny)
+				if len(model) >= 16 {
+					if _, exists := model[k]; !exists {
+						if !errors.Is(err, ErrFull) {
+							return false
+						}
+						continue
+					}
+				}
+				if err != nil {
+					return false
+				}
+				model[k] = val
+			case 1: // delete
+				err := v.Delete(key32(k))
+				if _, exists := model[k]; exists {
+					if err != nil {
+						return false
+					}
+					delete(model, k)
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			case 2: // lookup
+				addr, found, err := v.Lookup(key32(k))
+				if err != nil {
+					return false
+				}
+				want, exists := model[k]
+				if found != exists {
+					return false
+				}
+				if found {
+					got, _ := mem.ReadMem(addr, 8)
+					if got != want {
+						return false
+					}
+				}
+			}
+		}
+		n, _ := v.Count()
+		return n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	arr := ebpf.MapSpec{Name: "a", Type: xabi.MapTypeArray, KeySize: 4, ValueSize: 12, MaxEntries: 10}
+	if got := Size(arr); got != HeaderSize+10*16 {
+		t.Errorf("array size = %d", got)
+	}
+	h := ebpf.MapSpec{Name: "h", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 5}
+	// bucketCount(5) = 16; slot = 8 + 8 + 8 = 24.
+	if got := Size(h); got != HeaderSize+16*24 {
+		t.Errorf("hash size = %d", got)
+	}
+}
+
+func TestManyKeysCollisions(t *testing.T) {
+	// Fill a map to capacity with keys that will collide in a small
+	// bucket space, verifying probing correctness.
+	spec := ebpf.MapSpec{Name: "h", Type: xabi.MapTypeHash, KeySize: 8, ValueSize: 8, MaxEntries: 64}
+	mem := newMem(t, int(Size(spec))+0x1000)
+	v, _ := Create(mem, 0x1000, spec)
+	for i := 0; i < 64; i++ {
+		key := []byte(fmt.Sprintf("k%07d", i))
+		if err := v.Update(key, val64(uint64(i), 8), xabi.UpdateAny); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		key := []byte(fmt.Sprintf("k%07d", i))
+		addr, found, err := v.Lookup(key)
+		if err != nil || !found {
+			t.Fatalf("lookup %d: found=%v err=%v", i, found, err)
+		}
+		if got, _ := mem.ReadMem(addr, 8); got != uint64(i) {
+			t.Errorf("key %d → %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package progen
+
+import (
+	"testing"
+
+	"rdx/internal/ebpf"
+	"rdx/internal/ebpf/verifier"
+	"rdx/internal/ebpf/vm"
+	"rdx/internal/xabi"
+)
+
+func TestExactSizes(t *testing.T) {
+	for _, size := range []int{16, 100, 1300, 5000} {
+		for seed := int64(0); seed < 3; seed++ {
+			p, err := Generate(Options{Size: size, Seed: seed, WithHelpers: true})
+			if err != nil {
+				t.Fatalf("size %d seed %d: %v", size, seed, err)
+			}
+			if len(p.Insns) != size {
+				t.Errorf("size %d seed %d: got %d insns", size, seed, len(p.Insns))
+			}
+		}
+	}
+}
+
+func TestTooSmallRejected(t *testing.T) {
+	if _, err := Generate(Options{Size: 8}); err == nil {
+		t.Error("size 8 accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := MustGenerate(Options{Size: 500, Seed: 7, WithMap: true, WithHelpers: true})
+	b := MustGenerate(Options{Size: 500, Seed: 7, WithMap: true, WithHelpers: true})
+	if a.Digest() != b.Digest() {
+		t.Error("same seed produced different programs")
+	}
+	c := MustGenerate(Options{Size: 500, Seed: 8, WithMap: true, WithHelpers: true})
+	if a.Digest() == c.Digest() {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestAllGeneratedProgramsVerify(t *testing.T) {
+	sizes := []int{16, 64, 333, 1300, 4000}
+	if !testing.Short() {
+		sizes = append(sizes, 11000)
+	}
+	for _, size := range sizes {
+		for seed := int64(0); seed < 5; seed++ {
+			for _, withMap := range []bool{false, true} {
+				p, err := Generate(Options{Size: size, Seed: seed, WithMap: withMap, WithHelpers: true})
+				if err != nil {
+					t.Fatalf("size %d seed %d: %v", size, seed, err)
+				}
+				if _, err := verifier.Verify(p, verifier.Config{}); err != nil {
+					t.Errorf("size %d seed %d map=%v: verification failed: %v", size, seed, withMap, err)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsExecute(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := MustGenerate(Options{Size: 400, Seed: seed, WithHelpers: true})
+		env := &xabi.Env{NowNS: func() uint64 { return 1 }, RandU32: func() uint32 { return 2 }}
+		ctx := make([]byte, xabi.CtxSize)
+		if _, err := vm.New(vm.Options{Env: env}).Run(p, ctx); err != nil {
+			t.Errorf("seed %d: execution failed: %v", seed, err)
+		}
+		// The epilogue writes verdict 1.
+		if ctx[xabi.CtxOffVerdict] != 1 {
+			t.Errorf("seed %d: verdict = %d", seed, ctx[xabi.CtxOffVerdict])
+		}
+	}
+}
+
+func TestPaperSizesGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large sizes")
+	}
+	for _, size := range PaperSizes {
+		p, err := Generate(Options{Size: size, Seed: 1, WithHelpers: true})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if res, err := verifier.Verify(p, verifier.Config{}); err != nil {
+			t.Errorf("size %d: %v", size, err)
+		} else if res.Insns != size {
+			t.Errorf("size %d: verified %d insns", size, res.Insns)
+		}
+	}
+}
+
+func TestWithMapEmitsMapRefs(t *testing.T) {
+	p := MustGenerate(Options{Size: 2000, Seed: 3, WithMap: true})
+	if len(p.Maps) != 1 {
+		t.Fatalf("maps = %d", len(p.Maps))
+	}
+	if len(p.MapRefs()) == 0 {
+		t.Error("no map references emitted in a 2000-insn map program")
+	}
+	found := false
+	for _, id := range p.HelperRefs() {
+		if id == xabi.HelperMapLookup {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("map program never calls map_lookup")
+	}
+}
+
+func TestInstructionMixIsDiverse(t *testing.T) {
+	p := MustGenerate(Options{Size: 5000, Seed: 11, WithMap: true, WithHelpers: true})
+	classes := map[uint8]int{}
+	for _, ins := range p.Insns {
+		classes[ins.Class()]++
+	}
+	for _, cls := range []uint8{ebpf.ClassALU64, ebpf.ClassJMP, ebpf.ClassLDX, ebpf.ClassSTX} {
+		if classes[cls] == 0 {
+			t.Errorf("class %#x absent from generated mix: %v", cls, classes)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rdx/internal/xabi"
+)
+
+// DefaultHelpers returns the standard helper table shared by the interpreter
+// and the native engine. Map helpers resolve their first argument through
+// the environment's MapResolver, exactly as patched LDDW handles demand.
+func DefaultHelpers() map[int32]xabi.HelperFn {
+	return map[int32]xabi.HelperFn{
+		xabi.HelperMapLookup:     helperMapLookup,
+		xabi.HelperMapUpdate:     helperMapUpdate,
+		xabi.HelperMapDelete:     helperMapDelete,
+		xabi.HelperKtimeGetNS:    helperKtime,
+		xabi.HelperTracePrintk:   helperPrintk,
+		xabi.HelperGetPrandomU32: helperPrandom,
+		xabi.HelperGetSmpCPUID:   helperCPUID,
+		xabi.HelperGetHeader:     helperGetHeader,
+		xabi.HelperSetHeader:     helperSetHeader,
+		xabi.HelperLog:           helperLog,
+		xabi.HelperGetBodyLen:    helperBodyLen,
+	}
+}
+
+func resolveMap(env *xabi.Env, handle uint64) (xabi.Map, error) {
+	if env.Maps == nil {
+		return nil, fmt.Errorf("no map resolver in environment")
+	}
+	m, ok := env.Maps.ResolveMap(handle)
+	if !ok {
+		return nil, fmt.Errorf("unknown map handle %#x", handle)
+	}
+	return m, nil
+}
+
+func helperMapLookup(env *xabi.Env, a1, a2, _, _, _ uint64) (uint64, error) {
+	m, err := resolveMap(env, a1)
+	if err != nil {
+		return 0, err
+	}
+	key, err := env.Mem.ReadBytes(a2, m.KeySize())
+	if err != nil {
+		return 0, err
+	}
+	addr, found, err := m.Lookup(key)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, nil // NULL
+	}
+	return addr, nil
+}
+
+func helperMapUpdate(env *xabi.Env, a1, a2, a3, a4, _ uint64) (uint64, error) {
+	m, err := resolveMap(env, a1)
+	if err != nil {
+		return 0, err
+	}
+	key, err := env.Mem.ReadBytes(a2, m.KeySize())
+	if err != nil {
+		return 0, err
+	}
+	val, err := env.Mem.ReadBytes(a3, m.ValueSize())
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Update(key, val, a4); err != nil {
+		// BPF returns negative errno; model with ^0 (-1).
+		return ^uint64(0), nil
+	}
+	return 0, nil
+}
+
+func helperMapDelete(env *xabi.Env, a1, a2, _, _, _ uint64) (uint64, error) {
+	m, err := resolveMap(env, a1)
+	if err != nil {
+		return 0, err
+	}
+	key, err := env.Mem.ReadBytes(a2, m.KeySize())
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Delete(key); err != nil {
+		return ^uint64(0), nil
+	}
+	return 0, nil
+}
+
+func helperKtime(env *xabi.Env, _, _, _, _, _ uint64) (uint64, error) {
+	return env.Now(), nil
+}
+
+func helperPrintk(env *xabi.Env, a1, _, _, _, _ uint64) (uint64, error) {
+	env.Log(fmt.Sprintf("bpf_trace_printk: %d", a1))
+	return 0, nil
+}
+
+func helperPrandom(env *xabi.Env, _, _, _, _, _ uint64) (uint64, error) {
+	return uint64(env.Rand()), nil
+}
+
+func helperCPUID(env *xabi.Env, _, _, _, _, _ uint64) (uint64, error) {
+	return uint64(env.CPUID), nil
+}
+
+// headerKey decodes the proxy-wasm-style packed header key: the helper
+// receives a small integer naming a well-known header.
+func headerKey(id uint64) string {
+	switch id {
+	case 1:
+		return ":path"
+	case 2:
+		return ":method"
+	case 3:
+		return ":authority"
+	case 4:
+		return "x-rdx-version"
+	default:
+		return fmt.Sprintf("x-header-%d", id)
+	}
+}
+
+func helperGetHeader(env *xabi.Env, a1, _, _, _, _ uint64) (uint64, error) {
+	if env.Headers == nil {
+		return 0, nil
+	}
+	v, ok := env.Headers[headerKey(a1)]
+	if !ok {
+		return 0, nil
+	}
+	// Return a packed hash of the value: extensions compare header values
+	// by this 64-bit fingerprint.
+	return fingerprint(v), nil
+}
+
+func helperSetHeader(env *xabi.Env, a1, a2, _, _, _ uint64) (uint64, error) {
+	if env.Headers == nil {
+		return ^uint64(0), nil
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], a2)
+	env.Headers[headerKey(a1)] = fmt.Sprintf("%x", buf[:])
+	return 0, nil
+}
+
+func helperLog(env *xabi.Env, a1, _, _, _, _ uint64) (uint64, error) {
+	env.Log(fmt.Sprintf("proxy_log: %d", a1))
+	return 0, nil
+}
+
+func helperBodyLen(env *xabi.Env, _, _, _, _, _ uint64) (uint64, error) {
+	// Body length is published in the context structure; helpers cannot
+	// see the ctx pointer, so environments expose it via Headers.
+	if env.Headers == nil {
+		return 0, nil
+	}
+	v, ok := env.Headers["content-length"]
+	if !ok {
+		return 0, nil
+	}
+	var n uint64
+	fmt.Sscanf(v, "%d", &n)
+	return n, nil
+}
+
+// fingerprint is FNV-1a over s.
+func fingerprint(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

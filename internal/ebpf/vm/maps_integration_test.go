@@ -1,0 +1,204 @@
+package vm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rdx/internal/ebpf"
+	"rdx/internal/ebpf/maps"
+	"rdx/internal/xabi"
+)
+
+// newMapEnv creates a region memory with a hash map living at mapBase and
+// returns the env plus the map view — the same shape the node runtime
+// builds, minus the arena.
+func newMapEnv(t *testing.T, spec ebpf.MapSpec) (*xabi.Env, *maps.View, uint64) {
+	t.Helper()
+	const mapBase = 0x2000_0000
+	backing := make([]byte, maps.Size(spec))
+	memory, err := xabi.NewRegionMemory(&xabi.Region{
+		Base: mapBase, Data: backing, Writable: true, Name: "xstate",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := maps.Create(memory, mapBase, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &xabi.Env{
+		Mem:  memory,
+		Maps: xabi.HandleMapResolver{mapBase: view},
+	}
+	return env, view, mapBase
+}
+
+// TestMapLookupHitThroughProgram runs the canonical null-checked lookup and
+// confirms the program reads the value the host wrote.
+func TestMapLookupHitThroughProgram(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "m", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 8}
+	env, view, mapBase := newMapEnv(t, spec)
+
+	key := []byte{1, 0, 0, 0}
+	val := binary.LittleEndian.AppendUint64(nil, 0xABCD)
+	if err := view.Update(key, val, xabi.UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+
+	insns := []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -4, 1), // key = 1
+	}
+	insns = append(insns, ebpf.LoadMapPtr(ebpf.R1, 0)...)
+	insns = append(insns,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R2, -4),
+		ebpf.Call(xabi.HelperMapLookup),
+		ebpf.JmpImm(ebpf.JmpJEQ, ebpf.R0, 0, 1),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R0, 0),
+		ebpf.Exit(),
+	)
+	p := ebpf.NewProgram("lookup", ebpf.ProgTypeSocketFilter, insns, spec)
+	// Patch the map handle the way the loader does.
+	ebpf.SetImm64(p.Insns, p.MapRefs()[0].InsnIdx, mapBase)
+	p.Insns[p.MapRefs()[0].InsnIdx].Src = 0 // handle resolved: no longer a pseudo ref
+
+	r0, err := New(Options{Env: env}).Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != 0xABCD {
+		t.Errorf("r0 = %#x, want 0xABCD", r0)
+	}
+}
+
+// TestMapLookupMissReturnsNull checks the null path.
+func TestMapLookupMissReturnsNull(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "m", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 8}
+	env, _, mapBase := newMapEnv(t, spec)
+
+	insns := []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -4, 77), // absent key
+	}
+	insns = append(insns, ebpf.LoadImm64(ebpf.R1, mapBase)...)
+	insns = append(insns,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R2, -4),
+		ebpf.Call(xabi.HelperMapLookup),
+		ebpf.JmpImm(ebpf.JmpJNE, ebpf.R0, 0, 1),
+		ebpf.Mov64Imm(ebpf.R0, 12345), // null path marker
+		ebpf.Exit(),
+	)
+	p := ebpf.NewProgram("miss", ebpf.ProgTypeSocketFilter, insns, spec)
+	r0, err := New(Options{Env: env}).Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != 12345 {
+		t.Errorf("r0 = %d, want null-path marker", r0)
+	}
+}
+
+// TestMapUpdateFromProgram has the program insert an entry the host then
+// observes — state flowing the other way.
+func TestMapUpdateFromProgram(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "m", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 8}
+	env, view, mapBase := newMapEnv(t, spec)
+
+	insns := []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -4, 9),      // key
+		ebpf.StoreImm(ebpf.SizeDW, ebpf.R10, -16, 4321), // value
+	}
+	insns = append(insns, ebpf.LoadImm64(ebpf.R1, mapBase)...)
+	insns = append(insns,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R2, -4),
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R3, -16),
+		ebpf.Mov64Imm(ebpf.R4, 0),
+		ebpf.Call(xabi.HelperMapUpdate),
+		ebpf.Exit(),
+	)
+	p := ebpf.NewProgram("update", ebpf.ProgTypeSocketFilter, insns, spec)
+	r0, err := New(Options{Env: env}).Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != 0 {
+		t.Fatalf("update returned %d", r0)
+	}
+	addr, found, err := view.Lookup([]byte{9, 0, 0, 0})
+	if err != nil || !found {
+		t.Fatalf("host lookup: found=%v err=%v", found, err)
+	}
+	got, _ := env.Mem.ReadMem(addr, 8)
+	if got != 4321 {
+		t.Errorf("value = %d, want 4321", got)
+	}
+}
+
+// TestPerFlowCounterProgram exercises the classic lookup-or-insert counter
+// pattern over repeated invocations (aggregating per-flow state).
+func TestPerFlowCounterProgram(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "cnt", Type: xabi.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 16}
+	env, view, mapBase := newMapEnv(t, spec)
+
+	// if (v = lookup(flow)) { *v += 1 } else { update(flow, 1) }
+	insns := []ebpf.Instruction{
+		// key = ctx.flow_id (low 32 bits) on stack
+		ebpf.LoadMem(ebpf.SizeW, ebpf.R6, ebpf.R1, int16(xabi.CtxOffFlowID)),
+		ebpf.StoreMem(ebpf.SizeW, ebpf.R10, ebpf.R6, -4),
+	}
+	insns = append(insns, ebpf.LoadImm64(ebpf.R1, mapBase)...)
+	insns = append(insns,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R2, -4),
+		ebpf.Call(xabi.HelperMapLookup),
+		ebpf.JmpImm(ebpf.JmpJEQ, ebpf.R0, 0, 4), // miss → insert
+		// hit: increment in place
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R7, ebpf.R0, 0),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R7, 1),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R0, ebpf.R7, 0),
+		ebpf.Ja(9), // skip insert path (lddw counts as 2)
+		// miss: value = 1 on stack, update
+		ebpf.StoreImm(ebpf.SizeDW, ebpf.R10, -16, 1),
+	)
+	insns = append(insns, ebpf.LoadImm64(ebpf.R1, mapBase)...)
+	insns = append(insns,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R2, -4),
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R10),
+		ebpf.Alu64Imm(ebpf.AluAdd, ebpf.R3, -16),
+		ebpf.Mov64Imm(ebpf.R4, 0),
+		ebpf.Call(xabi.HelperMapUpdate),
+		ebpf.Mov64Imm(ebpf.R0, 1),
+		ebpf.Exit(),
+	)
+	p := ebpf.NewProgram("flowcnt", ebpf.ProgTypeSocketFilter, insns, spec)
+
+	ctx := make([]byte, xabi.CtxSize)
+	for i := 0; i < 5; i++ {
+		binary.LittleEndian.PutUint64(ctx[xabi.CtxOffFlowID:], 7)
+		if _, err := New(Options{Env: env}).Run(p, ctx); err != nil {
+			t.Fatalf("invocation %d: %v", i, err)
+		}
+	}
+	binary.LittleEndian.PutUint64(ctx[xabi.CtxOffFlowID:], 9)
+	if _, err := New(Options{Env: env}).Run(p, ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, found, _ := view.Lookup([]byte{7, 0, 0, 0})
+	if !found {
+		t.Fatal("flow 7 missing")
+	}
+	if got, _ := env.Mem.ReadMem(addr, 8); got != 5 {
+		t.Errorf("flow 7 count = %d, want 5", got)
+	}
+	addr, found, _ = view.Lookup([]byte{9, 0, 0, 0})
+	if !found {
+		t.Fatal("flow 9 missing")
+	}
+	if got, _ := env.Mem.ReadMem(addr, 8); got != 1 {
+		t.Errorf("flow 9 count = %d, want 1", got)
+	}
+}

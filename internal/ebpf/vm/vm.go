@@ -1,0 +1,285 @@
+// Package vm interprets eBPF programs against the shared extension ABI.
+//
+// The interpreter is the reference semantics for the toolchain: the JIT's
+// native output must agree with it instruction for instruction (a property
+// the test suites check with randomized programs). It enforces a fuel limit
+// as defense in depth — verified programs cannot loop, but the VM is also
+// used on unverified inputs in tests.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"rdx/internal/ebpf"
+	"rdx/internal/xabi"
+)
+
+// ErrFuel is returned when execution exceeds the instruction budget.
+var ErrFuel = errors.New("vm: fuel exhausted")
+
+// Options configure one VM instance.
+type Options struct {
+	// Fuel bounds executed instructions per invocation (default 1<<22).
+	Fuel int
+	// Env supplies memory, maps, clock, and PRNG to helpers.
+	Env *xabi.Env
+	// Helpers overrides the default helper table (id → implementation).
+	Helpers map[int32]xabi.HelperFn
+}
+
+// VM executes eBPF bytecode. A VM is not safe for concurrent use; create
+// one per executing goroutine (they are cheap).
+type VM struct {
+	fuel    int
+	env     *xabi.Env
+	helpers map[int32]xabi.HelperFn
+
+	stack [xabi.StackSize]byte
+	mem   *xabi.RegionMemory
+}
+
+// New creates a VM. If opts.Env is nil an empty environment with a private
+// region memory is used.
+func New(opts Options) *VM {
+	v := &VM{
+		fuel:    opts.Fuel,
+		env:     opts.Env,
+		helpers: opts.Helpers,
+	}
+	if v.fuel == 0 {
+		v.fuel = 1 << 22
+	}
+	if v.env == nil {
+		v.env = &xabi.Env{}
+	}
+	if v.helpers == nil {
+		v.helpers = DefaultHelpers()
+	}
+	return v
+}
+
+// Run executes the program with ctx mapped at xabi.CtxBase and R1 pointing
+// at it. It returns R0.
+//
+// The VM builds a per-invocation memory with three parts: the caller's
+// environment memory (map values etc.), the context, and a fresh stack.
+func (v *VM) Run(p *ebpf.Program, ctx []byte) (uint64, error) {
+	if len(ctx) > xabi.CtxSize {
+		return 0, fmt.Errorf("vm: ctx of %d bytes exceeds %d", len(ctx), xabi.CtxSize)
+	}
+	ctxBuf := make([]byte, xabi.CtxSize)
+	copy(ctxBuf, ctx)
+
+	for i := range v.stack {
+		v.stack[i] = 0
+	}
+	invMem := xabi.NewOverlay(v.env.Mem, ctxBuf, v.stack[:])
+	env := *v.env
+	env.Mem = invMem
+
+	r0, err := v.exec(p, &env)
+	if err != nil {
+		return 0, err
+	}
+	// Results written into the context (e.g. the verdict slot) are visible
+	// to the caller through ctx if it aliased; copy back for safety.
+	copy(ctx, ctxBuf[:len(ctx)])
+	return r0, nil
+}
+
+// exec is the interpreter loop.
+func (v *VM) exec(p *ebpf.Program, env *xabi.Env) (uint64, error) {
+	var regs [ebpf.NumRegs]uint64
+	regs[ebpf.R1] = xabi.CtxBase
+	regs[ebpf.R10] = xabi.StackBase
+
+	insns := p.Insns
+	fuel := v.fuel
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(insns) {
+			return 0, fmt.Errorf("vm: pc %d out of range", pc)
+		}
+		if fuel--; fuel < 0 {
+			return 0, ErrFuel
+		}
+		ins := insns[pc]
+
+		switch ins.Class() {
+		case ebpf.ClassALU64, ebpf.ClassALU:
+			var src uint64
+			if ins.UsesX() {
+				src = regs[ins.Src]
+			} else {
+				src = uint64(int64(ins.Imm)) // sign-extended
+			}
+			dst := regs[ins.Dst]
+			is32 := ins.Class() == ebpf.ClassALU
+			if is32 {
+				dst = uint64(uint32(dst))
+				src = uint64(uint32(src))
+			}
+			var out uint64
+			switch ins.AluOp() {
+			case ebpf.AluAdd:
+				out = dst + src
+			case ebpf.AluSub:
+				out = dst - src
+			case ebpf.AluMul:
+				out = dst * src
+			case ebpf.AluDiv:
+				if is32 {
+					if uint32(src) == 0 {
+						out = 0
+					} else {
+						out = uint64(uint32(dst) / uint32(src))
+					}
+				} else if src == 0 {
+					out = 0
+				} else {
+					out = dst / src
+				}
+			case ebpf.AluMod:
+				if is32 {
+					if uint32(src) == 0 {
+						out = dst
+					} else {
+						out = uint64(uint32(dst) % uint32(src))
+					}
+				} else if src == 0 {
+					out = dst
+				} else {
+					out = dst % src
+				}
+			case ebpf.AluOr:
+				out = dst | src
+			case ebpf.AluAnd:
+				out = dst & src
+			case ebpf.AluLsh:
+				if is32 {
+					out = uint64(uint32(dst) << (src & 31))
+				} else {
+					out = dst << (src & 63)
+				}
+			case ebpf.AluRsh:
+				if is32 {
+					out = uint64(uint32(dst) >> (src & 31))
+				} else {
+					out = dst >> (src & 63)
+				}
+			case ebpf.AluArsh:
+				if is32 {
+					out = uint64(uint32(int32(dst) >> (src & 31)))
+				} else {
+					out = uint64(int64(dst) >> (src & 63))
+				}
+			case ebpf.AluNeg:
+				out = -dst
+			case ebpf.AluXor:
+				out = dst ^ src
+			case ebpf.AluMov:
+				out = src
+			default:
+				return 0, fmt.Errorf("vm: pc %d: bad ALU op %#x", pc, ins.AluOp())
+			}
+			if is32 {
+				out = uint64(uint32(out))
+			}
+			regs[ins.Dst] = out
+			pc++
+
+		case ebpf.ClassLD: // LDDW
+			if !ins.IsLDDW() || pc+1 >= len(insns) {
+				return 0, fmt.Errorf("vm: pc %d: malformed LDDW", pc)
+			}
+			regs[ins.Dst] = ebpf.Imm64(ins, insns[pc+1])
+			pc += 2
+
+		case ebpf.ClassLDX:
+			addr := regs[ins.Src] + uint64(int64(ins.Off))
+			val, err := env.Mem.ReadMem(addr, ins.MemSize())
+			if err != nil {
+				return 0, fmt.Errorf("vm: pc %d: %w", pc, err)
+			}
+			regs[ins.Dst] = val
+			pc++
+
+		case ebpf.ClassSTX:
+			addr := regs[ins.Dst] + uint64(int64(ins.Off))
+			if err := env.Mem.WriteMem(addr, ins.MemSize(), regs[ins.Src]); err != nil {
+				return 0, fmt.Errorf("vm: pc %d: %w", pc, err)
+			}
+			pc++
+
+		case ebpf.ClassST:
+			addr := regs[ins.Dst] + uint64(int64(ins.Off))
+			if err := env.Mem.WriteMem(addr, ins.MemSize(), uint64(int64(ins.Imm))); err != nil {
+				return 0, fmt.Errorf("vm: pc %d: %w", pc, err)
+			}
+			pc++
+
+		case ebpf.ClassJMP:
+			switch ins.JmpOp() {
+			case ebpf.JmpExit:
+				return regs[ebpf.R0], nil
+			case ebpf.JmpCall:
+				fn, ok := v.helpers[ins.Imm]
+				if !ok {
+					return 0, fmt.Errorf("vm: pc %d: unknown helper %d", pc, ins.Imm)
+				}
+				r0, err := fn(env, regs[ebpf.R1], regs[ebpf.R2], regs[ebpf.R3], regs[ebpf.R4], regs[ebpf.R5])
+				if err != nil {
+					return 0, fmt.Errorf("vm: pc %d: helper %s: %w", pc, xabi.HelperName(int(ins.Imm)), err)
+				}
+				regs[ebpf.R0] = r0
+				pc++
+			case ebpf.JmpJA:
+				pc += 1 + int(ins.Off)
+			default:
+				var src uint64
+				if ins.UsesX() {
+					src = regs[ins.Src]
+				} else {
+					src = uint64(int64(ins.Imm))
+				}
+				dst := regs[ins.Dst]
+				var taken bool
+				switch ins.JmpOp() {
+				case ebpf.JmpJEQ:
+					taken = dst == src
+				case ebpf.JmpJNE:
+					taken = dst != src
+				case ebpf.JmpJGT:
+					taken = dst > src
+				case ebpf.JmpJGE:
+					taken = dst >= src
+				case ebpf.JmpJLT:
+					taken = dst < src
+				case ebpf.JmpJLE:
+					taken = dst <= src
+				case ebpf.JmpJSET:
+					taken = dst&src != 0
+				case ebpf.JmpJSGT:
+					taken = int64(dst) > int64(src)
+				case ebpf.JmpJSGE:
+					taken = int64(dst) >= int64(src)
+				case ebpf.JmpJSLT:
+					taken = int64(dst) < int64(src)
+				case ebpf.JmpJSLE:
+					taken = int64(dst) <= int64(src)
+				default:
+					return 0, fmt.Errorf("vm: pc %d: bad JMP op %#x", pc, ins.JmpOp())
+				}
+				if taken {
+					pc += 1 + int(ins.Off)
+				} else {
+					pc++
+				}
+			}
+
+		default:
+			return 0, fmt.Errorf("vm: pc %d: bad class %#x", pc, ins.Class())
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"rdx/internal/ebpf"
+	"rdx/internal/xabi"
+)
+
+func run(t *testing.T, insns []ebpf.Instruction, ctx []byte) uint64 {
+	t.Helper()
+	p := ebpf.NewProgram("t", ebpf.ProgTypeSocketFilter, insns)
+	v := New(Options{})
+	r0, err := v.Run(p, ctx)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return r0
+}
+
+func TestReturnImmediate(t *testing.T) {
+	if got := run(t, []ebpf.Instruction{ebpf.Mov64Imm(ebpf.R0, 42), ebpf.Exit()}, nil); got != 42 {
+		t.Errorf("r0 = %d", got)
+	}
+}
+
+func TestSignExtensionOfImm(t *testing.T) {
+	if got := run(t, []ebpf.Instruction{ebpf.Mov64Imm(ebpf.R0, -1), ebpf.Exit()}, nil); got != ^uint64(0) {
+		t.Errorf("r0 = %#x, want all ones", got)
+	}
+}
+
+func TestAlu64Ops(t *testing.T) {
+	cases := []struct {
+		op   uint8
+		a, b int32
+		want uint64
+	}{
+		{ebpf.AluAdd, 7, 3, 10},
+		{ebpf.AluSub, 7, 3, 4},
+		{ebpf.AluMul, 7, 3, 21},
+		{ebpf.AluDiv, 7, 3, 2},
+		{ebpf.AluMod, 7, 3, 1},
+		{ebpf.AluOr, 0b100, 0b010, 0b110},
+		{ebpf.AluAnd, 0b110, 0b010, 0b010},
+		{ebpf.AluXor, 0b110, 0b010, 0b100},
+		{ebpf.AluLsh, 1, 4, 16},
+		{ebpf.AluRsh, 16, 4, 1},
+	}
+	for _, c := range cases {
+		got := run(t, []ebpf.Instruction{
+			ebpf.Mov64Imm(ebpf.R0, c.a),
+			ebpf.Mov64Imm(ebpf.R1, c.b),
+			ebpf.Alu64Reg(c.op, ebpf.R0, ebpf.R1),
+			ebpf.Exit(),
+		}, nil)
+		if got != c.want {
+			t.Errorf("op %#x: %d ? %d = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivModByZeroDefined(t *testing.T) {
+	// BPF semantics: x/0 = 0, x%0 = x.
+	got := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, 7),
+		ebpf.Mov64Imm(ebpf.R1, 0),
+		ebpf.Alu64Reg(ebpf.AluDiv, ebpf.R0, ebpf.R1),
+		ebpf.Exit(),
+	}, nil)
+	if got != 0 {
+		t.Errorf("7/0 = %d, want 0", got)
+	}
+	got = run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, 7),
+		ebpf.Mov64Imm(ebpf.R1, 0),
+		ebpf.Alu64Reg(ebpf.AluMod, ebpf.R0, ebpf.R1),
+		ebpf.Exit(),
+	}, nil)
+	if got != 7 {
+		t.Errorf("7%%0 = %d, want 7", got)
+	}
+}
+
+func TestArsh(t *testing.T) {
+	got := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, -16),
+		ebpf.Alu64Imm(ebpf.AluArsh, ebpf.R0, 2),
+		ebpf.Exit(),
+	}, nil)
+	if int64(got) != -4 {
+		t.Errorf("-16 >> 2 (arith) = %d, want -4", int64(got))
+	}
+}
+
+func TestAlu32Truncation(t *testing.T) {
+	got := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, -1),             // all ones
+		ebpf.Alu32Imm(ebpf.AluAdd, ebpf.R0, 1), // 32-bit add → wraps to 0, zero-extends
+		ebpf.Exit(),
+	}, nil)
+	if got != 0 {
+		t.Errorf("32-bit wrap = %#x, want 0", got)
+	}
+	got = run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, -1),
+		ebpf.Mov32Imm(ebpf.R0, 5), // 32-bit mov zeroes upper half
+		ebpf.Exit(),
+	}, nil)
+	if got != 5 {
+		t.Errorf("mov32 = %#x, want 5", got)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	got := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R0, 5),
+		ebpf.Neg64(ebpf.R0),
+		ebpf.Exit(),
+	}, nil)
+	if int64(got) != -5 {
+		t.Errorf("neg 5 = %d", int64(got))
+	}
+}
+
+func TestLoadImm64(t *testing.T) {
+	insns := append(ebpf.LoadImm64(ebpf.R0, 0xDEADBEEF12345678), ebpf.Exit())
+	if got := run(t, insns, nil); got != 0xDEADBEEF12345678 {
+		t.Errorf("lddw = %#x", got)
+	}
+}
+
+func TestJumps(t *testing.T) {
+	// Signed and unsigned comparisons.
+	cases := []struct {
+		op    uint8
+		a     int32
+		b     int32
+		taken bool
+	}{
+		{ebpf.JmpJEQ, 5, 5, true},
+		{ebpf.JmpJNE, 5, 5, false},
+		{ebpf.JmpJGT, 6, 5, true},
+		{ebpf.JmpJGE, 5, 5, true},
+		{ebpf.JmpJLT, -1, 5, false}, // unsigned: -1 is huge
+		{ebpf.JmpJLE, 4, 5, true},
+		{ebpf.JmpJSLT, -1, 5, true}, // signed
+		{ebpf.JmpJSGT, -1, 5, false},
+		{ebpf.JmpJSGE, 5, 5, true},
+		{ebpf.JmpJSLE, -9, -9, true},
+		{ebpf.JmpJSET, 0b101, 0b100, true},
+		{ebpf.JmpJSET, 0b101, 0b010, false},
+	}
+	for _, c := range cases {
+		got := run(t, []ebpf.Instruction{
+			ebpf.Mov64Imm(ebpf.R1, c.a),
+			ebpf.JmpImm(c.op, ebpf.R1, c.b, 2),
+			ebpf.Mov64Imm(ebpf.R0, 0), // not taken
+			ebpf.Ja(1),
+			ebpf.Mov64Imm(ebpf.R0, 1), // taken
+			ebpf.Exit(),
+		}, nil)
+		want := uint64(0)
+		if c.taken {
+			want = 1
+		}
+		if got != want {
+			t.Errorf("jmp %#x %d vs %d: taken=%v, want %v", c.op, c.a, c.b, got == 1, c.taken)
+		}
+	}
+}
+
+func TestStackLoadStore(t *testing.T) {
+	got := run(t, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 0x1234),
+		ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, ebpf.R1, -8),
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R10, -8),
+		ebpf.Exit(),
+	}, nil)
+	if got != 0x1234 {
+		t.Errorf("stack round trip = %#x", got)
+	}
+}
+
+func TestSubByteLoads(t *testing.T) {
+	// Store a dword, read back a byte and a half-word.
+	got := run(t, []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeDW, ebpf.R10, -8, 0x11223344),
+		ebpf.LoadMem(ebpf.SizeB, ebpf.R0, ebpf.R10, -8), // LE low byte
+		ebpf.Exit(),
+	}, nil)
+	if got != 0x44 {
+		t.Errorf("byte load = %#x, want 0x44", got)
+	}
+	got = run(t, []ebpf.Instruction{
+		ebpf.StoreImm(ebpf.SizeDW, ebpf.R10, -8, 0x11223344),
+		ebpf.LoadMem(ebpf.SizeH, ebpf.R0, ebpf.R10, -6), // bytes 2-3
+		ebpf.Exit(),
+	}, nil)
+	if got != 0x1122 {
+		t.Errorf("half load = %#x, want 0x1122", got)
+	}
+}
+
+func TestCtxReadAndVerdictWrite(t *testing.T) {
+	ctx := make([]byte, xabi.CtxSize)
+	binary.LittleEndian.PutUint32(ctx[xabi.CtxOffDataLen:], 777)
+	got := run(t, []ebpf.Instruction{
+		ebpf.LoadMem(ebpf.SizeW, ebpf.R0, ebpf.R1, int16(xabi.CtxOffDataLen)),
+		ebpf.StoreImm(ebpf.SizeW, ebpf.R1, int16(xabi.CtxOffVerdict), 2),
+		ebpf.Exit(),
+	}, ctx)
+	if got != 777 {
+		t.Errorf("ctx read = %d", got)
+	}
+	if v := binary.LittleEndian.Uint32(ctx[xabi.CtxOffVerdict:]); v != 2 {
+		t.Errorf("verdict = %d, want 2 (write-back)", v)
+	}
+}
+
+func TestOutOfBoundsFaults(t *testing.T) {
+	p := ebpf.NewProgram("t", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 0x40), // arbitrary unmapped address
+		ebpf.LoadMem(ebpf.SizeDW, ebpf.R0, ebpf.R1, 0),
+		ebpf.Exit(),
+	})
+	v := New(Options{})
+	if _, err := v.Run(p, nil); !errors.Is(err, xabi.ErrFault) {
+		t.Errorf("unmapped load: %v, want fault", err)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	// An (unverifiable) infinite loop must hit the fuel limit.
+	p := ebpf.NewProgram("loop", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{
+		ebpf.Ja(-1),
+	})
+	v := New(Options{Fuel: 1000})
+	if _, err := v.Run(p, nil); !errors.Is(err, ErrFuel) {
+		t.Errorf("err = %v, want ErrFuel", err)
+	}
+}
+
+func TestUnknownHelperFaults(t *testing.T) {
+	p := ebpf.NewProgram("t", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{
+		ebpf.Call(4242),
+		ebpf.Exit(),
+	})
+	v := New(Options{})
+	if _, err := v.Run(p, nil); err == nil || !strings.Contains(err.Error(), "unknown helper") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHelperKtimeAndRand(t *testing.T) {
+	env := &xabi.Env{
+		NowNS:   func() uint64 { return 1234567 },
+		RandU32: func() uint32 { return 99 },
+		CPUID:   3,
+	}
+	p := ebpf.NewProgram("t", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{
+		ebpf.Call(xabi.HelperKtimeGetNS),
+		ebpf.Exit(),
+	})
+	v := New(Options{Env: env})
+	r0, err := v.Run(p, nil)
+	if err != nil || r0 != 1234567 {
+		t.Errorf("ktime = %d err=%v", r0, err)
+	}
+
+	p2 := ebpf.NewProgram("t", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{
+		ebpf.Call(xabi.HelperGetPrandomU32),
+		ebpf.Exit(),
+	})
+	r0, err = New(Options{Env: env}).Run(p2, nil)
+	if err != nil || r0 != 99 {
+		t.Errorf("prandom = %d err=%v", r0, err)
+	}
+
+	p3 := ebpf.NewProgram("t", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{
+		ebpf.Call(xabi.HelperGetSmpCPUID),
+		ebpf.Exit(),
+	})
+	r0, err = New(Options{Env: env}).Run(p3, nil)
+	if err != nil || r0 != 3 {
+		t.Errorf("cpuid = %d err=%v", r0, err)
+	}
+}
+
+func TestHelperLogSink(t *testing.T) {
+	var msgs []string
+	env := &xabi.Env{LogSink: func(m string) { msgs = append(msgs, m) }}
+	p := ebpf.NewProgram("t", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{
+		ebpf.Mov64Imm(ebpf.R1, 55),
+		ebpf.Call(xabi.HelperTracePrintk),
+		ebpf.Exit(),
+	})
+	if _, err := New(Options{Env: env}).Run(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "55") {
+		t.Errorf("log messages: %v", msgs)
+	}
+}
+
+func TestCtxTooLarge(t *testing.T) {
+	p := ebpf.NewProgram("t", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit()})
+	if _, err := New(Options{}).Run(p, make([]byte, xabi.CtxSize+1)); err == nil {
+		t.Error("oversized ctx accepted")
+	}
+}
+
+func TestPcOutOfRange(t *testing.T) {
+	// Unverified jump off the end (bypass verifier deliberately).
+	p := ebpf.NewProgram("t", ebpf.ProgTypeSocketFilter, []ebpf.Instruction{ebpf.Ja(5)})
+	if _, err := New(Options{}).Run(p, nil); err == nil {
+		t.Error("pc escape undetected")
+	}
+}

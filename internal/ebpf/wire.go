@@ -1,0 +1,117 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rdx/internal/xabi"
+)
+
+// Marshal serializes a program to the wire form used between users, the
+// control plane, and (in the agent baseline) node agents:
+//
+//	[2B nameLen][name][4B type][1B license len][license]
+//	[2B mapCount] per map: [2B nameLen][name][4B type][4B key][4B val][4B max]
+//	[4B insnBytes][bytecode]
+func Marshal(p *Program) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Name)))
+	b = append(b, p.Name...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Type))
+	b = append(b, uint8(len(p.License)))
+	b = append(b, p.License...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Maps)))
+	for _, m := range p.Maps {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Name)))
+		b = append(b, m.Name...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.Type))
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.KeySize))
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.ValueSize))
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.MaxEntries))
+	}
+	code := Encode(p.Insns)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(code)))
+	return append(b, code...)
+}
+
+// Unmarshal parses the wire form produced by Marshal.
+func Unmarshal(b []byte) (*Program, error) {
+	r := wireReader{b: b}
+	name := r.str16()
+	typ := ProgramType(r.u32())
+	license := r.str8()
+	nMaps := int(r.u16())
+	if nMaps > 256 {
+		return nil, fmt.Errorf("ebpf: implausible map count %d", nMaps)
+	}
+	maps := make([]MapSpec, 0, nMaps)
+	for i := 0; i < nMaps && r.err == nil; i++ {
+		maps = append(maps, MapSpec{
+			Name:       r.str16(),
+			Type:       xabi.MapType(r.u32()),
+			KeySize:    int(r.u32()),
+			ValueSize:  int(r.u32()),
+			MaxEntries: int(r.u32()),
+		})
+	}
+	codeLen := int(r.u32())
+	code := r.bytes(codeLen)
+	if r.err != nil {
+		return nil, fmt.Errorf("ebpf: unmarshal: %w", r.err)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("ebpf: %d trailing bytes", len(b)-r.off)
+	}
+	insns, err := Decode(code)
+	if err != nil {
+		return nil, err
+	}
+	p := NewProgram(name, typ, insns, maps...)
+	p.License = license
+	return p, nil
+}
+
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.err = fmt.Errorf("truncated at %d (+%d)", r.off, n)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *wireReader) u16() uint16 {
+	b := r.bytes(2)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.bytes(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *wireReader) str16() string { return string(r.bytes(int(r.u16()))) }
+
+func (r *wireReader) str8() string {
+	b := r.bytes(1)
+	if r.err != nil {
+		return ""
+	}
+	return string(r.bytes(int(b[0])))
+}

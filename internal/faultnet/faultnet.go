@@ -1,0 +1,88 @@
+// Package faultnet injects transport faults for reliability testing — the
+// paper's future-work direction #4 ("fault injection for reliability
+// testing"). It wraps any net.Conn with deterministic failure behavior:
+// kill the connection after N operations, delay every operation, or corrupt
+// a payload byte — so tests can prove the control plane degrades cleanly
+// (errors surface, no partial state is published, reconnection recovers).
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Options configure fault behavior. Zero values disable each fault.
+type Options struct {
+	// FailAfterOps kills the connection on the Nth Read/Write call.
+	FailAfterOps int64
+	// DelayPerOp stalls every Read/Write by this duration.
+	DelayPerOp time.Duration
+	// CorruptOp flips a bit in the payload of the Nth Write (1-based).
+	CorruptOp int64
+}
+
+// ErrInjected marks failures produced by the wrapper.
+var ErrInjected = fmt.Errorf("faultnet: injected failure")
+
+// Conn is a fault-injecting net.Conn.
+type Conn struct {
+	net.Conn
+	opts      Options
+	failAfter atomic.Int64
+	ops       atomic.Int64
+	dead      atomic.Bool
+}
+
+// Wrap decorates conn with fault injection.
+func Wrap(conn net.Conn, opts Options) *Conn {
+	c := &Conn{Conn: conn, opts: opts}
+	c.failAfter.Store(opts.FailAfterOps)
+	return c
+}
+
+// Ops reports how many Read/Write calls have passed through.
+func (c *Conn) Ops() int64 { return c.ops.Load() }
+
+// SetFailAfterOps (re)arms the kill switch: the connection dies on the Nth
+// operation. Useful to let a setup phase complete before the fault fires.
+func (c *Conn) SetFailAfterOps(n int64) { c.failAfter.Store(n) }
+
+func (c *Conn) step() (int64, error) {
+	if c.dead.Load() {
+		return 0, ErrInjected
+	}
+	n := c.ops.Add(1)
+	if c.opts.DelayPerOp > 0 {
+		time.Sleep(c.opts.DelayPerOp)
+	}
+	if fa := c.failAfter.Load(); fa > 0 && n >= fa {
+		c.dead.Store(true)
+		c.Conn.Close()
+		return n, ErrInjected
+	}
+	return n, nil
+}
+
+// Read implements net.Conn with fault injection.
+func (c *Conn) Read(p []byte) (int, error) {
+	if _, err := c.step(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn with fault injection.
+func (c *Conn) Write(p []byte) (int, error) {
+	n, err := c.step()
+	if err != nil {
+		return 0, err
+	}
+	if c.opts.CorruptOp > 0 && n == c.opts.CorruptOp && len(p) > 0 {
+		corrupted := append([]byte(nil), p...)
+		corrupted[len(corrupted)/2] ^= 0x40
+		return c.Conn.Write(corrupted)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,117 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func pipePair() (net.Conn, net.Conn) {
+	return net.Pipe()
+}
+
+func TestPassThrough(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	fc := Wrap(a, Options{})
+	go b.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("read %q", buf)
+	}
+	if fc.Ops() != 1 {
+		t.Errorf("ops = %d", fc.Ops())
+	}
+}
+
+func TestFailAfterOps(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Options{FailAfterOps: 2})
+	go func() {
+		buf := make([]byte, 8)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := fc.Write([]byte("one")); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := fc.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2: %v, want ErrInjected", err)
+	}
+	// Dead forever after.
+	if _, err := fc.Write([]byte("three")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-death write: %v", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-death read: %v", err)
+	}
+}
+
+func TestSetFailAfterOpsRearm(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Options{})
+	go func() {
+		buf := make([]byte, 8)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := fc.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.SetFailAfterOps(fc.Ops() + 1)
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("armed op: %v", err)
+	}
+}
+
+func TestDelayPerOp(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Options{DelayPerOp: 5 * time.Millisecond})
+	go func() {
+		buf := make([]byte, 8)
+		b.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 5*time.Millisecond {
+		t.Errorf("write took %v, delay not applied", el)
+	}
+}
+
+func TestCorruptOp(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	fc := Wrap(a, Options{CorruptOp: 1})
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 4)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	if _, err := fc.Write([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	recv := <-got
+	if recv[2] != 0x40 {
+		t.Errorf("corruption missing: % x", recv)
+	}
+}

@@ -1,0 +1,243 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"rdx/internal/telemetry"
+)
+
+// Client is a pipelining KV client.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 32<<10),
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Reply is one decoded server response.
+type Reply struct {
+	Kind  byte // '+', '-', ':', '$'
+	Str   string
+	Int   int64
+	Bulk  []byte
+	IsNil bool
+}
+
+// Err returns a non-nil error for '-' replies.
+func (r Reply) Err() error {
+	if r.Kind == '-' {
+		return fmt.Errorf("kvstore: %s", r.Str)
+	}
+	return nil
+}
+
+// Do sends one command and reads its reply.
+func (c *Client) Do(args ...string) (Reply, error) {
+	replies, err := c.Pipeline([][]string{args})
+	if err != nil {
+		return Reply{}, err
+	}
+	return replies[0], nil
+}
+
+// Pipeline sends a batch of commands back-to-back, then reads all replies.
+func (c *Client) Pipeline(cmds [][]string) ([]Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, args := range cmds {
+		if err := writeCommand(c.bw, args); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]Reply, 0, len(cmds))
+	for range cmds {
+		r, err := readReply(c.br)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Set stores key=value.
+func (c *Client) Set(key, value string) error {
+	r, err := c.Do("SET", key, value)
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// Get fetches key; found is false for missing keys.
+func (c *Client) Get(key string) (value []byte, found bool, err error) {
+	r, err := c.Do("GET", key)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, false, err
+	}
+	if r.IsNil {
+		return nil, false, nil
+	}
+	return r.Bulk, true, nil
+}
+
+// Incr increments key and returns the new value.
+func (c *Client) Incr(key string) (int64, error) {
+	r, err := c.Do("INCR", key)
+	if err != nil {
+		return 0, err
+	}
+	return r.Int, r.Err()
+}
+
+func writeCommand(bw *bufio.Writer, args []string) error {
+	if _, err := bw.WriteString("*" + strconv.Itoa(len(args)) + "\r\n"); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if _, err := bw.WriteString("$" + strconv.Itoa(len(a)) + "\r\n" + a + "\r\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readReply(br *bufio.Reader) (Reply, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) == 0 {
+		return Reply{}, fmt.Errorf("kvstore: empty reply")
+	}
+	r := Reply{Kind: line[0]}
+	body := string(line[1:])
+	switch r.Kind {
+	case '+', '-':
+		r.Str = body
+		return r, nil
+	case ':':
+		r.Int, err = strconv.ParseInt(body, 10, 64)
+		return r, err
+	case '$':
+		n, err := strconv.Atoi(body)
+		if err != nil {
+			return r, err
+		}
+		if n < 0 {
+			r.IsNil = true
+			return r, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := readFull(br, buf); err != nil {
+			return r, err
+		}
+		r.Bulk = buf[:n]
+		return r, nil
+	default:
+		return r, fmt.Errorf("kvstore: unknown reply kind %q", r.Kind)
+	}
+}
+
+// LoadResult reports a load-generation run.
+type LoadResult struct {
+	Offered  float64 // target req/s
+	Achieved float64 // measured req/s
+	Sent     uint64
+	Errors   uint64
+	Dropped  uint64 // '-ERR denied' replies (extension drops)
+	Latency  *telemetry.Histogram
+	Elapsed  time.Duration
+}
+
+// LoadGen drives SET/GET traffic at a target open-loop rate for the given
+// duration using conns parallel connections, measuring achieved throughput
+// and per-request latency.
+func LoadGen(dial func() (net.Conn, error), rate float64, duration time.Duration, conns int) (*LoadResult, error) {
+	if conns <= 0 {
+		conns = 4
+	}
+	res := &LoadResult{Offered: rate, Latency: telemetry.NewHistogram()}
+	var mu sync.Mutex
+
+	interval := time.Duration(float64(time.Second) / rate * float64(conns))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(w int, conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			client := NewClient(conn)
+			var sent, errs, dropped uint64
+			next := start.Add(time.Duration(w) * interval / time.Duration(conns))
+			i := 0
+			for time.Since(start) < duration {
+				now := time.Now()
+				if now.Before(next) {
+					time.Sleep(next.Sub(now))
+				}
+				next = next.Add(interval)
+
+				key := "key" + strconv.Itoa((w*9973+i)%512)
+				i++
+				t0 := time.Now()
+				var r Reply
+				var err error
+				if i%5 == 0 {
+					r, err = client.Do("SET", key, "value-"+strconv.Itoa(i))
+				} else {
+					r, err = client.Do("GET", key)
+				}
+				lat := time.Since(t0)
+				sent++
+				if err != nil {
+					errs++
+					continue
+				}
+				if r.Kind == '-' {
+					dropped++
+					continue
+				}
+				res.Latency.RecordDuration(lat)
+			}
+			mu.Lock()
+			res.Sent += sent
+			res.Errors += errs
+			res.Dropped += dropped
+			mu.Unlock()
+		}(w, conn)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	completed := res.Latency.Count()
+	res.Achieved = float64(completed) / res.Elapsed.Seconds()
+	return res, nil
+}

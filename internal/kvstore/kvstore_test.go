@@ -1,0 +1,182 @@
+package kvstore
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rdx/internal/ext"
+	"rdx/internal/native"
+	"rdx/internal/node"
+	"rdx/internal/rdma"
+	"rdx/internal/udf"
+)
+
+func newKV(t *testing.T, hook string) (*Server, *Client, *node.Node, func() (net.Conn, error)) {
+	t.Helper()
+	hooks := []string{"kv"}
+	n, err := node.New(node.Config{ID: "kv0", Hooks: hooks, Latency: rdma.NoLatency(), Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(n, hook)
+	srv.BaseCost = 0 // keep unit tests fast
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	dial := func() (net.Conn, error) { return net.Dial("tcp", l.Addr().String()) }
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	t.Cleanup(func() {
+		c.Close()
+		l.Close()
+		n.Close()
+	})
+	return srv, c, n, dial
+}
+
+func TestSetGetDel(t *testing.T) {
+	_, c, _, _ := newKV(t, "")
+	if err := c.Set("alpha", "one"); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get("alpha")
+	if err != nil || !found || string(v) != "one" {
+		t.Fatalf("get: %q %v %v", v, found, err)
+	}
+	_, found, err = c.Get("missing")
+	if err != nil || found {
+		t.Fatalf("missing key: found=%v err=%v", found, err)
+	}
+	r, err := c.Do("DEL", "alpha")
+	if err != nil || r.Int != 1 {
+		t.Fatalf("del: %+v %v", r, err)
+	}
+	if _, found, _ = c.Get("alpha"); found {
+		t.Error("key survived DEL")
+	}
+	r, _ = c.Do("DEL", "alpha")
+	if r.Int != 0 {
+		t.Errorf("second del = %d", r.Int)
+	}
+}
+
+func TestIncrAndPing(t *testing.T) {
+	_, c, _, _ := newKV(t, "")
+	for want := int64(1); want <= 3; want++ {
+		got, err := c.Incr("ctr")
+		if err != nil || got != want {
+			t.Fatalf("incr: %d %v", got, err)
+		}
+	}
+	r, err := c.Do("PING")
+	if err != nil || r.Str != "PONG" {
+		t.Fatalf("ping: %+v %v", r, err)
+	}
+	r, _ = c.Do("DBSIZE")
+	if r.Int != 1 {
+		t.Errorf("dbsize = %d", r.Int)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, c, _, _ := newKV(t, "")
+	r, err := c.Do("SET", "only-key")
+	if err != nil || r.Kind != '-' {
+		t.Fatalf("arity error: %+v %v", r, err)
+	}
+	r, _ = c.Do("NOPE")
+	if r.Kind != '-' || !strings.Contains(r.Str, "unknown command") {
+		t.Errorf("unknown command: %+v", r)
+	}
+}
+
+func TestBinarySafety(t *testing.T) {
+	_, c, _, _ := newKV(t, "")
+	val := "line1\r\nline2\x00binary"
+	if err := c.Set("bin", val); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get("bin")
+	if err != nil || !found || string(v) != val {
+		t.Fatalf("binary round trip: %q", v)
+	}
+}
+
+func TestPipelining(t *testing.T) {
+	_, c, _, _ := newKV(t, "")
+	cmds := make([][]string, 20)
+	for i := range cmds {
+		cmds[i] = []string{"INCR", "pipelined"}
+	}
+	replies, err := c.Pipeline(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 20 || replies[19].Int != 20 {
+		t.Errorf("pipeline: %d replies, last=%d", len(replies), replies[len(replies)-1].Int)
+	}
+}
+
+func TestPerQueryUDFDropsCommands(t *testing.T) {
+	// Inject a UDF that denies SETs (proto == 2): the per-query extension
+	// use case from the paper's Obs. #1.
+	srv, c, n, _ := newKV(t, "kv")
+	_ = srv
+
+	// Local-load the UDF through an agent-style path (the core package has
+	// its own end-to-end tests; here local loading keeps the test focused).
+	p, err := udf.New("deny-writes", "proto != 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ext.FromUDF(p)
+	bin, err := e.Compile(n.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := native.Link(bin, n.LocalResolver(nil)); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := n.WriteBlobLocal(bin, node.BlobParams{Kind: node.KindUDF, Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.BindHookLocal("kv", addr, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Set("k", "v"); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Errorf("SET should be denied, got %v", err)
+	}
+	if _, _, err := c.Get("k"); err != nil {
+		t.Errorf("GET should pass: %v", err)
+	}
+	_, drops := srv.Stats()
+	if drops != 1 {
+		t.Errorf("drops = %d", drops)
+	}
+}
+
+func TestLoadGen(t *testing.T) {
+	_, _, _, dial := newKV(t, "")
+	res, err := LoadGen(dial, 500, 300*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Achieved <= 0 {
+		t.Fatalf("loadgen: %+v", res)
+	}
+	if res.Errors > 0 {
+		t.Errorf("%d errors during load", res.Errors)
+	}
+	if res.Latency.Count() == 0 {
+		t.Error("no latencies recorded")
+	}
+}

@@ -1,0 +1,296 @@
+// Package kvstore implements a compact Redis-like in-memory key-value
+// server speaking a RESP-compatible wire protocol. It is the application
+// workload of the paper's contention experiments: every command is handled
+// on the host node's simulated CPU cores, so control-path work (agent
+// verify/JIT, state polling) steals throughput from it exactly as agent
+// overhead steals Redis throughput in §6 (-25.3%).
+//
+// Optionally each command is routed through a node hook first, enabling the
+// per-query UDF use case: a freshly injected UDF can drop, sample, or tag
+// individual commands.
+package kvstore
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"rdx/internal/cpu"
+	"rdx/internal/node"
+	"rdx/internal/xabi"
+)
+
+// Server is the KV store.
+type Server struct {
+	// Node supplies the simulated cores and (optionally) the hook.
+	Node *node.Node
+	// Hook, when non-empty, routes every command through the node hook as
+	// a request context (per-query extension execution).
+	Hook string
+	// BaseCost is the simulated CPU cost per command (default 20µs),
+	// modeling parsing + hashing + memory work of a real store.
+	BaseCost time.Duration
+
+	mu   sync.RWMutex
+	data map[string][]byte
+
+	commands, drops uint64
+	statMu          sync.Mutex
+}
+
+// NewServer creates a server on a node.
+func NewServer(n *node.Node, hook string) *Server {
+	return &Server{
+		Node:     n,
+		Hook:     hook,
+		BaseCost: 20 * time.Microsecond,
+		data:     make(map[string][]byte),
+	}
+}
+
+// Stats returns (commands handled, commands dropped by extensions).
+func (s *Server) Stats() (uint64, uint64) {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.commands, s.drops
+}
+
+// Serve accepts client connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	for {
+		args, err := readCommand(br)
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(args)
+		if _, err := bw.Write(resp); err != nil {
+			return
+		}
+		// Flush when no more pipelined commands are buffered.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// dispatch executes one command on a node core.
+func (s *Server) dispatch(args [][]byte) []byte {
+	if len(args) == 0 {
+		return respError("empty command")
+	}
+	var out []byte
+	err := s.Node.Cores.Run(context.Background(), func() {
+		cpu.Burn(s.BaseCost)
+		out = s.execute(args)
+	})
+	if err != nil {
+		return respError("server shutting down")
+	}
+	return out
+}
+
+func (s *Server) execute(args [][]byte) []byte {
+	s.statMu.Lock()
+	s.commands++
+	s.statMu.Unlock()
+
+	// Per-query extension path.
+	if s.Hook != "" {
+		ctx := make([]byte, xabi.CtxSize)
+		binary.LittleEndian.PutUint32(ctx[xabi.CtxOffDataLen:], uint32(payloadLen(args)))
+		binary.LittleEndian.PutUint32(ctx[xabi.CtxOffProtocol:], commandCode(string(args[0])))
+		binary.LittleEndian.PutUint64(ctx[xabi.CtxOffFlowID:], keyHash(args))
+		if _, err := s.Node.ExecHook(s.Hook, ctx, nil); err != nil {
+			if errors.Is(err, node.ErrDropped) {
+				s.statMu.Lock()
+				s.drops++
+				s.statMu.Unlock()
+				return respError("denied by extension")
+			}
+			return respError("extension error: " + err.Error())
+		}
+	}
+
+	cmd := string(args[0])
+	switch cmd {
+	case "PING", "ping":
+		return []byte("+PONG\r\n")
+	case "SET", "set":
+		if len(args) != 3 {
+			return respError("SET requires key and value")
+		}
+		s.mu.Lock()
+		s.data[string(args[1])] = append([]byte(nil), args[2]...)
+		s.mu.Unlock()
+		return []byte("+OK\r\n")
+	case "GET", "get":
+		if len(args) != 2 {
+			return respError("GET requires key")
+		}
+		s.mu.RLock()
+		v, ok := s.data[string(args[1])]
+		s.mu.RUnlock()
+		if !ok {
+			return []byte("$-1\r\n")
+		}
+		return respBulk(v)
+	case "DEL", "del":
+		if len(args) != 2 {
+			return respError("DEL requires key")
+		}
+		s.mu.Lock()
+		_, ok := s.data[string(args[1])]
+		delete(s.data, string(args[1]))
+		s.mu.Unlock()
+		if ok {
+			return respInt(1)
+		}
+		return respInt(0)
+	case "INCR", "incr":
+		if len(args) != 2 {
+			return respError("INCR requires key")
+		}
+		s.mu.Lock()
+		cur, _ := strconv.ParseInt(string(s.data[string(args[1])]), 10, 64)
+		cur++
+		s.data[string(args[1])] = strconv.AppendInt(nil, cur, 10)
+		s.mu.Unlock()
+		return respInt(cur)
+	case "DBSIZE", "dbsize":
+		s.mu.RLock()
+		n := len(s.data)
+		s.mu.RUnlock()
+		return respInt(int64(n))
+	default:
+		return respError("unknown command '" + cmd + "'")
+	}
+}
+
+func payloadLen(args [][]byte) int {
+	n := 0
+	for _, a := range args {
+		n += len(a)
+	}
+	return n
+}
+
+func commandCode(cmd string) uint32 {
+	switch cmd {
+	case "GET", "get":
+		return 1
+	case "SET", "set":
+		return 2
+	case "DEL", "del":
+		return 3
+	case "INCR", "incr":
+		return 4
+	default:
+		return 0
+	}
+}
+
+func keyHash(args [][]byte) uint64 {
+	if len(args) < 2 {
+		return 0
+	}
+	var h uint64 = 14695981039346656037
+	for _, b := range args[1] {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// --- RESP encoding ---
+
+func respError(msg string) []byte { return []byte("-ERR " + msg + "\r\n") }
+
+func respInt(v int64) []byte { return []byte(":" + strconv.FormatInt(v, 10) + "\r\n") }
+
+func respBulk(v []byte) []byte {
+	out := []byte("$" + strconv.Itoa(len(v)) + "\r\n")
+	out = append(out, v...)
+	return append(out, '\r', '\n')
+}
+
+// readCommand parses one RESP array-of-bulk-strings command.
+func readCommand(br *bufio.Reader) ([][]byte, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, fmt.Errorf("kvstore: expected array, got %q", line)
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil || n < 0 || n > 64 {
+		return nil, fmt.Errorf("kvstore: bad array length %q", line)
+	}
+	args := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		hdr, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, fmt.Errorf("kvstore: expected bulk string, got %q", hdr)
+		}
+		sz, err := strconv.Atoi(string(hdr[1:]))
+		if err != nil || sz < 0 || sz > 1<<20 {
+			return nil, fmt.Errorf("kvstore: bad bulk length %q", hdr)
+		}
+		buf := make([]byte, sz+2)
+		if _, err := readFull(br, buf); err != nil {
+			return nil, err
+		}
+		if buf[sz] != '\r' || buf[sz+1] != '\n' {
+			return nil, fmt.Errorf("kvstore: bulk string missing terminator")
+		}
+		args = append(args, buf[:sz])
+	}
+	return args, nil
+}
+
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("kvstore: malformed line")
+	}
+	return line[:len(line)-2], nil
+}
+
+func readFull(br *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := br.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,198 @@
+// Package mem models the memory system of an RDX data-plane node: a flat
+// DRAM arena shared by the node's CPU and its RNIC DMA engine, plus a
+// CPU-side cache whose lines can go stale with respect to DMA writes.
+//
+// Two properties of real hardware are reproduced deliberately:
+//
+//  1. Bulk DMA writes are not atomic. Arena.Write copies data in
+//     cacheline-sized chunks and releases the arena lock between chunks, so a
+//     concurrent reader can legitimately observe a half-written object —
+//     exactly the torn-read hazard that rdx_tx (§3.5 of the paper) exists to
+//     prevent. Qword operations (ReadQword/WriteQword/CompareAndSwap/FetchAdd)
+//     are linearizable, matching 8-byte-aligned RDMA atomics.
+//
+//  2. The RNIC and CPU caches are not coherent. DMA writes go to DRAM;
+//     a CPU that cached the line keeps reading the stale copy until the line
+//     is naturally evicted (a slow, workload-dependent process modeled from
+//     the CPKI parameter) or explicitly invalidated (the rdx_cc_event path).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// LineSize is the modeled cacheline size in bytes.
+const LineSize = 64
+
+// Addr is a byte offset into a node's DRAM arena. RDX treats these as the
+// node's physical addresses; the global offset table, code region, and
+// XState structures all hold Addr values.
+type Addr = uint64
+
+// Arena is a node's DRAM: a flat byte array with chunk-granular locking.
+// The zero value is unusable; call NewArena.
+type Arena struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewArena allocates a zeroed arena of the given size.
+func NewArena(size int) *Arena {
+	if size <= 0 {
+		panic("mem: arena size must be positive")
+	}
+	return &Arena{data: make([]byte, size)}
+}
+
+// Size returns the arena size in bytes.
+func (a *Arena) Size() uint64 { return uint64(len(a.data)) }
+
+func (a *Arena) check(addr Addr, n int) error {
+	if n < 0 || addr > uint64(len(a.data)) || uint64(n) > uint64(len(a.data))-addr {
+		return fmt.Errorf("mem: access [%#x, %#x) outside arena of %d bytes", addr, addr+uint64(n), len(a.data))
+	}
+	return nil
+}
+
+// Write copies p into the arena at addr. The copy is performed in
+// LineSize-byte chunks with the arena lock released between chunks: a
+// concurrent Read may observe a torn (partially updated) object. This is the
+// intended model of a non-atomic RDMA write.
+func (a *Arena) Write(addr Addr, p []byte) error {
+	if err := a.check(addr, len(p)); err != nil {
+		return err
+	}
+	for off := 0; off < len(p); off += LineSize {
+		end := off + LineSize
+		if end > len(p) {
+			end = len(p)
+		}
+		a.mu.Lock()
+		copy(a.data[addr+uint64(off):], p[off:end])
+		a.mu.Unlock()
+	}
+	return nil
+}
+
+// Read copies n bytes starting at addr into a fresh slice. Like Write it is
+// chunk-granular, so it can observe a concurrent Write mid-flight.
+func (a *Arena) Read(addr Addr, n int) ([]byte, error) {
+	if err := a.check(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	for off := 0; off < n; off += LineSize {
+		end := off + LineSize
+		if end > n {
+			end = n
+		}
+		a.mu.Lock()
+		copy(out[off:end], a.data[addr+uint64(off):])
+		a.mu.Unlock()
+	}
+	return out, nil
+}
+
+// ReadInto is Read without allocation; it fills p.
+func (a *Arena) ReadInto(addr Addr, p []byte) error {
+	if err := a.check(addr, len(p)); err != nil {
+		return err
+	}
+	for off := 0; off < len(p); off += LineSize {
+		end := off + LineSize
+		if end > len(p) {
+			end = len(p)
+		}
+		a.mu.Lock()
+		copy(p[off:end], a.data[addr+uint64(off):])
+		a.mu.Unlock()
+	}
+	return nil
+}
+
+// ReadQword atomically reads the 8-byte little-endian word at addr.
+// addr must be 8-byte aligned.
+func (a *Arena) ReadQword(addr Addr) (uint64, error) {
+	if err := a.checkQword(addr); err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	v := binary.LittleEndian.Uint64(a.data[addr:])
+	a.mu.Unlock()
+	return v, nil
+}
+
+// WriteQword atomically writes the 8-byte little-endian word at addr.
+// addr must be 8-byte aligned.
+func (a *Arena) WriteQword(addr Addr, v uint64) error {
+	if err := a.checkQword(addr); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	binary.LittleEndian.PutUint64(a.data[addr:], v)
+	a.mu.Unlock()
+	return nil
+}
+
+// CompareAndSwap atomically replaces the qword at addr with new if it equals
+// old, returning the previous value and whether the swap happened.
+// This is the software model of the RDMA CMP_AND_SWP verb.
+func (a *Arena) CompareAndSwap(addr Addr, old, new uint64) (prev uint64, swapped bool, err error) {
+	if err := a.checkQword(addr); err != nil {
+		return 0, false, err
+	}
+	a.mu.Lock()
+	prev = binary.LittleEndian.Uint64(a.data[addr:])
+	if prev == old {
+		binary.LittleEndian.PutUint64(a.data[addr:], new)
+		swapped = true
+	}
+	a.mu.Unlock()
+	return prev, swapped, nil
+}
+
+// FetchAdd atomically adds delta to the qword at addr and returns the value
+// before the add. This is the software model of the RDMA FETCH_ADD verb.
+func (a *Arena) FetchAdd(addr Addr, delta uint64) (prev uint64, err error) {
+	if err := a.checkQword(addr); err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	prev = binary.LittleEndian.Uint64(a.data[addr:])
+	binary.LittleEndian.PutUint64(a.data[addr:], prev+delta)
+	a.mu.Unlock()
+	return prev, nil
+}
+
+func (a *Arena) checkQword(addr Addr) error {
+	if addr%8 != 0 {
+		return fmt.Errorf("mem: qword access at %#x not 8-byte aligned", addr)
+	}
+	return a.check(addr, 8)
+}
+
+// WriteAt/ReadAt-style uint32 helpers used by in-arena data structures.
+
+// ReadU32 reads a little-endian uint32 at addr under the arena lock.
+func (a *Arena) ReadU32(addr Addr) (uint32, error) {
+	if err := a.check(addr, 4); err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	v := binary.LittleEndian.Uint32(a.data[addr:])
+	a.mu.Unlock()
+	return v, nil
+}
+
+// WriteU32 writes a little-endian uint32 at addr under the arena lock.
+func (a *Arena) WriteU32(addr Addr, v uint32) error {
+	if err := a.check(addr, 4); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	binary.LittleEndian.PutUint32(a.data[addr:], v)
+	a.mu.Unlock()
+	return nil
+}

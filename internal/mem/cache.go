@@ -1,0 +1,190 @@
+package mem
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Cache models the CPU-side cache of a node with respect to DMA traffic.
+//
+// Real RNICs DMA into DRAM (or via DDIO into a slice of LLC) without
+// invalidating lines a core has already cached, so a core polling a location
+// keeps observing the stale value until the line is naturally evicted. The
+// eviction rate depends on how much cache pressure the workload generates,
+// which the paper parameterizes as CPKI (cache misses per 1000 instructions,
+// Fig 5).
+//
+// The model: when the CPU first reads a line it snapshots DRAM and assigns
+// the line a residual lifetime drawn from an exponential distribution whose
+// mean derives from CPKI. Reads within the lifetime are served from the
+// snapshot; after it expires the line is refilled from DRAM. Invalidate (the
+// rdx_cc_event path) drops the line immediately, so the next read observes
+// DRAM — this is what makes RDX's flush primitive worth ~2 µs instead of
+// ~746 µs of waiting.
+type Cache struct {
+	arena *Arena
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	mean  time.Duration // mean residual line lifetime; 0 disables staleness
+	lines map[Addr]*cacheLine
+	now   func() time.Time
+}
+
+type cacheLine struct {
+	data   [LineSize]byte
+	expiry time.Time
+}
+
+// MeanEvictionInterval converts a CPKI level to the modeled mean residual
+// cacheline lifetime. Calibrated so the *median* incoherence window at
+// CPKI=10 is ≈746 µs (the paper's vanilla-RDMA worst case) and decays
+// inversely with CPKI, matching Fig 5's downward trend.
+func MeanEvictionInterval(cpki float64) time.Duration {
+	if cpki <= 0 {
+		return time.Hour // effectively never evicted
+	}
+	// median = mean * ln(2); want median(10) = 746us → mean(10) ≈ 1.076ms.
+	meanAt10 := 746e-6 / math.Ln2
+	return time.Duration(meanAt10 * 10 / cpki * float64(time.Second))
+}
+
+// NewCache creates a cache over arena with the given mean line lifetime and
+// deterministic seed. A zero mean makes every read hit DRAM (coherent mode).
+func NewCache(arena *Arena, mean time.Duration, seed int64) *Cache {
+	return &Cache{
+		arena: arena,
+		rng:   rand.New(rand.NewSource(seed)),
+		mean:  mean,
+		lines: make(map[Addr]*cacheLine),
+		now:   time.Now,
+	}
+}
+
+// NewCacheForCPKI is NewCache with the lifetime derived from a CPKI level.
+func NewCacheForCPKI(arena *Arena, cpki float64, seed int64) *Cache {
+	return NewCache(arena, MeanEvictionInterval(cpki), seed)
+}
+
+func lineBase(addr Addr) Addr { return addr &^ (LineSize - 1) }
+
+// fill loads the line containing addr from DRAM. Caller holds c.mu.
+func (c *Cache) fill(base Addr) (*cacheLine, error) {
+	ln := &cacheLine{}
+	if err := c.arena.ReadInto(base, ln.data[:]); err != nil {
+		return nil, err
+	}
+	if c.mean > 0 {
+		life := time.Duration(c.rng.ExpFloat64() * float64(c.mean))
+		ln.expiry = c.now().Add(life)
+	} else {
+		ln.expiry = c.now() // immediately stale: always re-read DRAM
+	}
+	c.lines[base] = ln
+	return ln, nil
+}
+
+// line returns the current (possibly stale) line for addr, refilling it from
+// DRAM if absent or expired. Caller holds c.mu.
+func (c *Cache) line(addr Addr) (*cacheLine, error) {
+	base := lineBase(addr)
+	ln, ok := c.lines[base]
+	if !ok || !c.now().Before(ln.expiry) {
+		return c.fill(base)
+	}
+	return ln, nil
+}
+
+// ReadQword reads an 8-byte word through the cache. The word must be 8-byte
+// aligned (and therefore cannot straddle a line).
+func (c *Cache) ReadQword(addr Addr) (uint64, error) {
+	if addr%8 != 0 {
+		return 0, errUnaligned(addr)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ln, err := c.line(addr)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - lineBase(addr)
+	return leUint64(ln.data[off : off+8]), nil
+}
+
+// WriteQword performs a CPU store: write-through to DRAM and update the
+// local cached copy (a CPU's own stores are always visible to itself).
+func (c *Cache) WriteQword(addr Addr, v uint64) error {
+	if addr%8 != 0 {
+		return errUnaligned(addr)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.arena.WriteQword(addr, v); err != nil {
+		return err
+	}
+	if ln, ok := c.lines[lineBase(addr)]; ok {
+		off := addr - lineBase(addr)
+		putLeUint64(ln.data[off:off+8], v)
+	}
+	return nil
+}
+
+// Invalidate drops the cacheline containing addr, forcing the next read to
+// fetch DRAM. This is the operation rdx_cc_event triggers remotely.
+func (c *Cache) Invalidate(addr Addr) {
+	c.mu.Lock()
+	delete(c.lines, lineBase(addr))
+	c.mu.Unlock()
+}
+
+// InvalidateRange drops every line overlapping [addr, addr+n).
+func (c *Cache) InvalidateRange(addr Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	for base := lineBase(addr); base < addr+n; base += LineSize {
+		delete(c.lines, base)
+	}
+	c.mu.Unlock()
+}
+
+// FlushAll drops every cached line.
+func (c *Cache) FlushAll() {
+	c.mu.Lock()
+	c.lines = make(map[Addr]*cacheLine)
+	c.mu.Unlock()
+}
+
+// CachedLines reports how many lines are currently resident (stale or not).
+func (c *Cache) CachedLines() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.lines)
+}
+
+type errUnaligned Addr
+
+func (e errUnaligned) Error() string {
+	return "mem: cache qword access not 8-byte aligned"
+}
+
+func leUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

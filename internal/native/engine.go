@@ -1,0 +1,293 @@
+package native
+
+import (
+	"errors"
+	"fmt"
+
+	"rdx/internal/xabi"
+)
+
+// ErrFuel is returned when execution exceeds the instruction budget.
+var ErrFuel = errors.New("native: fuel exhausted")
+
+// Program is decoded, executable machine code. Decoding is the engine's
+// icache-fill analogue: the data plane performs it lazily on first execution
+// of newly injected code and caches the result by code version.
+type Program struct {
+	Arch  Arch
+	Insts []Inst
+}
+
+// DecodeProgram decodes code for execution.
+func DecodeProgram(arch Arch, code []byte) (*Program, error) {
+	insts, err := Decode(arch, code)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Arch: arch, Insts: insts}, nil
+}
+
+// Engine executes decoded native programs. Helper calls resolve through
+// HelperAddrs: the map from absolute node addresses (as patched by the
+// linker from the GOT) to implementations. An Engine is safe for concurrent
+// use; per-invocation state lives on the Run stack.
+type Engine struct {
+	// HelperAddrs maps linked helper addresses to implementations.
+	HelperAddrs map[uint64]xabi.HelperFn
+	// Fuel bounds executed instructions per invocation (default 1<<22).
+	Fuel int
+}
+
+const nregs = 11
+
+// Run executes p with ctx mapped at xabi.CtxBase, returning R0.
+func (e *Engine) Run(p *Program, env *xabi.Env, ctx []byte) (uint64, error) {
+	if len(ctx) > xabi.CtxSize {
+		return 0, fmt.Errorf("native: ctx of %d bytes exceeds %d", len(ctx), xabi.CtxSize)
+	}
+	ctxBuf := make([]byte, xabi.CtxSize)
+	copy(ctxBuf, ctx)
+	var stack [xabi.StackSize]byte
+
+	runEnv := *env
+	runEnv.Mem = xabi.NewOverlay(env.Mem, ctxBuf, stack[:])
+
+	r0, err := e.exec(p, &runEnv)
+	if err != nil {
+		return 0, err
+	}
+	copy(ctx, ctxBuf[:len(ctx)])
+	return r0, nil
+}
+
+func (e *Engine) exec(p *Program, env *xabi.Env) (uint64, error) {
+	fuel := e.Fuel
+	if fuel == 0 {
+		fuel = 1 << 22
+	}
+	var regs [nregs]uint64
+	regs[1] = xabi.CtxBase
+	regs[10] = xabi.StackBase
+
+	insts := p.Insts
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(insts) {
+			return 0, fmt.Errorf("native: pc %d out of range", pc)
+		}
+		if fuel--; fuel < 0 {
+			return 0, ErrFuel
+		}
+		i := insts[pc]
+		if int(i.A) >= nregs || int(i.B) >= nregs {
+			return 0, fmt.Errorf("native: pc %d: register out of range", pc)
+		}
+
+		switch i.Op {
+		case OpNop:
+			pc++
+
+		case OpMovRR:
+			regs[i.A] = regs[i.B]
+			pc++
+
+		case OpMovRI:
+			if i.Ext == PlaceholderValue {
+				return 0, fmt.Errorf("%w: pc %d", ErrUnlinked, pc)
+			}
+			regs[i.A] = i.Ext
+			pc++
+
+		case OpAluRR:
+			regs[i.A] = alu(i.C, i.Flags&Flag32 != 0, regs[i.A], regs[i.B])
+			pc++
+
+		case OpAluRI:
+			regs[i.A] = alu(i.C, i.Flags&Flag32 != 0, regs[i.A], uint64(int64(i.Imm)))
+			pc++
+
+		case OpLoad:
+			addr := regs[i.B] + uint64(int64(i.Imm))
+			v, err := env.Mem.ReadMem(addr, int(i.C))
+			if err != nil {
+				return 0, fmt.Errorf("native: pc %d: %w", pc, err)
+			}
+			regs[i.A] = v
+			pc++
+
+		case OpStore:
+			addr := regs[i.B] + uint64(int64(i.Imm))
+			if err := env.Mem.WriteMem(addr, int(i.C), regs[i.A]); err != nil {
+				return 0, fmt.Errorf("native: pc %d: %w", pc, err)
+			}
+			pc++
+
+		case OpStoreI:
+			addr := regs[i.B] + uint64(int64(i.Imm))
+			if err := env.Mem.WriteMem(addr, int(i.C), i.Ext); err != nil {
+				return 0, fmt.Errorf("native: pc %d: %w", pc, err)
+			}
+			pc++
+
+		case OpJmp:
+			if i.C == CondAlways || cond(i.C, regs[i.A], regs[i.B]) {
+				pc = int(i.Imm)
+			} else {
+				pc++
+			}
+
+		case OpJmpI:
+			if cond(i.C, regs[i.A], i.Ext) {
+				pc = int(i.Imm)
+			} else {
+				pc++
+			}
+
+		case OpCall:
+			if i.Ext == PlaceholderValue {
+				return 0, fmt.Errorf("%w: pc %d (call)", ErrUnlinked, pc)
+			}
+			fn, ok := e.HelperAddrs[i.Ext]
+			if !ok {
+				return 0, fmt.Errorf("native: pc %d: call to unmapped address %#x", pc, i.Ext)
+			}
+			r0, err := fn(env, regs[1], regs[2], regs[3], regs[4], regs[5])
+			if err != nil {
+				return 0, fmt.Errorf("native: pc %d: helper: %w", pc, err)
+			}
+			regs[0] = r0
+			pc++
+
+		case OpRet:
+			return regs[0], nil
+
+		default:
+			return 0, fmt.Errorf("native: pc %d: unknown op %#x", pc, i.Op)
+		}
+	}
+}
+
+func alu(op uint8, is32 bool, a, b uint64) uint64 {
+	if is32 {
+		a = uint64(uint32(a))
+		b = uint64(uint32(b))
+	}
+	var out uint64
+	switch op {
+	case AluAdd:
+		out = a + b
+	case AluSub:
+		out = a - b
+	case AluMul:
+		out = a * b
+	case AluDiv:
+		if is32 {
+			if uint32(b) == 0 {
+				out = 0
+			} else {
+				out = uint64(uint32(a) / uint32(b))
+			}
+		} else if b == 0 {
+			out = 0
+		} else {
+			out = a / b
+		}
+	case AluMod:
+		if is32 {
+			if uint32(b) == 0 {
+				out = a
+			} else {
+				out = uint64(uint32(a) % uint32(b))
+			}
+		} else if b == 0 {
+			out = a
+		} else {
+			out = a % b
+		}
+	case AluOr:
+		out = a | b
+	case AluAnd:
+		out = a & b
+	case AluXor:
+		out = a ^ b
+	case AluLsh:
+		if is32 {
+			out = uint64(uint32(a) << (b & 31))
+		} else {
+			out = a << (b & 63)
+		}
+	case AluRsh:
+		if is32 {
+			out = uint64(uint32(a) >> (b & 31))
+		} else {
+			out = a >> (b & 63)
+		}
+	case AluArsh:
+		if is32 {
+			out = uint64(uint32(int32(a) >> (b & 31)))
+		} else {
+			out = uint64(int64(a) >> (b & 63))
+		}
+	case AluNeg:
+		out = -a
+	case AluMov:
+		out = b
+	case AluDivS:
+		out = divS(is32, a, b)
+	default:
+		out = 0
+	}
+	if is32 {
+		out = uint64(uint32(out))
+	}
+	return out
+}
+
+// divS is signed division with total semantics: x/0 = 0 and
+// MinInt/-1 wraps (no trap), consistently across widths.
+func divS(is32 bool, a, b uint64) uint64 {
+	if is32 {
+		ai, bi := int64(int32(uint32(a))), int64(int32(uint32(b)))
+		if bi == 0 {
+			return 0
+		}
+		return uint64(uint32(int32(ai / bi)))
+	}
+	ai, bi := int64(a), int64(b)
+	if bi == 0 {
+		return 0
+	}
+	if ai == -1<<63 && bi == -1 {
+		return uint64(ai) // wrap
+	}
+	return uint64(ai / bi)
+}
+
+func cond(c uint8, a, b uint64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondSET:
+		return a&b != 0
+	case CondSGT:
+		return int64(a) > int64(b)
+	case CondSGE:
+		return int64(a) >= int64(b)
+	case CondSLT:
+		return int64(a) < int64(b)
+	case CondSLE:
+		return int64(a) <= int64(b)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,265 @@
+// Package native defines the simulated machine ISA that RDX's JIT compilers
+// target, plus the execution engine data-plane sandboxes run it with.
+//
+// Real RDX JIT-compiles extensions to x86-64 or AArch64 and relies on binary
+// rewriting (GOT patching) to link them into each node's address space. A Go
+// process cannot execute raw machine code from a byte slice, so this package
+// supplies the closest faithful equivalent: two *architecturally distinct*
+// byte encodings of a common semantic operation set —
+//
+//   - ArchX64: variable-length encoding (5-byte header, optional imm32 and
+//     imm64 operand fields), x86-flavored;
+//   - ArchA64: fixed 24-byte macro-ops, ARM-flavored.
+//
+// Because the encodings differ, relocation tables differ per architecture:
+// the control plane must compile per target arch and patch arch-specific
+// byte offsets, exactly the workflow of the paper's §3.2–3.3. Unresolved
+// operands (helper addresses, map handles, GOT entries) are carried as
+// 64-bit immediate fields listed in the binary's relocation table.
+package native
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Arch identifies a target instruction encoding.
+type Arch uint8
+
+const (
+	// ArchX64 is the variable-length (x86-flavored) encoding.
+	ArchX64 Arch = 1
+	// ArchA64 is the fixed-width (ARM-flavored) encoding.
+	ArchA64 Arch = 2
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchX64:
+		return "x64"
+	case ArchA64:
+		return "a64"
+	default:
+		return fmt.Sprintf("arch(%d)", uint8(a))
+	}
+}
+
+// ParseArch converts a string name to an Arch.
+func ParseArch(s string) (Arch, error) {
+	switch s {
+	case "x64", "x86_64", "amd64":
+		return ArchX64, nil
+	case "a64", "arm64", "aarch64":
+		return ArchA64, nil
+	}
+	return 0, fmt.Errorf("native: unknown architecture %q", s)
+}
+
+// Semantic opcodes.
+const (
+	OpNop    uint8 = 0x00
+	OpMovRR  uint8 = 0x01 // a ← b
+	OpMovRI  uint8 = 0x02 // a ← ext (64-bit immediate; relocatable)
+	OpAluRR  uint8 = 0x03 // a ← a <c> b
+	OpAluRI  uint8 = 0x04 // a ← a <c> imm32 (sign-extended)
+	OpLoad   uint8 = 0x05 // a ← mem[b + imm32]  (c = width)
+	OpStore  uint8 = 0x06 // mem[b + imm32] ← a  (c = width)
+	OpStoreI uint8 = 0x07 // mem[b + imm32] ← ext (c = width; ext sign-sig imm)
+	OpJmp    uint8 = 0x08 // if a <c> b goto imm32 (op index); c=CondAlways: unconditional
+	OpJmpI   uint8 = 0x09 // if a <c> ext goto imm32
+	OpCall   uint8 = 0x0A // call helper at absolute address ext (relocatable)
+	OpRet    uint8 = 0x0B // return r0
+)
+
+// ALU sub-operations (the c field of OpAluRR/RI).
+const (
+	AluAdd uint8 = iota
+	AluSub
+	AluMul
+	AluDiv
+	AluMod
+	AluOr
+	AluAnd
+	AluXor
+	AluLsh
+	AluRsh
+	AluArsh
+	AluNeg  // unary; b/imm ignored
+	AluMov  // a ← operand (used for 32-bit movs)
+	AluDivS // signed division; /0 → 0, MinInt64/-1 wraps to MinInt64
+)
+
+// Jump conditions (the c field of OpJmp/OpJmpI).
+const (
+	CondAlways uint8 = iota
+	CondEQ
+	CondNE
+	CondGT // unsigned
+	CondGE
+	CondLT
+	CondLE
+	CondSET // a & b != 0
+	CondSGT // signed
+	CondSGE
+	CondSLT
+	CondSLE
+)
+
+// Flag bits.
+const (
+	Flag32 uint8 = 1 << 0 // 32-bit ALU operation (result zero-extended)
+)
+
+// Inst is one decoded semantic instruction.
+type Inst struct {
+	Op    uint8
+	Flags uint8
+	A     uint8 // primary register
+	B     uint8 // secondary register
+	C     uint8 // ALU sub-op, condition, or memory width
+	Imm   int32 // displacement or jump target (op index)
+	Ext   uint64
+}
+
+// String renders a compact disassembly.
+func (i Inst) String() string {
+	switch i.Op {
+	case OpNop:
+		return "nop"
+	case OpMovRR:
+		return fmt.Sprintf("mov r%d, r%d", i.A, i.B)
+	case OpMovRI:
+		return fmt.Sprintf("mov r%d, %#x", i.A, i.Ext)
+	case OpAluRR:
+		return fmt.Sprintf("alu%d r%d, r%d", i.C, i.A, i.B)
+	case OpAluRI:
+		return fmt.Sprintf("alu%d r%d, %d", i.C, i.A, i.Imm)
+	case OpLoad:
+		return fmt.Sprintf("ld%d r%d, [r%d%+d]", i.C, i.A, i.B, i.Imm)
+	case OpStore:
+		return fmt.Sprintf("st%d [r%d%+d], r%d", i.C, i.B, i.Imm, i.A)
+	case OpStoreI:
+		return fmt.Sprintf("sti%d [r%d%+d], %d", i.C, i.B, i.Imm, int64(i.Ext))
+	case OpJmp:
+		return fmt.Sprintf("j%d r%d, r%d → %d", i.C, i.A, i.B, i.Imm)
+	case OpJmpI:
+		return fmt.Sprintf("ji%d r%d, %d → %d", i.C, i.A, int64(i.Ext), i.Imm)
+	case OpCall:
+		return fmt.Sprintf("call %#x", i.Ext)
+	case OpRet:
+		return "ret"
+	default:
+		return fmt.Sprintf("op%#x", i.Op)
+	}
+}
+
+// Relocation kinds.
+type RelocKind uint8
+
+const (
+	// RelocHelper patches the 64-bit operand with the node's address for a
+	// helper function (resolved through the node GOT).
+	RelocHelper RelocKind = 1
+	// RelocMap patches the operand with the runtime address of an XState
+	// map deployed on the node.
+	RelocMap RelocKind = 2
+	// RelocGlobal patches the operand with an arbitrary node GOT symbol.
+	RelocGlobal RelocKind = 3
+)
+
+func (k RelocKind) String() string {
+	switch k {
+	case RelocHelper:
+		return "helper"
+	case RelocMap:
+		return "map"
+	case RelocGlobal:
+		return "global"
+	default:
+		return "reloc?"
+	}
+}
+
+// Reloc is one relocation entry: the byte offset (within Code) of a 64-bit
+// little-endian operand field to patch, and the symbol that resolves it.
+type Reloc struct {
+	Offset uint32
+	Kind   RelocKind
+	Symbol string
+}
+
+// Binary is a compiled, relocatable extension: the paper's "instrumented
+// binary + symbol table" artifact stored in the control-plane registry.
+type Binary struct {
+	Arch      Arch
+	Code      []byte
+	Relocs    []Reloc
+	StackSize uint32
+	// SourceDigest ties the binary back to the extension IR it was
+	// compiled from (the registry cache key).
+	SourceDigest string
+	// Name is carried for diagnostics.
+	Name string
+}
+
+// Clone deep-copies the binary; linking mutates Code, so the registry hands
+// out clones.
+func (b *Binary) Clone() *Binary {
+	cp := *b
+	cp.Code = append([]byte(nil), b.Code...)
+	cp.Relocs = append([]Reloc(nil), b.Relocs...)
+	return &cp
+}
+
+// Linked reports whether all relocations have been resolved (patched Code
+// no longer carries the placeholder marker).
+func (b *Binary) Linked() bool {
+	for _, r := range b.Relocs {
+		if int(r.Offset)+8 > len(b.Code) {
+			return false
+		}
+		if leU64(b.Code[r.Offset:]) == PlaceholderValue {
+			return false
+		}
+	}
+	return true
+}
+
+// PlaceholderValue marks unresolved 64-bit operands in freshly compiled
+// binaries. The linker overwrites it; the engine traps on it.
+const PlaceholderValue uint64 = 0xDEAD_C0DE_DEAD_C0DE
+
+// ErrUnlinked is returned when executing a binary with unresolved
+// relocations.
+var ErrUnlinked = errors.New("native: binary has unresolved relocations")
+
+func leU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func leU32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLeU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

@@ -1,0 +1,157 @@
+package node
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rdx/internal/rdma"
+)
+
+// Tests for the BBU primitives on the node side: EnterRequest's
+// counter-then-gate ordering and its interaction with WaitReady.
+
+func TestEnterRequestCountsInflight(t *testing.T) {
+	n := newTestNode(t)
+	slot, _ := n.HookSlot("ingress")
+	inflightAddr := HookAddr(slot) + HookOffInflight
+
+	leave1, err := n.EnterRequest(context.Background(), "ingress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leave2, err := n.EnterRequest(context.Background(), "ingress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := n.Arena.ReadQword(inflightAddr); v != 2 {
+		t.Errorf("inflight = %d, want 2", v)
+	}
+	leave1()
+	leave2()
+	if v, _ := n.Arena.ReadQword(inflightAddr); v != 0 {
+		t.Errorf("inflight after leave = %d, want 0", v)
+	}
+}
+
+func TestEnterRequestBuffersAtGate(t *testing.T) {
+	n := newTestNode(t)
+	slot, _ := n.HookSlot("ingress")
+	gate := HookAddr(slot) + HookOffBuffer
+	inflight := HookAddr(slot) + HookOffInflight
+
+	n.Arena.WriteQword(gate, 1)
+	admitted := make(chan func(), 1)
+	go func() {
+		leave, err := n.EnterRequest(context.Background(), "ingress")
+		if err != nil {
+			return
+		}
+		admitted <- leave
+	}()
+
+	// While gated, the request must not be admitted AND must not be
+	// counted in flight (it stepped back out) — that is what lets the
+	// drain converge.
+	time.Sleep(3 * time.Millisecond)
+	select {
+	case <-admitted:
+		t.Fatal("request admitted through a raised gate")
+	default:
+	}
+	if v, _ := n.Arena.ReadQword(inflight); v != 0 {
+		t.Errorf("gated request counted in flight: %d", v)
+	}
+
+	n.Arena.WriteQword(gate, 0)
+	select {
+	case leave := <-admitted:
+		leave()
+	case <-time.After(time.Second):
+		t.Fatal("request never admitted after gate cleared")
+	}
+}
+
+func TestEnterRequestContextCancel(t *testing.T) {
+	n := newTestNode(t)
+	slot, _ := n.HookSlot("ingress")
+	n.Arena.WriteQword(HookAddr(slot)+HookOffBuffer, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := n.EnterRequest(ctx, "ingress"); err == nil {
+		t.Fatal("gated EnterRequest returned without gate clearing")
+	}
+}
+
+// TestDrainRace hammers the counter-then-gate ordering: concurrent
+// enter/leave cycles against gate raise + drain must never let the drain
+// observe zero while a request is actually admitted and running.
+func TestDrainRace(t *testing.T) {
+	n, err := New(Config{
+		ID: "drain", Hooks: []string{"h"}, Latency: rdma.NoLatency(), Cores: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	slot, _ := n.HookSlot("h")
+	gate := HookAddr(slot) + HookOffBuffer
+	inflight := HookAddr(slot) + HookOffInflight
+
+	stop := make(chan struct{})
+	var inside sync.Map // request id → true while admitted
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				leave, err := n.EnterRequest(context.Background(), "h")
+				if err != nil {
+					return
+				}
+				key := w*1_000_000 + i
+				inside.Store(key, true)
+				time.Sleep(50 * time.Microsecond)
+				inside.Delete(key)
+				leave()
+			}
+		}(w)
+	}
+
+	for round := 0; round < 30; round++ {
+		n.Arena.WriteQword(gate, 1)
+		// Drain.
+		deadline := time.Now().Add(time.Second)
+		for {
+			v, _ := n.Arena.ReadQword(inflight)
+			if v == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("drain never converged")
+			}
+		}
+		// Invariant: with the gate up and the counter at zero, nothing
+		// is admitted.
+		violations := 0
+		inside.Range(func(_, _ interface{}) bool {
+			violations++
+			return true
+		})
+		if violations > 0 {
+			t.Fatalf("round %d: %d requests inside the bubble after drain", round, violations)
+		}
+		n.Arena.WriteQword(gate, 0)
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,171 @@
+package node
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rdx/internal/mem"
+	"rdx/internal/native"
+)
+
+// Local loading primitives. These are the operations a node-resident agent
+// performs with ordinary CPU instructions; the RDX control plane performs
+// the *same* state transitions remotely via one-sided verbs (FETCH_ADD on
+// the bump pointers, WRITE of the blob, CAS of the dispatch pointer). Both
+// paths therefore interoperate on the same arena layout.
+
+// AllocCode reserves size bytes (8-aligned) in the code region and returns
+// the blob base address. The region is a ring: when the bump pointer would
+// run off the end it wraps to the base, reclaiming the oldest (long-dead)
+// blobs. Active blobs are always the most recently allocated, so a wrap
+// never lands on one unless a single blob exceeds half the region.
+func (n *Node) AllocCode(size int) (mem.Addr, error) {
+	sz := uint64((size + 7) &^ 7)
+	if sz > CodeSize/2 {
+		return 0, fmt.Errorf("node %s: blob of %d bytes exceeds half the code region", n.ID, size)
+	}
+	for {
+		prev, err := n.Arena.FetchAdd(CtrlBase+CtrlOffCodeBrk, sz)
+		if err != nil {
+			return 0, err
+		}
+		if prev+sz <= CodeBase+CodeSize {
+			return prev, nil
+		}
+		// Wrap: move the bump pointer back to the base. Competing
+		// allocators race via CAS on the over-run value.
+		n.Arena.CompareAndSwap(CtrlBase+CtrlOffCodeBrk, prev+sz, CodeBase)
+	}
+}
+
+// AllocScratch reserves size bytes (64-aligned) in the XState scratchpad.
+func (n *Node) AllocScratch(size int) (mem.Addr, error) {
+	sz := (uint64(size) + 63) &^ 63
+	prev, err := n.Arena.FetchAdd(CtrlBase+CtrlOffScratchBrk, sz)
+	if err != nil {
+		return 0, err
+	}
+	if prev+sz > ScratchBase+ScratchSize {
+		return 0, fmt.Errorf("node %s: scratchpad exhausted (%d bytes requested)", n.ID, size)
+	}
+	return prev, nil
+}
+
+// BlobParams describes a deployable code blob.
+type BlobParams struct {
+	Kind     uint8
+	Version  uint64
+	MemBase  uint64 // wasm linear memory, 0 otherwise
+	GlobBase uint64 // wasm globals, 0 otherwise
+}
+
+// EncodeBlobHeader builds the 48-byte blob header.
+func EncodeBlobHeader(arch native.Arch, p BlobParams, codeLen int) []byte {
+	hdr := make([]byte, BlobHdrSize)
+	binary.LittleEndian.PutUint32(hdr[BlobOffMagic:], BlobMagic)
+	hdr[BlobOffArch] = uint8(arch)
+	hdr[BlobOffArch+1] = p.Kind
+	binary.LittleEndian.PutUint32(hdr[BlobOffLen:], uint32(codeLen))
+	binary.LittleEndian.PutUint64(hdr[BlobOffVersion:], p.Version)
+	binary.LittleEndian.PutUint64(hdr[BlobOffRefcnt:], 1)
+	binary.LittleEndian.PutUint64(hdr[BlobOffMemBase:], p.MemBase)
+	binary.LittleEndian.PutUint64(hdr[BlobOffGlobBase:], p.GlobBase)
+	return hdr
+}
+
+// WriteBlobLocal allocates code space and writes header + code with the
+// local CPU, returning the blob address.
+func (n *Node) WriteBlobLocal(bin *native.Binary, p BlobParams) (mem.Addr, error) {
+	if !bin.Linked() {
+		return 0, fmt.Errorf("node %s: deploying unlinked binary %q", n.ID, bin.Name)
+	}
+	addr, err := n.AllocCode(BlobHdrSize + len(bin.Code))
+	if err != nil {
+		return 0, err
+	}
+	if err := n.Arena.Write(addr, EncodeBlobHeader(bin.Arch, p, len(bin.Code))); err != nil {
+		return 0, err
+	}
+	if err := n.Arena.Write(addr+BlobHdrSize, bin.Code); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// BindHookLocal atomically publishes blobAddr as the hook's extension:
+// writes the version, then flips the dispatch pointer with a CAS against
+// the previous value (so concurrent flips do not interleave).
+func (n *Node) BindHookLocal(hook string, blobAddr mem.Addr, version uint64) error {
+	slot, err := n.HookSlot(hook)
+	if err != nil {
+		return err
+	}
+	base := HookAddr(slot)
+	if err := n.Arena.WriteQword(base+HookOffVersion, version); err != nil {
+		return err
+	}
+	for {
+		cur, err := n.Arena.ReadQword(base + HookOffDispatch)
+		if err != nil {
+			return err
+		}
+		if _, swapped, err := n.Arena.CompareAndSwap(base+HookOffDispatch, cur, uint64(blobAddr)); err != nil {
+			return err
+		} else if swapped {
+			if n.Cache != nil {
+				// A local store is visible to the local CPU.
+				n.Cache.Invalidate(base + HookOffDispatch)
+			}
+			return nil
+		}
+	}
+}
+
+// LocalResolver returns a relocation resolver over the node's own GOT plus
+// explicit per-deployment symbols (map addresses, wasm memory bases).
+func (n *Node) LocalResolver(extra map[string]uint64) func(native.RelocKind, string) (uint64, bool) {
+	return func(_ native.RelocKind, sym string) (uint64, bool) {
+		if a, ok := extra[sym]; ok {
+			return a, true
+		}
+		a, ok := n.got[sym]
+		return a, ok
+	}
+}
+
+// RegisterMetaXState appends an XState header address to the Meta-XState
+// array (local form; the control plane does the same with FETCH_ADD+WRITE).
+func (n *Node) RegisterMetaXState(hdrAddr mem.Addr) (int, error) {
+	idx, err := n.Arena.FetchAdd(MetaBase, 1)
+	if err != nil {
+		return 0, err
+	}
+	if idx >= MetaEntries {
+		return 0, fmt.Errorf("node %s: Meta-XState full", n.ID)
+	}
+	if err := n.Arena.WriteQword(MetaBase+8+mem.Addr(idx)*8, uint64(hdrAddr)); err != nil {
+		return 0, err
+	}
+	n.Arena.WriteQword(CtrlBase+CtrlOffMetaCount, idx+1)
+	return int(idx), nil
+}
+
+// MetaXStateEntries reads the Meta-XState index.
+func (n *Node) MetaXStateEntries() ([]mem.Addr, error) {
+	count, err := n.Arena.ReadQword(MetaBase)
+	if err != nil {
+		return nil, err
+	}
+	if count > MetaEntries {
+		count = MetaEntries
+	}
+	out := make([]mem.Addr, 0, count)
+	for i := uint64(0); i < count; i++ {
+		a, err := n.Arena.ReadQword(MetaBase + 8 + mem.Addr(i)*8)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package orchestrator
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"rdx/internal/core"
+	"rdx/internal/node"
+	"rdx/internal/rdma"
+	"rdx/internal/xabi"
+)
+
+func newOrch(t *testing.T, nodeNames ...string) (*Orchestrator, map[string]*node.Node) {
+	t.Helper()
+	cp := core.NewControlPlane()
+	o := New(cp)
+	fab := rdma.NewFabric()
+	nodes := map[string]*node.Node{}
+	for i, name := range nodeNames {
+		n, err := node.New(node.Config{
+			ID: name, Hooks: []string{"ingress", "kv"},
+			Latency: rdma.NoLatency(), Cores: 2, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := fab.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go n.Serve(l)
+		conn, err := fab.Dial(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf, err := cp.CreateCodeFlow(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.AddNode(name, cf)
+		nodes[name] = n
+		t.Cleanup(n.Close)
+	}
+	return o, nodes
+}
+
+const samplePlan = `
+# staged rollout with a guardrail
+extension allowbig  udf "len >= 100"
+extension allowall  udf "len >= 0"
+
+deploy allowall to ingress on *
+deploy allowbig to ingress on edge-1, edge-2 with bbu
+limit ingress on * 50000
+`
+
+func TestParse(t *testing.T) {
+	plan, err := Parse(samplePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Extensions) != 2 {
+		t.Fatalf("extensions = %d", len(plan.Extensions))
+	}
+	if len(plan.Steps) != 3 {
+		t.Fatalf("steps = %d", len(plan.Steps))
+	}
+	if plan.Steps[0].Kind != StepDeploy || plan.Steps[0].Nodes != nil {
+		t.Errorf("step 0 = %+v (want deploy to all)", plan.Steps[0])
+	}
+	if !plan.Steps[1].BBU || len(plan.Steps[1].Nodes) != 2 {
+		t.Errorf("step 1 = %+v (want bbu to 2 nodes)", plan.Steps[1])
+	}
+	if plan.Steps[2].Kind != StepLimit || plan.Steps[2].Limit != 50000 {
+		t.Errorf("step 2 = %+v", plan.Steps[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"":                   "no executable steps",
+		"deploy x to h on *": "undefined extension",
+		"extension a udf \"len\"\nextension a udf \"len\"\ndeploy a to h on *": "redefined",
+		"frobnicate all the things":                          "unknown statement",
+		"extension a nope 1\ndeploy a to h on *":             "unknown extension kind",
+		"extension a udf \"len > (\"\ndeploy a to h on *":    "",
+		"deploy a at h on *":                                 "expected",
+		"limit h on * notanumber":                            "bad limit",
+		"extension q udf \"unterminated\ndeploy q to h on *": "unterminated",
+	}
+	for src, want := range bad {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("plan %q accepted", src)
+			continue
+		}
+		if want != "" && !strings.Contains(err.Error(), want) {
+			t.Errorf("plan %q: error %q missing %q", src, err, want)
+		}
+	}
+}
+
+func TestExecuteFullPlan(t *testing.T) {
+	o, nodes := newOrch(t, "edge-1", "edge-2", "core-1")
+	plan, err := Parse(samplePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 {
+		t.Fatalf("executed %d steps", len(res.Steps))
+	}
+	// The broadcast updated only the two edge nodes; core-1 keeps allowall.
+	small := make([]byte, xabi.CtxSize)
+	binary.LittleEndian.PutUint32(small[xabi.CtxOffDataLen:], 50)
+	if _, err := nodes["core-1"].ExecHook("ingress", small, nil); err != nil {
+		t.Errorf("core-1 should pass small requests (allowall): %v", err)
+	}
+	if _, err := nodes["edge-1"].ExecHook("ingress", small, nil); err != node.ErrDropped {
+		t.Errorf("edge-1 should drop small requests (allowbig): %v", err)
+	}
+	// The runtime limit reached every node.
+	for name, n := range nodes {
+		slot, _ := n.HookSlot("ingress")
+		fuel, _ := n.Arena.ReadQword(node.HookAddr(slot) + node.HookOffFuel)
+		if fuel != 50000 {
+			t.Errorf("%s fuel = %d", name, fuel)
+		}
+	}
+}
+
+func TestExecuteRollbackStep(t *testing.T) {
+	o, nodes := newOrch(t, "n1")
+	plan, err := Parse(`
+extension v1 udf "len >= 0"
+extension v2 udf "len >= 1000000"
+deploy v1 to ingress on n1
+deploy v2 to ingress on n1
+rollback ingress on n1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+	ctx := make([]byte, xabi.CtxSize)
+	if _, err := nodes["n1"].ExecHook("ingress", ctx, nil); err != nil {
+		t.Errorf("after rollback to v1, request should pass: %v", err)
+	}
+}
+
+func TestExecuteUnknownNode(t *testing.T) {
+	o, _ := newOrch(t, "n1")
+	plan, _ := Parse(`
+extension e udf "len >= 0"
+deploy e to ingress on ghost
+`)
+	if _, err := o.Execute(plan); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExecuteStopsOnFailure(t *testing.T) {
+	o, _ := newOrch(t, "n1")
+	plan, _ := Parse(`
+extension e udf "len >= 0"
+deploy e to nosuchhook on n1
+deploy e to ingress on n1
+`)
+	res, err := o.Execute(plan)
+	if err == nil {
+		t.Fatal("plan with bad hook succeeded")
+	}
+	if len(res.Steps) != 1 {
+		t.Errorf("executed %d steps before failing, want 1", len(res.Steps))
+	}
+}
+
+func TestSyntheticAndWasmGenKinds(t *testing.T) {
+	o, nodes := newOrch(t, "n1")
+	plan, err := Parse(`
+extension filt synthetic 64
+extension wg   wasm-gen 5 50
+deploy filt to ingress on *
+deploy wg to kv on *
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nodes["n1"].ExecHook("kv", make([]byte, xabi.CtxSize), nil)
+	if err != nil || res.Verdict != 105 {
+		t.Errorf("wasm-gen verdict = %+v err=%v (want 105)", res, err)
+	}
+}

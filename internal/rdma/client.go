@@ -1,0 +1,251 @@
+package rdma
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"rdx/internal/mem"
+)
+
+// Completion is the result of an asynchronously posted verb, delivered on
+// the QP's completion queue channel.
+type Completion struct {
+	ID     uint64
+	Err    error
+	Data   []byte // READ payload, or 8-byte old value for CAS/FETCH_ADD
+	OldVal uint64 // decoded atomic result, valid for CAS/FETCH_ADD
+}
+
+// QP is an initiator-side queue pair: it posts verbs to a remote endpoint
+// and matches completions by request id. All methods are safe for
+// concurrent use; the endpoint executes this QP's requests in post order.
+type QP struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	sendMu sync.Mutex
+	nextID uint64
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan Completion
+	err     error // sticky transport error
+	done    chan struct{}
+}
+
+// NewQP wraps an established connection to an endpoint.
+func NewQP(conn net.Conn) *QP {
+	qp := &QP{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]chan Completion),
+		done:    make(chan struct{}),
+	}
+	go qp.readLoop()
+	return qp
+}
+
+// Dial connects a new QP to an endpoint over the given network address.
+func Dial(network, addr string) (*QP, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewQP(conn), nil
+}
+
+// Close tears the QP down; outstanding posts complete with ErrClosed.
+func (qp *QP) Close() error {
+	err := qp.conn.Close()
+	<-qp.done
+	return err
+}
+
+func (qp *QP) readLoop() {
+	defer close(qp.done)
+	br := bufio.NewReaderSize(qp.conn, 64<<10)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			qp.failAll(ErrClosed)
+			return
+		}
+		resp, err := decodeResponse(payload)
+		if err != nil {
+			qp.failAll(fmt.Errorf("rdma: protocol error: %w", err))
+			return
+		}
+		qp.pendMu.Lock()
+		ch, ok := qp.pending[resp.id]
+		delete(qp.pending, resp.id)
+		qp.pendMu.Unlock()
+		if !ok {
+			continue // stale completion; drop
+		}
+		c := Completion{ID: resp.id, Err: statusErr(resp.status)}
+		if c.Err == nil {
+			c.Data = resp.data
+			if len(resp.data) == 8 {
+				c.OldVal = binary.BigEndian.Uint64(resp.data)
+			}
+		}
+		ch <- c
+	}
+}
+
+func (qp *QP) failAll(err error) {
+	qp.pendMu.Lock()
+	qp.err = err
+	for id, ch := range qp.pending {
+		ch <- Completion{ID: id, Err: err}
+		delete(qp.pending, id)
+	}
+	qp.pendMu.Unlock()
+}
+
+// post sends a request and returns a channel that will receive its
+// completion.
+func (qp *QP) post(q request) (<-chan Completion, error) {
+	ch := make(chan Completion, 1)
+
+	qp.pendMu.Lock()
+	if qp.err != nil {
+		err := qp.err
+		qp.pendMu.Unlock()
+		return nil, err
+	}
+	qp.pendMu.Unlock()
+
+	qp.sendMu.Lock()
+	qp.nextID++
+	q.id = qp.nextID
+	qp.pendMu.Lock()
+	qp.pending[q.id] = ch
+	qp.pendMu.Unlock()
+
+	err := writeFrame(qp.bw, q.encode())
+	if err == nil {
+		err = qp.bw.Flush()
+	}
+	qp.sendMu.Unlock()
+
+	if err != nil {
+		qp.pendMu.Lock()
+		delete(qp.pending, q.id)
+		qp.pendMu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+func (qp *QP) call(q request) (Completion, error) {
+	ch, err := qp.post(q)
+	if err != nil {
+		return Completion{}, err
+	}
+	c := <-ch
+	return c, c.Err
+}
+
+// Read performs a one-sided READ of n bytes at addr within the region rkey.
+func (qp *QP) Read(rkey uint32, addr mem.Addr, n int) ([]byte, error) {
+	c, err := qp.call(request{op: OpRead, rkey: rkey, addr: addr, len: uint32(n)})
+	if err != nil {
+		return nil, err
+	}
+	return c.Data, nil
+}
+
+// ReadQword reads one 8-byte little-endian word (arena layout) at addr.
+func (qp *QP) ReadQword(rkey uint32, addr mem.Addr) (uint64, error) {
+	b, err := qp.Read(rkey, addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// Write performs a one-sided WRITE of data at addr. Writes larger than the
+// frame budget are segmented transparently; segments post back-to-back on
+// this QP so they apply in order (but, as on hardware, the overall write is
+// not atomic — use CAS-based commit protocols for atomicity).
+func (qp *QP) Write(rkey uint32, addr mem.Addr, data []byte) error {
+	const seg = 1 << 20
+	for off := 0; off < len(data); off += seg {
+		end := off + seg
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := qp.call(request{op: OpWrite, rkey: rkey, addr: addr + mem.Addr(off), data: data[off:end]}); err != nil {
+			return err
+		}
+	}
+	if len(data) == 0 {
+		_, err := qp.call(request{op: OpWrite, rkey: rkey, addr: addr})
+		return err
+	}
+	return nil
+}
+
+// WriteQword writes one 8-byte little-endian word at addr. Note this is a
+// plain WRITE, not an atomic; pair with CAS when publishing pointers.
+func (qp *QP) WriteQword(rkey uint32, addr mem.Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return qp.Write(rkey, addr, b[:])
+}
+
+// CompareAndSwap atomically swaps the qword at addr from old to new,
+// returning the value found there (swap happened iff prev == old).
+func (qp *QP) CompareAndSwap(rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error) {
+	c, err := qp.call(request{op: OpCAS, rkey: rkey, addr: addr, cmp: old, swap: new})
+	if err != nil {
+		return 0, err
+	}
+	return c.OldVal, nil
+}
+
+// FetchAdd atomically adds delta to the qword at addr, returning the prior
+// value.
+func (qp *QP) FetchAdd(rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error) {
+	c, err := qp.call(request{op: OpFetchAdd, rkey: rkey, addr: addr, delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	return c.OldVal, nil
+}
+
+// WriteImm performs a WRITE_WITH_IMMEDIATE: data lands at addr, then the
+// endpoint's doorbell handlers fire with imm. RDX uses this for
+// rdx_cc_event cacheline flushes.
+func (qp *QP) WriteImm(rkey uint32, addr mem.Addr, imm uint32, data []byte) error {
+	_, err := qp.call(request{op: OpWriteImm, rkey: rkey, addr: addr, imm: imm, data: data})
+	return err
+}
+
+// PostWrite posts an asynchronous WRITE and returns its completion channel;
+// used to pipeline many writes on one QP. data must fit one frame.
+func (qp *QP) PostWrite(rkey uint32, addr mem.Addr, data []byte) (<-chan Completion, error) {
+	if len(data) > MaxFrame-64 {
+		return nil, fmt.Errorf("rdma: PostWrite payload %d too large; segment first", len(data))
+	}
+	return qp.post(request{op: OpWrite, rkey: rkey, addr: addr, data: data})
+}
+
+// PostCAS posts an asynchronous CAS.
+func (qp *QP) PostCAS(rkey uint32, addr mem.Addr, old, new uint64) (<-chan Completion, error) {
+	return qp.post(request{op: OpCAS, rkey: rkey, addr: addr, cmp: old, swap: new})
+}
+
+// QueryMRs fetches the endpoint's registered-region table. This is control
+// metadata exchange (the equivalent of RDMA CM handshakes), used once when
+// a CodeFlow is created.
+func (qp *QP) QueryMRs() ([]MR, error) {
+	c, err := qp.call(request{op: OpQueryMRs})
+	if err != nil {
+		return nil, err
+	}
+	return decodeMRTable(c.Data)
+}

@@ -1,0 +1,226 @@
+// Package rdma implements a software RNIC: RDMA-style one-sided verbs
+// (READ, WRITE, CAS, FETCH_ADD, WRITE_WITH_IMM) carried over a
+// length-prefixed binary wire protocol on any net.Conn.
+//
+// The defining property of RDMA — and the one RDX depends on — is preserved
+// faithfully: verbs execute against the target node's DRAM arena on the
+// endpoint's own goroutines, never on the target's simulated CPU cores. The
+// remote control plane can therefore read, write, and atomically update a
+// data plane's memory while the data plane's cores stay dedicated to
+// application work.
+//
+// Protocol. Every message is a frame: a 4-byte big-endian payload length
+// followed by the payload. Request payloads are
+//
+//	[1B opcode][8B request id][opcode-specific body]
+//
+// and responses are
+//
+//	[1B OpResp][8B request id][1B status][response body]
+//
+// A connection models one queue pair (QP): the endpoint executes its
+// requests in arrival order, matching RDMA's per-QP ordering guarantee.
+// Clients open multiple QPs for parallelism, exactly like real initiators.
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpRead     uint8 = 1 // body: rkey u32, addr u64, length u32
+	OpWrite    uint8 = 2 // body: rkey u32, addr u64, data
+	OpCAS      uint8 = 3 // body: rkey u32, addr u64, compare u64, swap u64
+	OpFetchAdd uint8 = 4 // body: rkey u32, addr u64, delta u64
+	OpWriteImm uint8 = 5 // body: rkey u32, addr u64, imm u32, data
+	OpQueryMRs uint8 = 6 // body: empty; resp: MR table (metadata exchange, as in RDMA CM)
+	OpResp     uint8 = 0x80
+)
+
+// Status codes carried in responses.
+const (
+	StatusOK        uint8 = 0
+	StatusAccessErr uint8 = 1 // unknown rkey or permission violation
+	StatusBoundsErr uint8 = 2 // access outside the registered region
+	StatusOpErr     uint8 = 3 // malformed or unsupported request
+)
+
+// MaxFrame bounds a single frame's payload; large transfers are the
+// caller's job to segment (the client does this transparently).
+const MaxFrame = 16 << 20
+
+// Errors surfaced by the client for non-OK statuses.
+var (
+	ErrAccess = errors.New("rdma: remote access error (rkey or permissions)")
+	ErrBounds = errors.New("rdma: remote access out of registered bounds")
+	ErrOp     = errors.New("rdma: malformed or unsupported operation")
+	ErrClosed = errors.New("rdma: queue pair closed")
+)
+
+func statusErr(s uint8) error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusAccessErr:
+		return ErrAccess
+	case StatusBoundsErr:
+		return ErrBounds
+	default:
+		return ErrOp
+	}
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("rdma: frame of %d bytes exceeds max %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("rdma: frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// request is a decoded verb request.
+type request struct {
+	op    uint8
+	id    uint64
+	rkey  uint32
+	addr  uint64
+	len   uint32 // OpRead
+	cmp   uint64 // OpCAS
+	swap  uint64 // OpCAS
+	delta uint64 // OpFetchAdd
+	imm   uint32 // OpWriteImm
+	data  []byte // OpWrite / OpWriteImm
+}
+
+func (q *request) encode() []byte {
+	var b []byte
+	switch q.op {
+	case OpRead:
+		b = make([]byte, 0, 9+16)
+	case OpWrite, OpWriteImm:
+		b = make([]byte, 0, 9+20+len(q.data))
+	default:
+		b = make([]byte, 0, 9+28)
+	}
+	b = append(b, q.op)
+	b = binary.BigEndian.AppendUint64(b, q.id)
+	b = binary.BigEndian.AppendUint32(b, q.rkey)
+	b = binary.BigEndian.AppendUint64(b, q.addr)
+	switch q.op {
+	case OpRead:
+		b = binary.BigEndian.AppendUint32(b, q.len)
+	case OpWrite:
+		b = append(b, q.data...)
+	case OpCAS:
+		b = binary.BigEndian.AppendUint64(b, q.cmp)
+		b = binary.BigEndian.AppendUint64(b, q.swap)
+	case OpFetchAdd:
+		b = binary.BigEndian.AppendUint64(b, q.delta)
+	case OpWriteImm:
+		b = binary.BigEndian.AppendUint32(b, q.imm)
+		b = append(b, q.data...)
+	}
+	return b
+}
+
+func decodeRequest(p []byte) (request, error) {
+	var q request
+	if len(p) < 9 {
+		return q, fmt.Errorf("rdma: short request (%d bytes)", len(p))
+	}
+	q.op = p[0]
+	q.id = binary.BigEndian.Uint64(p[1:9])
+	body := p[9:]
+	if q.op == OpQueryMRs {
+		return q, nil
+	}
+	if len(body) < 12 {
+		return q, fmt.Errorf("rdma: short verb body (%d bytes)", len(body))
+	}
+	q.rkey = binary.BigEndian.Uint32(body[0:4])
+	q.addr = binary.BigEndian.Uint64(body[4:12])
+	rest := body[12:]
+	switch q.op {
+	case OpRead:
+		if len(rest) != 4 {
+			return q, errors.New("rdma: bad READ body")
+		}
+		q.len = binary.BigEndian.Uint32(rest)
+	case OpWrite:
+		q.data = rest
+	case OpCAS:
+		if len(rest) != 16 {
+			return q, errors.New("rdma: bad CAS body")
+		}
+		q.cmp = binary.BigEndian.Uint64(rest[0:8])
+		q.swap = binary.BigEndian.Uint64(rest[8:16])
+	case OpFetchAdd:
+		if len(rest) != 8 {
+			return q, errors.New("rdma: bad FETCH_ADD body")
+		}
+		q.delta = binary.BigEndian.Uint64(rest)
+	case OpWriteImm:
+		if len(rest) < 4 {
+			return q, errors.New("rdma: bad WRITE_IMM body")
+		}
+		q.imm = binary.BigEndian.Uint32(rest[0:4])
+		q.data = rest[4:]
+	default:
+		return q, fmt.Errorf("rdma: unknown opcode %#x", q.op)
+	}
+	return q, nil
+}
+
+// response is a decoded verb response.
+type response struct {
+	id     uint64
+	status uint8
+	data   []byte
+}
+
+func (r *response) encode() []byte {
+	b := make([]byte, 0, 10+len(r.data))
+	b = append(b, OpResp)
+	b = binary.BigEndian.AppendUint64(b, r.id)
+	b = append(b, r.status)
+	b = append(b, r.data...)
+	return b
+}
+
+func decodeResponse(p []byte) (response, error) {
+	var r response
+	if len(p) < 10 || p[0] != OpResp {
+		return r, fmt.Errorf("rdma: malformed response (%d bytes)", len(p))
+	}
+	r.id = binary.BigEndian.Uint64(p[1:9])
+	r.status = p[9]
+	r.data = p[10:]
+	return r, nil
+}

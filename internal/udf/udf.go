@@ -1,0 +1,492 @@
+// Package udf implements the third extension frontend: user-defined
+// functions, the per-query extension kind of BigQuery/PolarDB-style data
+// systems (paper §1, Obs. #1 — "short-lived per-query UDF extensions").
+//
+// A UDF is a scalar expression over the request context, written in a small
+// C-like language:
+//
+//	len > 128 && (hash(flow) % 100) < 10 || tenant == 42
+//
+// Expressions are parsed, type-checked (everything is i64; booleans are
+// 0/1), and compiled through the same pipeline as eBPF and Wasm: native
+// code with helper relocations, linked and deployed over RDMA. Because
+// per-query UDFs live microseconds, they are the workload where agent-based
+// injection (milliseconds) is most absurd and RDX's compile-once cache plus
+// µs deploy matters most.
+package udf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rdx/internal/xabi"
+)
+
+// Fields readable from the request context.
+var ctxFields = map[string]struct {
+	off  int32
+	size uint8
+}{
+	"len":    {xabi.CtxOffDataLen, 4},
+	"proto":  {xabi.CtxOffProtocol, 4},
+	"flow":   {xabi.CtxOffFlowID, 8},
+	"tenant": {xabi.CtxOffTenant, 8},
+}
+
+// Functions callable from UDFs: name → (arity, helper id or -1 for builtin).
+var functions = map[string]struct {
+	arity  int
+	helper int // xabi helper id; -1 = compiled inline
+}{
+	"min":  {2, -1},
+	"max":  {2, -1},
+	"abs":  {1, -1},
+	"hash": {1, -1},
+	"now":  {0, xabi.HelperKtimeGetNS},
+	"rand": {0, xabi.HelperGetPrandomU32},
+}
+
+// Node kinds.
+type kind uint8
+
+const (
+	kInt kind = iota
+	kField
+	kUnary
+	kBinary
+	kCall
+)
+
+// Expr is a parsed expression node.
+type Expr struct {
+	Kind kind
+	Val  int64   // kInt
+	Name string  // kField / kCall
+	Op   string  // kUnary / kBinary
+	Args []*Expr // kUnary (1), kBinary (2), kCall (arity)
+}
+
+// Parse parses a UDF expression.
+func Parse(src string) (*Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("udf: trailing input at %q", p.toks[p.pos].text)
+	}
+	return e, nil
+}
+
+// --- lexer ---
+
+type token struct {
+	text string
+	num  bool
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == 'x' ||
+				src[j] >= 'a' && src[j] <= 'f' || src[j] >= 'A' && src[j] <= 'F') {
+				j++
+			}
+			toks = append(toks, token{src[i:j], true})
+			i = j
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			j := i
+			for j < len(src) && (src[j] >= 'a' && src[j] <= 'z' || src[j] >= 'A' && src[j] <= 'Z' ||
+				src[j] >= '0' && src[j] <= '9' || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{src[i:j], false})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, token{two, false})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '(', ')', ',', '!', '&', '|', '^':
+				toks = append(toks, token{string(c), false})
+				i++
+			default:
+				return nil, fmt.Errorf("udf: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("udf: empty expression")
+	}
+	return toks, nil
+}
+
+// --- parser (precedence climbing) ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].text
+	}
+	return ""
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(s string) error {
+	if p.peek() != s {
+		return fmt.Errorf("udf: expected %q, got %q", s, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "||" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = &Expr{Kind: kBinary, Op: "||", Args: []*Expr{e, r}}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	e, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&&" {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		e = &Expr{Kind: kBinary, Op: "&&", Args: []*Expr{e, r}}
+	}
+	return e, nil
+}
+
+func (p *parser) parseCmp() (*Expr, error) {
+	e, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch op := p.peek(); op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: kBinary, Op: op, Args: []*Expr{e, r}}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) parseAdd() (*Expr, error) {
+	e, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		if op != "+" && op != "-" && op != "&" && op != "|" && op != "^" {
+			return e, nil
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		e = &Expr{Kind: kBinary, Op: op, Args: []*Expr{e, r}}
+	}
+}
+
+func (p *parser) parseMul() (*Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		if op != "*" && op != "/" && op != "%" {
+			return e, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = &Expr{Kind: kBinary, Op: op, Args: []*Expr{e, r}}
+	}
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	switch p.peek() {
+	case "-", "!":
+		op := p.next().text
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: kUnary, Op: op, Args: []*Expr{e}}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	if p.pos >= len(p.toks) {
+		return nil, fmt.Errorf("udf: unexpected end of expression")
+	}
+	t := p.next()
+	if t.num {
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("udf: bad number %q", t.text)
+		}
+		return &Expr{Kind: kInt, Val: v}, nil
+	}
+	if t.text == "(" {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	if !isIdent(t.text) {
+		return nil, fmt.Errorf("udf: unexpected token %q", t.text)
+	}
+	if p.peek() == "(" {
+		p.next()
+		fn, ok := functions[t.text]
+		if !ok {
+			return nil, fmt.Errorf("udf: unknown function %q", t.text)
+		}
+		var args []*Expr
+		for p.peek() != ")" {
+			a, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.peek() == "," {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if len(args) != fn.arity {
+			return nil, fmt.Errorf("udf: %s takes %d args, got %d", t.text, fn.arity, len(args))
+		}
+		return &Expr{Kind: kCall, Name: t.text, Args: args}, nil
+	}
+	if _, ok := ctxFields[t.text]; !ok {
+		return nil, fmt.Errorf("udf: unknown field %q (have: %s)", t.text, strings.Join(fieldNames(), ", "))
+	}
+	return &Expr{Kind: kField, Name: t.text}, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func fieldNames() []string {
+	out := make([]string, 0, len(ctxFields))
+	for k := range ctxFields {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Eval interprets the expression against a context (reference semantics
+// for the compiler's differential tests).
+func Eval(e *Expr, ctx []byte, env *xabi.Env) (int64, error) {
+	switch e.Kind {
+	case kInt:
+		return e.Val, nil
+	case kField:
+		f := ctxFields[e.Name]
+		if int(f.off)+int(f.size) > len(ctx) {
+			return 0, fmt.Errorf("udf: ctx too small for field %s", e.Name)
+		}
+		var v uint64
+		for i := int(f.size) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(ctx[int(f.off)+i])
+		}
+		return int64(v), nil
+	case kUnary:
+		v, err := Eval(e.Args[0], ctx, env)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == "-" {
+			return -v, nil
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case kBinary:
+		a, err := Eval(e.Args[0], ctx, env)
+		if err != nil {
+			return 0, err
+		}
+		b, err := Eval(e.Args[1], ctx, env)
+		if err != nil {
+			return 0, err
+		}
+		return evalBin(e.Op, a, b), nil
+	case kCall:
+		var args [2]int64
+		for i, a := range e.Args {
+			v, err := Eval(a, ctx, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		switch e.Name {
+		case "min":
+			if args[0] < args[1] {
+				return args[0], nil
+			}
+			return args[1], nil
+		case "max":
+			if args[0] > args[1] {
+				return args[0], nil
+			}
+			return args[1], nil
+		case "abs":
+			if args[0] < 0 {
+				return -args[0], nil
+			}
+			return args[0], nil
+		case "hash":
+			return int64(hash64(uint64(args[0]))), nil
+		case "now":
+			if env == nil {
+				return 0, nil
+			}
+			return int64(env.Now()), nil
+		case "rand":
+			if env == nil {
+				return 0, nil
+			}
+			return int64(uint64(env.Rand())), nil
+		}
+	}
+	return 0, fmt.Errorf("udf: bad node")
+}
+
+func evalBin(op string, a, b int64) int64 {
+	bool2i := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		if b == 0 {
+			return 0
+		}
+		if a == -1<<63 && b == -1 {
+			return a
+		}
+		return a / b
+	case "%":
+		if b == 0 {
+			return a
+		}
+		if a == -1<<63 && b == -1 {
+			return 0
+		}
+		return a % b
+	case "&":
+		return a & b
+	case "|":
+		return a | b
+	case "^":
+		return a ^ b
+	case "==":
+		return bool2i(a == b)
+	case "!=":
+		return bool2i(a != b)
+	case "<":
+		return bool2i(a < b)
+	case "<=":
+		return bool2i(a <= b)
+	case ">":
+		return bool2i(a > b)
+	case ">=":
+		return bool2i(a >= b)
+	case "&&":
+		return bool2i(a != 0 && b != 0)
+	case "||":
+		return bool2i(a != 0 || b != 0)
+	}
+	return 0
+}
+
+// hash64 is the splitmix64 finalizer, shared by Eval and compiled code.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,302 @@
+package udf
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rdx/internal/ebpf/vm"
+	"rdx/internal/native"
+	"rdx/internal/xabi"
+)
+
+// compileRun compiles for arch, links helper relocs, and runs against ctx.
+func compileRun(t *testing.T, p *Program, arch native.Arch, env *xabi.Env, ctx []byte) uint64 {
+	t.Helper()
+	bin, err := p.Compile(arch)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	helpers := map[uint64]xabi.HelperFn{}
+	next := uint64(0xAB00)
+	if err := native.Link(bin, func(kind native.RelocKind, sym string) (uint64, bool) {
+		if kind != native.RelocHelper {
+			return 0, false
+		}
+		for id, fn := range vm.DefaultHelpers() {
+			if "helper:"+xabi.HelperName(int(id)) == sym {
+				next += 0x10
+				helpers[next] = fn
+				return next, true
+			}
+		}
+		return 0, false
+	}); err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	np, err := native.DecodeProgram(bin.Arch, bin.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := (&native.Engine{HelperAddrs: helpers}).Run(np, env, ctx)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return r0
+}
+
+// both asserts Eval and both compiled arches agree, returning the value.
+func both(t *testing.T, src string, ctx []byte, env *xabi.Env) int64 {
+	t.Helper()
+	p, err := New("t", src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if env == nil {
+		env = &xabi.Env{}
+	}
+	fullCtx := make([]byte, xabi.CtxSize)
+	copy(fullCtx, ctx)
+	want, err := Eval(p.Expr, fullCtx, env)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	for _, arch := range []native.Arch{native.ArchX64, native.ArchA64} {
+		got := compileRun(t, p, arch, env, fullCtx)
+		if int64(got) != want {
+			t.Errorf("%q on %v: compiled %d, eval %d", src, arch, int64(got), want)
+		}
+	}
+	return want
+}
+
+func ctxWith(length uint32, proto uint32, flow, tenant uint64) []byte {
+	ctx := make([]byte, xabi.CtxSize)
+	binary.LittleEndian.PutUint32(ctx[xabi.CtxOffDataLen:], length)
+	binary.LittleEndian.PutUint32(ctx[xabi.CtxOffProtocol:], proto)
+	binary.LittleEndian.PutUint64(ctx[xabi.CtxOffFlowID:], flow)
+	binary.LittleEndian.PutUint64(ctx[xabi.CtxOffTenant:], tenant)
+	return ctx
+}
+
+func TestLiteralsAndArith(t *testing.T) {
+	cases := map[string]int64{
+		"1 + 2 * 3":   7,
+		"(1 + 2) * 3": 9,
+		"10 - 4 - 3":  3,
+		"7 / 2":       3,
+		"-7 / 2":      -3,
+		"7 % 3":       1,
+		"7 / 0":       0,
+		"7 % 0":       7,
+		"0x10 + 1":    17,
+		"-5":          -5,
+		"!0":          1,
+		"!7":          0,
+		"- - 5":       5,
+		"1 & 3":       1,
+		"1 | 2":       3,
+		"5 ^ 3":       6,
+	}
+	for src, want := range cases {
+		if got := both(t, src, nil, nil); got != want {
+			t.Errorf("%q = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	cases := map[string]int64{
+		"1 == 1":           1,
+		"1 != 1":           0,
+		"2 < 3":            1,
+		"-2 < 3":           1, // signed
+		"3 <= 3":           1,
+		"4 > 5":            0,
+		"5 >= 5":           1,
+		"1 && 2":           1,
+		"1 && 0":           0,
+		"0 || 3":           1,
+		"0 || 0":           0,
+		"1 < 2 && 3 < 4":   1,
+		"1 == 2 || 5 == 5": 1,
+	}
+	for src, want := range cases {
+		if got := both(t, src, nil, nil); got != want {
+			t.Errorf("%q = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestFields(t *testing.T) {
+	ctx := ctxWith(1500, 6, 0xABCD, 42)
+	cases := map[string]int64{
+		"len":          1500,
+		"proto":        6,
+		"flow":         0xABCD,
+		"tenant":       42,
+		"len > 1000":   1,
+		"tenant == 42": 1,
+		"len + proto":  1506,
+		"flow % 100":   0xABCD % 100,
+	}
+	for src, want := range cases {
+		if got := both(t, src, ctx, nil); got != want {
+			t.Errorf("%q = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	cases := map[string]int64{
+		"min(3, 5)":     3,
+		"min(5, 3)":     3,
+		"max(3, 5)":     5,
+		"abs(-9)":       9,
+		"abs(9)":        9,
+		"min(1+1, 2*3)": 2,
+	}
+	for src, want := range cases {
+		if got := both(t, src, nil, nil); got != want {
+			t.Errorf("%q = %d, want %d", src, got, want)
+		}
+	}
+	// hash is deterministic and matches across engines.
+	h := both(t, "hash(12345)", nil, nil)
+	if h == 12345 || h == 0 {
+		t.Errorf("hash looks like identity/zero: %d", h)
+	}
+	if h2 := both(t, "hash(12345)", nil, nil); h2 != h {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestHelperCalls(t *testing.T) {
+	env := &xabi.Env{
+		NowNS:   func() uint64 { return 777 },
+		RandU32: func() uint32 { return 88 },
+	}
+	if got := both(t, "now()", nil, env); got != 777 {
+		t.Errorf("now() = %d", got)
+	}
+	if got := both(t, "rand()", nil, env); got != 88 {
+		t.Errorf("rand() = %d", got)
+	}
+	if got := both(t, "now() + rand()", nil, env); got != 865 {
+		t.Errorf("now()+rand() = %d", got)
+	}
+}
+
+func TestSamplingUDF(t *testing.T) {
+	// The motivating per-query example: sample ~10% of flows over a
+	// threshold length.
+	src := "len > 128 && ((hash(flow) & 0x7fffffffffffffff) % 100) < 10"
+	matched := 0
+	for flow := uint64(0); flow < 200; flow++ {
+		ctx := ctxWith(1000, 6, flow, 0)
+		if both(t, src, ctx, nil) != 0 {
+			matched++
+		}
+	}
+	if matched == 0 || matched > 60 {
+		t.Errorf("sampling matched %d/200; expected roughly 10%%", matched)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"":             "empty",
+		"1 +":          "unexpected end",
+		"foo":          "unknown field",
+		"min(1)":       "takes 2 args",
+		"nope(1)":      "unknown function",
+		"(1":           "expected",
+		"1 ~ 2":        "unexpected character",
+		"1 2":          "trailing",
+		"min(1, 2, 3)": "takes 2 args",
+	}
+	for src, want := range bad {
+		_, err := New("t", src)
+		if err == nil {
+			t.Errorf("%q: accepted", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: error %q missing %q", src, err, want)
+		}
+	}
+}
+
+func TestDigest(t *testing.T) {
+	a, _ := New("a", "len > 5")
+	b, _ := New("b", "len > 5")
+	c, _ := New("c", "len > 6")
+	if a.Digest() != b.Digest() {
+		t.Error("same source, different digest")
+	}
+	if a.Digest() == c.Digest() {
+		t.Error("different source, same digest")
+	}
+}
+
+func TestRandomExpressionsDifferential(t *testing.T) {
+	// Property: randomly generated expressions evaluate identically in the
+	// interpreter and on both compiled architectures.
+	gen := func(rng *rand.Rand) string {
+		var build func(depth int) string
+		build = func(depth int) string {
+			if depth <= 0 || rng.Intn(3) == 0 {
+				switch rng.Intn(3) {
+				case 0:
+					return []string{"len", "proto", "flow", "tenant"}[rng.Intn(4)]
+				default:
+					// Small constants keep div/mod interesting.
+					return []string{"0", "1", "2", "3", "7", "100", "4096"}[rng.Intn(7)]
+				}
+			}
+			ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+			op := ops[rng.Intn(len(ops))]
+			a, b := build(depth-1), build(depth-1)
+			switch rng.Intn(5) {
+			case 0:
+				return "min(" + a + ", " + b + ")"
+			case 1:
+				return "hash(" + a + ")"
+			default:
+				return "(" + a + " " + op + " " + b + ")"
+			}
+		}
+		return build(3)
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := gen(rng)
+		p, err := New("q", src)
+		if err != nil {
+			t.Logf("seed %d: %q: %v", seed, src, err)
+			return false
+		}
+		ctx := ctxWith(rng.Uint32()%1<<16, rng.Uint32()%256, rng.Uint64(), rng.Uint64()%1000)
+		fullCtx := make([]byte, xabi.CtxSize)
+		copy(fullCtx, ctx)
+		env := &xabi.Env{}
+		want, err := Eval(p.Expr, fullCtx, env)
+		if err != nil {
+			return false
+		}
+		for _, arch := range []native.Arch{native.ArchX64, native.ArchA64} {
+			got := compileRun(t, p, arch, env, fullCtx)
+			if int64(got) != want {
+				t.Logf("seed %d: %q: %v got %d want %d", seed, src, arch, int64(got), want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package wasm
+
+import "encoding/binary"
+
+// Body incrementally builds function bytecode. It is the programmatic
+// equivalent of a .wat assembler for the RDXW container, used by tests,
+// examples, and the cluster workload generators.
+type Body struct{ b []byte }
+
+// NewBody starts an empty body.
+func NewBody() *Body { return &Body{} }
+
+// Bytes returns the encoded body.
+func (x *Body) Bytes() []byte { return x.b }
+
+func (x *Body) op(op uint8) *Body { x.b = append(x.b, op); return x }
+
+func (x *Body) u32(v uint32) *Body {
+	x.b = binary.LittleEndian.AppendUint32(x.b, v)
+	return x
+}
+
+// Nop appends nop.
+func (x *Body) Nop() *Body { return x.op(OpNop) }
+
+// Unreachable appends unreachable.
+func (x *Body) Unreachable() *Body { return x.op(OpUnreachable) }
+
+// Block opens a block with result type bt (BlockEmpty, I32, or I64).
+func (x *Body) Block(bt uint8) *Body { x.op(OpBlock); x.b = append(x.b, bt); return x }
+
+// Loop opens a loop.
+func (x *Body) Loop(bt uint8) *Body { x.op(OpLoop); x.b = append(x.b, bt); return x }
+
+// If opens an if.
+func (x *Body) If(bt uint8) *Body { x.op(OpIf); x.b = append(x.b, bt); return x }
+
+// Else switches to the else branch.
+func (x *Body) Else() *Body { return x.op(OpElse) }
+
+// End closes the innermost frame (or the function).
+func (x *Body) End() *Body { return x.op(OpEnd) }
+
+// Br branches to the frame at depth.
+func (x *Body) Br(depth uint32) *Body { return x.op(OpBr).u32(depth) }
+
+// BrIf conditionally branches.
+func (x *Body) BrIf(depth uint32) *Body { return x.op(OpBrIf).u32(depth) }
+
+// Return returns the function result.
+func (x *Body) Return() *Body { return x.op(OpReturn) }
+
+// Call invokes function index fi.
+func (x *Body) Call(fi uint32) *Body { return x.op(OpCall).u32(fi) }
+
+// Drop pops and discards.
+func (x *Body) Drop() *Body { return x.op(OpDrop) }
+
+// Select picks between two values by an i32 condition.
+func (x *Body) Select() *Body { return x.op(OpSelect) }
+
+// LocalGet pushes local idx.
+func (x *Body) LocalGet(idx uint32) *Body { return x.op(OpLocalGet).u32(idx) }
+
+// LocalSet pops into local idx.
+func (x *Body) LocalSet(idx uint32) *Body { return x.op(OpLocalSet).u32(idx) }
+
+// LocalTee stores the top of stack into local idx without popping.
+func (x *Body) LocalTee(idx uint32) *Body { return x.op(OpLocalTee).u32(idx) }
+
+// GlobalGet pushes global idx.
+func (x *Body) GlobalGet(idx uint32) *Body { return x.op(OpGlobalGet).u32(idx) }
+
+// GlobalSet pops into global idx.
+func (x *Body) GlobalSet(idx uint32) *Body { return x.op(OpGlobalSet).u32(idx) }
+
+// I32Load loads i32 from linear memory at popped address + offset.
+func (x *Body) I32Load(offset uint32) *Body { return x.op(OpI32Load).u32(offset) }
+
+// I64Load loads i64.
+func (x *Body) I64Load(offset uint32) *Body { return x.op(OpI64Load).u32(offset) }
+
+// I32Store stores i32.
+func (x *Body) I32Store(offset uint32) *Body { return x.op(OpI32Store).u32(offset) }
+
+// I64Store stores i64.
+func (x *Body) I64Store(offset uint32) *Body { return x.op(OpI64Store).u32(offset) }
+
+// I32Const pushes an i32 constant.
+func (x *Body) I32Const(v int32) *Body { return x.op(OpI32Const).u32(uint32(v)) }
+
+// I64Const pushes an i64 constant.
+func (x *Body) I64Const(v int64) *Body {
+	x.op(OpI64Const)
+	x.b = binary.LittleEndian.AppendUint64(x.b, uint64(v))
+	return x
+}
+
+// Raw appends a raw opcode (for the pure value operations).
+func (x *Body) Raw(op uint8) *Body { return x.op(op) }
+
+// SimpleFilter builds a module with one ()->i64 function, the given locals,
+// memory pages, and body — the common test/workload shape.
+func SimpleFilter(name string, memPages uint32, locals []ValType, body []byte) *Module {
+	return &Module{
+		Name:     name,
+		Types:    []FuncType{{Results: []ValType{I64}}},
+		Funcs:    []Func{{Type: 0, Locals: locals, Body: body}},
+		MemPages: memPages,
+		Exports:  map[string]uint32{EntryExport: 0},
+	}
+}
+
+// FilterWithImports builds a module importing the named host functions
+// (appending their types), entry at index len(imports).
+func FilterWithImports(name string, memPages uint32, imports []Import, extraTypes []FuncType, locals []ValType, body []byte) *Module {
+	types := append([]FuncType{{Results: []ValType{I64}}}, extraTypes...)
+	return &Module{
+		Name:     name,
+		Types:    types,
+		Imports:  imports,
+		Funcs:    []Func{{Type: 0, Locals: locals, Body: body}},
+		MemPages: memPages,
+		Exports:  map[string]uint32{EntryExport: uint32(len(imports))},
+	}
+}

@@ -1,0 +1,546 @@
+package wasm
+
+import (
+	"errors"
+	"fmt"
+
+	"rdx/internal/ebpf/vm"
+	"rdx/internal/xabi"
+)
+
+// ErrFuel is returned when a filter exceeds its instruction budget.
+var ErrFuel = errors.New("wasm: fuel exhausted")
+
+// ErrTrap is returned for unreachable and other traps.
+var ErrTrap = errors.New("wasm: trap")
+
+// Instance is an instantiated filter: module plus its linear memory and
+// globals, addressed through an xabi.Memory so the same bytes are reachable
+// by the remote control plane when the instance lives in a node arena.
+type Instance struct {
+	Module   *Module
+	Mem      xabi.Memory
+	MemBase  uint64 // linear memory base address (size MemPages*PageSize)
+	GlobBase uint64 // globals region base (8 bytes per global)
+	Fuel     int
+}
+
+// NewLocalInstance builds an instance backed by a private region memory —
+// the form used in tests and on the control plane for validation runs.
+func NewLocalInstance(m *Module) (*Instance, error) {
+	const memBase, globBase = 0x4000_0000, 0x5000_0000
+	var regions []*xabi.Region
+	if m.MemPages > 0 {
+		regions = append(regions, &xabi.Region{
+			Base: memBase, Data: make([]byte, int(m.MemPages)*PageSize), Writable: true, Name: "wasm:memory",
+		})
+	}
+	if len(m.Globals) > 0 {
+		regions = append(regions, &xabi.Region{
+			Base: globBase, Data: make([]byte, 8*len(m.Globals)), Writable: true, Name: "wasm:globals",
+		})
+	}
+	mem, err := xabi.NewRegionMemory(regions...)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{Module: m, Mem: mem, MemBase: memBase, GlobBase: globBase}
+	if err := inst.InitGlobals(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// InitGlobals writes the global initializers into the globals region.
+func (inst *Instance) InitGlobals() error {
+	for i, g := range inst.Module.Globals {
+		if err := inst.Mem.WriteMem(inst.GlobBase+uint64(8*i), 8, uint64(g.Init)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hostTable resolves host imports to helper implementations via the shared
+// helper table.
+func hostTable(m *Module) ([]xabi.HelperFn, error) {
+	helpers := vm.DefaultHelpers()
+	out := make([]xabi.HelperFn, len(m.Imports))
+	for i, im := range m.Imports {
+		id, ok := HostFuncIDs[im.Name]
+		if !ok {
+			return nil, fmt.Errorf("wasm: unknown host import %q", im.Name)
+		}
+		fn, ok := helpers[int32(id)]
+		if !ok {
+			return nil, fmt.Errorf("wasm: host import %q has no implementation", im.Name)
+		}
+		out[i] = fn
+	}
+	return out, nil
+}
+
+// Run interprets the filter entry with ctx copied into linear memory at
+// offset 0 (the filter ABI); after execution the first CtxSize bytes are
+// copied back so verdict writes are visible. Returns the filter's i64.
+func (inst *Instance) Run(env *xabi.Env, ctx []byte) (uint64, error) {
+	m := inst.Module
+	if _, err := Validate(m); err != nil {
+		return 0, err
+	}
+	hosts, err := hostTable(m)
+	if err != nil {
+		return 0, err
+	}
+	if env == nil {
+		env = &xabi.Env{}
+	}
+	runEnv := *env
+	if runEnv.Mem == nil {
+		runEnv.Mem = inst.Mem
+	}
+
+	if m.MemPages > 0 && len(ctx) > 0 {
+		if len(ctx) > xabi.CtxSize {
+			return 0, fmt.Errorf("wasm: ctx too large")
+		}
+		if err := runEnv.Mem.WriteBytes(inst.MemBase, ctx); err != nil {
+			return 0, err
+		}
+	}
+
+	it := &interp{
+		inst:  inst,
+		env:   &runEnv,
+		hosts: hosts,
+		fuel:  inst.Fuel,
+	}
+	if it.fuel == 0 {
+		it.fuel = 1 << 22
+	}
+	f := &m.Funcs[0]
+	nLocals := len(m.Types[f.Type].Params) + len(f.Locals)
+	r0, err := it.call(f, make([]uint64, nLocals))
+	if err != nil {
+		return 0, err
+	}
+	if m.MemPages > 0 && len(ctx) > 0 {
+		back, err := runEnv.Mem.ReadBytes(inst.MemBase, len(ctx))
+		if err != nil {
+			return 0, err
+		}
+		copy(ctx, back)
+	}
+	return r0, nil
+}
+
+type interp struct {
+	inst  *Instance
+	env   *xabi.Env
+	hosts []xabi.HelperFn
+	fuel  int
+}
+
+// frame label for structured control flow.
+type label struct {
+	op     uint8
+	pc     int // loop start (for Loop) — br targets here
+	height int
+	arity  int // values a br to this label carries
+	elsePC int
+	endPC  int
+}
+
+func (it *interp) call(f *Func, locals []uint64) (uint64, error) {
+	ctrl, err := scanControl(f.Body)
+	if err != nil {
+		return 0, err
+	}
+	var stack []uint64
+	var labels []label
+	labels = append(labels, label{op: 0, height: 0, arity: 1, endPC: len(f.Body)})
+
+	d := &decoder{b: f.Body}
+	push := func(v uint64) { stack = append(stack, v) }
+	pop := func() uint64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	branch := func(depth int) {
+		l := labels[len(labels)-1-depth]
+		var carry []uint64
+		for i := 0; i < l.arity; i++ {
+			carry = append(carry, pop())
+		}
+		stack = stack[:l.height]
+		for i := len(carry) - 1; i >= 0; i-- {
+			push(carry[i])
+		}
+		if l.op == OpLoop {
+			d.off = l.pc                        // back to loop start (after the blocktype)
+			labels = labels[:len(labels)-depth] // keep the loop label itself
+		} else {
+			d.off = l.endPC + 1 // past the End
+			labels = labels[:len(labels)-1-depth]
+		}
+	}
+
+	for {
+		if it.fuel--; it.fuel < 0 {
+			return 0, ErrFuel
+		}
+		op, ok := d.op()
+		if !ok {
+			return 0, fmt.Errorf("wasm: fell off function body")
+		}
+		switch op {
+		case OpNop:
+
+		case OpUnreachable:
+			return 0, fmt.Errorf("%w: unreachable executed", ErrTrap)
+
+		case OpBlock, OpLoop:
+			bt, _ := d.u8()
+			result, _ := blockResult(bt)
+			c := ctrl[d.lastOff]
+			arity := len(result)
+			if op == OpLoop {
+				arity = 0
+			}
+			labels = append(labels, label{op: op, pc: d.off, height: len(stack), arity: arity, endPC: c.end})
+
+		case OpIf:
+			bt, _ := d.u8()
+			result, _ := blockResult(bt)
+			c := ctrl[d.lastOff]
+			cond := pop()
+			labels = append(labels, label{op: OpIf, height: len(stack), arity: len(result), elsePC: c.els, endPC: c.end})
+			if uint32(cond) == 0 {
+				if c.els >= 0 {
+					d.off = c.els + 1 // into the else branch
+				} else {
+					d.off = c.end + 1 // skip the whole if
+					labels = labels[:len(labels)-1]
+				}
+			}
+
+		case OpElse:
+			// Reached after executing the then-branch: skip to End.
+			l := labels[len(labels)-1]
+			d.off = l.endPC + 1
+			labels = labels[:len(labels)-1]
+
+		case OpEnd:
+			l := labels[len(labels)-1]
+			labels = labels[:len(labels)-1]
+			if len(labels) == 0 {
+				if l.arity == 1 {
+					return pop(), nil
+				}
+				return 0, nil
+			}
+
+		case OpBr:
+			depth, _ := d.u32()
+			branch(int(depth))
+
+		case OpBrIf:
+			depth, _ := d.u32()
+			if uint32(pop()) != 0 {
+				branch(int(depth))
+			}
+
+		case OpReturn:
+			return pop(), nil
+
+		case OpCall:
+			fi, _ := d.u32()
+			ft, err := it.inst.Module.FuncTypeAt(fi)
+			if err != nil {
+				return 0, err
+			}
+			args := make([]uint64, 5)
+			for i := len(ft.Params) - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			r0, err := it.hosts[fi](it.env, args[0], args[1], args[2], args[3], args[4])
+			if err != nil {
+				return 0, fmt.Errorf("wasm: host %s: %w", it.inst.Module.Imports[fi].Name, err)
+			}
+			if len(ft.Results) == 1 {
+				if ft.Results[0] == I32 {
+					r0 = uint64(uint32(r0))
+				}
+				push(r0)
+			}
+
+		case OpDrop:
+			pop()
+
+		case OpSelect:
+			cond := pop()
+			b := pop()
+			a := pop()
+			if uint32(cond) != 0 {
+				push(a)
+			} else {
+				push(b)
+			}
+
+		case OpLocalGet:
+			idx, _ := d.u32()
+			push(locals[idx])
+		case OpLocalSet:
+			idx, _ := d.u32()
+			locals[idx] = pop()
+		case OpLocalTee:
+			idx, _ := d.u32()
+			locals[idx] = stack[len(stack)-1]
+
+		case OpGlobalGet:
+			idx, _ := d.u32()
+			v, err := it.env.Mem.ReadMem(it.inst.GlobBase+uint64(8*idx), 8)
+			if err != nil {
+				return 0, err
+			}
+			if it.inst.Module.Globals[idx].Type == I32 {
+				v = uint64(uint32(v))
+			}
+			push(v)
+		case OpGlobalSet:
+			idx, _ := d.u32()
+			if err := it.env.Mem.WriteMem(it.inst.GlobBase+uint64(8*idx), 8, pop()); err != nil {
+				return 0, err
+			}
+
+		case OpI32Load, OpI64Load:
+			off, _ := d.u32()
+			addr := it.inst.MemBase + uint64(uint32(pop())) + uint64(off)
+			size := 4
+			if op == OpI64Load {
+				size = 8
+			}
+			v, err := it.env.Mem.ReadMem(addr, size)
+			if err != nil {
+				return 0, fmt.Errorf("%w: load: %v", ErrTrap, err)
+			}
+			push(v)
+
+		case OpI32Store, OpI64Store:
+			off, _ := d.u32()
+			val := pop()
+			addr := it.inst.MemBase + uint64(uint32(pop())) + uint64(off)
+			size := 4
+			if op == OpI64Store {
+				size = 8
+			}
+			if err := it.env.Mem.WriteMem(addr, size, val); err != nil {
+				return 0, fmt.Errorf("%w: store: %v", ErrTrap, err)
+			}
+
+		case OpI32Const:
+			v, _ := d.u32()
+			push(uint64(v))
+		case OpI64Const:
+			v, _ := d.u64()
+			push(v)
+
+		case OpI32WrapI64:
+			push(uint64(uint32(pop())))
+		case OpI64ExtendI32:
+			push(uint64(uint32(pop())))
+
+		default:
+			in, _, okk := aluShape(op)
+			if !okk {
+				return 0, fmt.Errorf("wasm: unknown opcode %#x at %d", op, d.lastOff)
+			}
+			var a, b uint64
+			if in.count == 2 {
+				b = pop()
+				a = pop()
+			} else {
+				a = pop()
+			}
+			push(evalALU(op, a, b))
+		}
+	}
+}
+
+// ctrlInfo records matching else/end offsets for a structured opcode.
+type ctrlInfo struct {
+	els int // -1 if none
+	end int
+}
+
+// scanControl precomputes block structure: for every Block/Loop/If opcode
+// offset, the offsets of its matching Else (if any) and End.
+func scanControl(body []byte) (map[int]ctrlInfo, error) {
+	out := map[int]ctrlInfo{}
+	var stack []int
+	d := &decoder{b: body}
+	for {
+		op, ok := d.op()
+		if !ok {
+			break
+		}
+		at := d.lastOff
+		switch op {
+		case OpBlock, OpLoop, OpIf:
+			d.u8()
+			stack = append(stack, at)
+			out[at] = ctrlInfo{els: -1, end: -1}
+		case OpElse:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("wasm: else at %d without frame", at)
+			}
+			top := stack[len(stack)-1]
+			ci := out[top]
+			ci.els = at
+			out[top] = ci
+		case OpEnd:
+			if len(stack) == 0 {
+				// function-level end
+				continue
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ci := out[top]
+			ci.end = at
+			out[top] = ci
+		case OpBr, OpBrIf, OpCall, OpLocalGet, OpLocalSet, OpLocalTee,
+			OpGlobalGet, OpGlobalSet, OpI32Load, OpI64Load, OpI32Store,
+			OpI64Store, OpI32Const:
+			d.u32()
+		case OpI64Const:
+			d.u64()
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("wasm: %d unterminated frames", len(stack))
+	}
+	return out, nil
+}
+
+// evalALU evaluates a pure value op.
+func evalALU(op uint8, a, b uint64) uint64 {
+	b32 := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	a32, bb32 := uint32(a), uint32(b)
+	switch op {
+	case OpI32Eqz:
+		return b32(a32 == 0)
+	case OpI64Eqz:
+		return b32(a == 0)
+	case OpI32Eq:
+		return b32(a32 == bb32)
+	case OpI32Ne:
+		return b32(a32 != bb32)
+	case OpI32LtS:
+		return b32(int32(a32) < int32(bb32))
+	case OpI32LtU:
+		return b32(a32 < bb32)
+	case OpI32GtS:
+		return b32(int32(a32) > int32(bb32))
+	case OpI32GtU:
+		return b32(a32 > bb32)
+	case OpI32LeS:
+		return b32(int32(a32) <= int32(bb32))
+	case OpI32GeS:
+		return b32(int32(a32) >= int32(bb32))
+	case OpI64Eq:
+		return b32(a == b)
+	case OpI64Ne:
+		return b32(a != b)
+	case OpI64LtS:
+		return b32(int64(a) < int64(b))
+	case OpI64LtU:
+		return b32(a < b)
+	case OpI64GtS:
+		return b32(int64(a) > int64(b))
+	case OpI64GtU:
+		return b32(a > b)
+	case OpI64LeS:
+		return b32(int64(a) <= int64(b))
+	case OpI64GeS:
+		return b32(int64(a) >= int64(b))
+	case OpI32Add:
+		return uint64(a32 + bb32)
+	case OpI32Sub:
+		return uint64(a32 - bb32)
+	case OpI32Mul:
+		return uint64(a32 * bb32)
+	case OpI32DivS:
+		// RDX-Wasm: total signed division — /0 → 0, MinInt/-1 wraps
+		// (identical to the native engine's AluDivS).
+		if bb32 == 0 {
+			return 0
+		}
+		return uint64(uint32(int64(int32(a32)) / int64(int32(bb32))))
+	case OpI32DivU:
+		if bb32 == 0 {
+			return 0
+		}
+		return uint64(a32 / bb32)
+	case OpI32RemU:
+		if bb32 == 0 {
+			return uint64(a32)
+		}
+		return uint64(a32 % bb32)
+	case OpI32And:
+		return uint64(a32 & bb32)
+	case OpI32Or:
+		return uint64(a32 | bb32)
+	case OpI32Xor:
+		return uint64(a32 ^ bb32)
+	case OpI32Shl:
+		return uint64(a32 << (bb32 & 31))
+	case OpI32ShrS:
+		return uint64(uint32(int32(a32) >> (bb32 & 31)))
+	case OpI32ShrU:
+		return uint64(a32 >> (bb32 & 31))
+	case OpI64Add:
+		return a + b
+	case OpI64Sub:
+		return a - b
+	case OpI64Mul:
+		return a * b
+	case OpI64DivS:
+		if b == 0 {
+			return 0
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return a // wrap
+		}
+		return uint64(int64(a) / int64(b))
+	case OpI64DivU:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case OpI64RemU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case OpI64And:
+		return a & b
+	case OpI64Or:
+		return a | b
+	case OpI64Xor:
+		return a ^ b
+	case OpI64Shl:
+		return a << (b & 63)
+	case OpI64ShrS:
+		return uint64(int64(a) >> (b & 63))
+	case OpI64ShrU:
+		return a >> (b & 63)
+	}
+	return 0
+}

@@ -1,0 +1,453 @@
+// Package wasm implements the Wasm-filter extension frontend: a compact
+// WebAssembly-style stack machine with typed validation, an interpreter,
+// and a compiler targeting the same simulated native ISA as the eBPF JIT.
+//
+// Service meshes load proxy-wasm filters the same way kernels load eBPF —
+// validate, JIT, attach — which is why the paper treats them as one family
+// of runtime extensions. This package gives RDX its second extension kind
+// so the CodeFlow pipeline (validate → compile → link → deploy over RDMA)
+// is demonstrably frontend-agnostic.
+//
+// The container format ("RDXW") is not the W3C binary format; it is a
+// compact equivalent with the same concepts: function types over i32/i64,
+// host-function imports, locals, structured control flow (block/loop/if
+// with typed br), linear memory, and mutable globals. Loops are legal
+// (unlike eBPF); termination is enforced at runtime by fuel, which is the
+// proxy-wasm deployment reality too.
+package wasm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ValType is a value type.
+type ValType uint8
+
+const (
+	I32 ValType = 0x7F
+	I64 ValType = 0x7E
+)
+
+func (v ValType) String() string {
+	switch v {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	default:
+		return fmt.Sprintf("valtype(%#x)", uint8(v))
+	}
+}
+
+// FuncType is a function signature.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType // 0 or 1 results
+}
+
+func (t FuncType) String() string {
+	return fmt.Sprintf("func%v->%v", t.Params, t.Results)
+}
+
+// Equal reports signature equality.
+func (t FuncType) Equal(o FuncType) bool {
+	if len(t.Params) != len(o.Params) || len(t.Results) != len(o.Results) {
+		return false
+	}
+	for i := range t.Params {
+		if t.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	for i := range t.Results {
+		if t.Results[i] != o.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Import is a host function requirement.
+type Import struct {
+	Name string // host symbol, e.g. "proxy_get_header"
+	Type uint32 // index into Types
+}
+
+// Func is one module-local function.
+type Func struct {
+	Type   uint32
+	Locals []ValType // extra locals beyond params
+	Body   []byte    // bytecode
+}
+
+// Global is a mutable global variable with a constant initializer.
+type Global struct {
+	Type ValType
+	Init int64
+}
+
+// Module is a decoded Wasm-filter module.
+type Module struct {
+	Name     string
+	Types    []FuncType
+	Imports  []Import
+	Funcs    []Func
+	Globals  []Global
+	MemPages uint32 // 64KiB pages of linear memory (0 = none)
+	// Exports maps names to function indexes. Function index space:
+	// imports first, then module functions (Wasm convention).
+	Exports map[string]uint32
+}
+
+// PageSize is the linear memory page size.
+const PageSize = 64 * 1024
+
+// MaxMemPages bounds filter memory (1 MiB).
+const MaxMemPages = 16
+
+// NumImports returns the import count (the first function indexes).
+func (m *Module) NumImports() uint32 { return uint32(len(m.Imports)) }
+
+// FuncTypeAt returns the signature of function index i (imports included).
+func (m *Module) FuncTypeAt(i uint32) (FuncType, error) {
+	if i < m.NumImports() {
+		ti := m.Imports[i].Type
+		if int(ti) >= len(m.Types) {
+			return FuncType{}, fmt.Errorf("wasm: import %d has bad type %d", i, ti)
+		}
+		return m.Types[ti], nil
+	}
+	fi := i - m.NumImports()
+	if int(fi) >= len(m.Funcs) {
+		return FuncType{}, fmt.Errorf("wasm: function index %d out of range", i)
+	}
+	ti := m.Funcs[fi].Type
+	if int(ti) >= len(m.Types) {
+		return FuncType{}, fmt.Errorf("wasm: function %d has bad type %d", fi, ti)
+	}
+	return m.Types[ti], nil
+}
+
+// Bytecode opcodes (values chosen to echo real Wasm where it exists).
+const (
+	OpUnreachable uint8 = 0x00
+	OpNop         uint8 = 0x01
+	OpBlock       uint8 = 0x02 // [blocktype u8]
+	OpLoop        uint8 = 0x03 // [blocktype u8]
+	OpIf          uint8 = 0x04 // [blocktype u8]
+	OpElse        uint8 = 0x05
+	OpEnd         uint8 = 0x0B
+	OpBr          uint8 = 0x0C // [depth u32]
+	OpBrIf        uint8 = 0x0D // [depth u32]
+	OpReturn      uint8 = 0x0F
+	OpCall        uint8 = 0x10 // [func u32]
+	OpDrop        uint8 = 0x1A
+	OpSelect      uint8 = 0x1B
+
+	OpLocalGet  uint8 = 0x20 // [idx u32]
+	OpLocalSet  uint8 = 0x21
+	OpLocalTee  uint8 = 0x22
+	OpGlobalGet uint8 = 0x23
+	OpGlobalSet uint8 = 0x24
+
+	OpI32Load  uint8 = 0x28 // [offset u32]
+	OpI64Load  uint8 = 0x29
+	OpI32Store uint8 = 0x36
+	OpI64Store uint8 = 0x37
+
+	OpI32Const uint8 = 0x41 // [imm i32]
+	OpI64Const uint8 = 0x42 // [imm i64]
+
+	// i32 compare/arith.
+	OpI32Eqz  uint8 = 0x45
+	OpI32Eq   uint8 = 0x46
+	OpI32Ne   uint8 = 0x47
+	OpI32LtS  uint8 = 0x48
+	OpI32LtU  uint8 = 0x49
+	OpI32GtS  uint8 = 0x4A
+	OpI32GtU  uint8 = 0x4B
+	OpI32LeS  uint8 = 0x4C
+	OpI32GeS  uint8 = 0x4E
+	OpI32Add  uint8 = 0x6A
+	OpI32Sub  uint8 = 0x6B
+	OpI32Mul  uint8 = 0x6C
+	OpI32DivS uint8 = 0x6D
+	OpI32DivU uint8 = 0x6E
+	OpI32RemU uint8 = 0x70
+	OpI32And  uint8 = 0x71
+	OpI32Or   uint8 = 0x72
+	OpI32Xor  uint8 = 0x73
+	OpI32Shl  uint8 = 0x74
+	OpI32ShrS uint8 = 0x75
+	OpI32ShrU uint8 = 0x76
+
+	// i64 compare/arith.
+	OpI64Eqz  uint8 = 0x50
+	OpI64Eq   uint8 = 0x51
+	OpI64Ne   uint8 = 0x52
+	OpI64LtS  uint8 = 0x53
+	OpI64LtU  uint8 = 0x54
+	OpI64GtS  uint8 = 0x55
+	OpI64GtU  uint8 = 0x56
+	OpI64LeS  uint8 = 0x57
+	OpI64GeS  uint8 = 0x59
+	OpI64Add  uint8 = 0x7C
+	OpI64Sub  uint8 = 0x7D
+	OpI64Mul  uint8 = 0x7E
+	OpI64DivS uint8 = 0x7F
+	OpI64DivU uint8 = 0x80
+	OpI64RemU uint8 = 0x82
+	OpI64And  uint8 = 0x83
+	OpI64Or   uint8 = 0x84
+	OpI64Xor  uint8 = 0x85
+	OpI64Shl  uint8 = 0x86
+	OpI64ShrS uint8 = 0x87
+	OpI64ShrU uint8 = 0x88
+
+	OpI32WrapI64   uint8 = 0xA7
+	OpI64ExtendI32 uint8 = 0xAC // unsigned extension
+)
+
+// BlockEmpty is the blocktype for blocks producing no value; otherwise the
+// blocktype byte is the ValType produced.
+const BlockEmpty uint8 = 0x40
+
+// magic identifies the RDXW container.
+var magic = [4]byte{'R', 'D', 'X', 'W'}
+
+// Encode serializes the module to the RDXW container.
+//
+// Layout: magic, version u16, then sections, each [tag u8][len u32][body]:
+// 1=types 2=imports 3=funcs 4=globals 5=memory 6=exports 7=name.
+func Encode(m *Module) []byte {
+	var out []byte
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, 1)
+
+	section := func(tag uint8, body []byte) {
+		out = append(out, tag)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+		out = append(out, body...)
+	}
+
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(nil, uint32(len(m.Types)))
+	for _, t := range m.Types {
+		b = append(b, uint8(len(t.Params)))
+		for _, p := range t.Params {
+			b = append(b, uint8(p))
+		}
+		b = append(b, uint8(len(t.Results)))
+		for _, r := range t.Results {
+			b = append(b, uint8(r))
+		}
+	}
+	section(1, b)
+
+	b = binary.LittleEndian.AppendUint32(nil, uint32(len(m.Imports)))
+	for _, im := range m.Imports {
+		b = appendString(b, im.Name)
+		b = binary.LittleEndian.AppendUint32(b, im.Type)
+	}
+	section(2, b)
+
+	b = binary.LittleEndian.AppendUint32(nil, uint32(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		b = binary.LittleEndian.AppendUint32(b, f.Type)
+		b = append(b, uint8(len(f.Locals)))
+		for _, l := range f.Locals {
+			b = append(b, uint8(l))
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Body)))
+		b = append(b, f.Body...)
+	}
+	section(3, b)
+
+	b = binary.LittleEndian.AppendUint32(nil, uint32(len(m.Globals)))
+	for _, g := range m.Globals {
+		b = append(b, uint8(g.Type))
+		b = binary.LittleEndian.AppendUint64(b, uint64(g.Init))
+	}
+	section(4, b)
+
+	b = binary.LittleEndian.AppendUint32(nil, m.MemPages)
+	section(5, b)
+
+	b = binary.LittleEndian.AppendUint32(nil, uint32(len(m.Exports)))
+	for _, kv := range sortedExports(m.Exports) {
+		b = appendString(b, kv.name)
+		b = binary.LittleEndian.AppendUint32(b, kv.idx)
+	}
+	section(6, b)
+
+	section(7, appendString(nil, m.Name))
+	return out
+}
+
+type exportKV struct {
+	name string
+	idx  uint32
+}
+
+func sortedExports(m map[string]uint32) []exportKV {
+	out := make([]exportKV, 0, len(m))
+	for k, v := range m {
+		out = append(out, exportKV{k, v})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].name < out[j-1].name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// Decode parses an RDXW container.
+func Decode(data []byte) (*Module, error) {
+	r := &reader{b: data}
+	var mg [4]byte
+	copy(mg[:], r.bytes(4))
+	if r.err != nil || mg != magic {
+		return nil, errors.New("wasm: bad magic")
+	}
+	if v := r.u16(); v != 1 {
+		return nil, fmt.Errorf("wasm: unsupported version %d", v)
+	}
+	m := &Module{Exports: map[string]uint32{}}
+	for r.err == nil && r.remaining() > 0 {
+		tag := r.u8()
+		n := r.u32()
+		body := r.bytes(int(n))
+		if r.err != nil {
+			break
+		}
+		sr := &reader{b: body}
+		switch tag {
+		case 1:
+			cnt := sr.u32()
+			for i := uint32(0); i < cnt && sr.err == nil; i++ {
+				var t FuncType
+				np := sr.u8()
+				for j := uint8(0); j < np; j++ {
+					t.Params = append(t.Params, ValType(sr.u8()))
+				}
+				nr := sr.u8()
+				for j := uint8(0); j < nr; j++ {
+					t.Results = append(t.Results, ValType(sr.u8()))
+				}
+				m.Types = append(m.Types, t)
+			}
+		case 2:
+			cnt := sr.u32()
+			for i := uint32(0); i < cnt && sr.err == nil; i++ {
+				name := sr.str()
+				typ := sr.u32()
+				m.Imports = append(m.Imports, Import{Name: name, Type: typ})
+			}
+		case 3:
+			cnt := sr.u32()
+			for i := uint32(0); i < cnt && sr.err == nil; i++ {
+				var f Func
+				f.Type = sr.u32()
+				nl := sr.u8()
+				for j := uint8(0); j < nl; j++ {
+					f.Locals = append(f.Locals, ValType(sr.u8()))
+				}
+				bl := sr.u32()
+				f.Body = append([]byte(nil), sr.bytes(int(bl))...)
+				m.Funcs = append(m.Funcs, f)
+			}
+		case 4:
+			cnt := sr.u32()
+			for i := uint32(0); i < cnt && sr.err == nil; i++ {
+				g := Global{Type: ValType(sr.u8())}
+				g.Init = int64(sr.u64())
+				m.Globals = append(m.Globals, g)
+			}
+		case 5:
+			m.MemPages = sr.u32()
+		case 6:
+			cnt := sr.u32()
+			for i := uint32(0); i < cnt && sr.err == nil; i++ {
+				name := sr.str()
+				m.Exports[name] = sr.u32()
+			}
+		case 7:
+			m.Name = sr.str()
+		default:
+			return nil, fmt.Errorf("wasm: unknown section %d", tag)
+		}
+		if sr.err != nil {
+			return nil, fmt.Errorf("wasm: section %d: %w", tag, sr.err)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("wasm: %w", r.err)
+	}
+	return m, nil
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.remaining() < n {
+		r.err = errors.New("truncated")
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.bytes(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.bytes(2)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) str() string {
+	n := r.u16()
+	return string(r.bytes(int(n)))
+}

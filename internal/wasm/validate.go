@@ -1,0 +1,533 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rdx/internal/xabi"
+)
+
+// EntryExport is the export name every filter module must provide.
+const EntryExport = "filter"
+
+// MaxStackSlots bounds locals + operand stack so compiled filters fit the
+// 512-byte native stack frame (64 slots, minus scratch margin).
+const MaxStackSlots = 56
+
+// ValidationResult carries facts proved about a module.
+type ValidationResult struct {
+	EntryIndex  uint32 // function index (import space) of the filter entry
+	MaxStack    int    // operand-stack high-water mark, in slots
+	Locals      int    // params + declared locals of the entry function
+	UsesMemory  bool
+	HostImports []string
+	BodyOps     int
+}
+
+// filterSig is the required entry signature: () -> i64 verdict.
+var filterSig = FuncType{Results: []ValType{I64}}
+
+// Validate type-checks the module and enforces the RDX filter ABI:
+// exactly one local function, exported as "filter" with signature ()->i64;
+// host imports only; structured, type-correct control flow; memory and
+// global indexes in range; frame small enough to compile.
+func Validate(m *Module) (*ValidationResult, error) {
+	if len(m.Types) == 0 {
+		return nil, fmt.Errorf("wasm: module has no types")
+	}
+	if len(m.Funcs) != 1 {
+		return nil, fmt.Errorf("wasm: filter modules must define exactly 1 function, got %d", len(m.Funcs))
+	}
+	if m.MemPages > MaxMemPages {
+		return nil, fmt.Errorf("wasm: %d memory pages exceed limit %d", m.MemPages, MaxMemPages)
+	}
+	for i, im := range m.Imports {
+		if int(im.Type) >= len(m.Types) {
+			return nil, fmt.Errorf("wasm: import %d type index %d out of range", i, im.Type)
+		}
+		if _, ok := HostFuncIDs[im.Name]; !ok {
+			return nil, fmt.Errorf("wasm: unknown host import %q", im.Name)
+		}
+	}
+	entry, ok := m.Exports[EntryExport]
+	if !ok {
+		return nil, fmt.Errorf("wasm: missing %q export", EntryExport)
+	}
+	if entry != m.NumImports() {
+		return nil, fmt.Errorf("wasm: %q export must reference the module function", EntryExport)
+	}
+	ft, err := m.FuncTypeAt(entry)
+	if err != nil {
+		return nil, err
+	}
+	if !ft.Equal(filterSig) {
+		return nil, fmt.Errorf("wasm: %q must have signature ()->i64, got %v", EntryExport, ft)
+	}
+
+	f := &m.Funcs[0]
+	res := &ValidationResult{EntryIndex: entry}
+	for _, im := range m.Imports {
+		res.HostImports = append(res.HostImports, im.Name)
+	}
+	locals := append([]ValType(nil), m.Types[f.Type].Params...)
+	locals = append(locals, f.Locals...)
+	res.Locals = len(locals)
+
+	v := &fnValidator{m: m, locals: locals, res: res}
+	if err := v.check(f.Body, filterSig.Results); err != nil {
+		return nil, err
+	}
+	if res.Locals+res.MaxStack > MaxStackSlots {
+		return nil, fmt.Errorf("wasm: frame needs %d slots, limit %d", res.Locals+res.MaxStack, MaxStackSlots)
+	}
+	return res, nil
+}
+
+// ctrlFrame is one entry of the control stack during validation.
+type ctrlFrame struct {
+	op          uint8 // OpBlock / OpLoop / OpIf / 0 for the function frame
+	result      []ValType
+	height      int  // value-stack height at entry
+	unreachable bool // code after br/unreachable until frame end
+	sawElse     bool
+}
+
+// labelTypes returns the types a br to this frame must supply: loop labels
+// target the top (no values), others target the end (result values).
+func (c *ctrlFrame) labelTypes() []ValType {
+	if c.op == OpLoop {
+		return nil
+	}
+	return c.result
+}
+
+type fnValidator struct {
+	m      *Module
+	locals []ValType
+	res    *ValidationResult
+
+	stack []ValType
+	ctrl  []ctrlFrame
+}
+
+func (v *fnValidator) push(t ValType) {
+	v.stack = append(v.stack, t)
+	if len(v.stack) > v.res.MaxStack {
+		v.res.MaxStack = len(v.stack)
+	}
+}
+
+func (v *fnValidator) pop(want ValType) error {
+	top := &v.ctrl[len(v.ctrl)-1]
+	if len(v.stack) == top.height {
+		if top.unreachable {
+			return nil // polymorphic stack after unconditional transfer
+		}
+		return fmt.Errorf("stack underflow (want %v)", want)
+	}
+	got := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	if got != want {
+		return fmt.Errorf("type mismatch: have %v, want %v", got, want)
+	}
+	return nil
+}
+
+func (v *fnValidator) popAny() (ValType, error) {
+	top := &v.ctrl[len(v.ctrl)-1]
+	if len(v.stack) == top.height {
+		if top.unreachable {
+			return I64, nil
+		}
+		return 0, fmt.Errorf("stack underflow")
+	}
+	got := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	return got, nil
+}
+
+func (v *fnValidator) markUnreachable() {
+	top := &v.ctrl[len(v.ctrl)-1]
+	top.unreachable = true
+	v.stack = v.stack[:top.height]
+}
+
+func blockResult(bt uint8) ([]ValType, error) {
+	switch bt {
+	case BlockEmpty:
+		return nil, nil
+	case uint8(I32):
+		return []ValType{I32}, nil
+	case uint8(I64):
+		return []ValType{I64}, nil
+	default:
+		return nil, fmt.Errorf("bad blocktype %#x", bt)
+	}
+}
+
+// check validates a function body against the expected results.
+func (v *fnValidator) check(body []byte, results []ValType) error {
+	v.ctrl = []ctrlFrame{{op: 0, result: results}}
+	d := &decoder{b: body}
+	errAt := func(format string, args ...interface{}) error {
+		return fmt.Errorf("wasm: offset %d: %s", d.lastOff, fmt.Sprintf(format, args...))
+	}
+
+	for {
+		op, ok := d.op()
+		if !ok {
+			if len(v.ctrl) != 0 {
+				return errAt("body ends inside %d open frames", len(v.ctrl))
+			}
+			return nil
+		}
+		v.res.BodyOps++
+		switch op {
+		case OpNop:
+
+		case OpUnreachable:
+			v.markUnreachable()
+
+		case OpBlock, OpLoop, OpIf:
+			bt, okb := d.u8()
+			if !okb {
+				return errAt("truncated blocktype")
+			}
+			result, err := blockResult(bt)
+			if err != nil {
+				return errAt("%v", err)
+			}
+			if op == OpIf {
+				if err := v.pop(I32); err != nil {
+					return errAt("if condition: %v", err)
+				}
+			}
+			v.ctrl = append(v.ctrl, ctrlFrame{op: op, result: result, height: len(v.stack)})
+
+		case OpElse:
+			top := &v.ctrl[len(v.ctrl)-1]
+			if top.op != OpIf || top.sawElse {
+				return errAt("else without matching if")
+			}
+			// The then-branch must have produced the result.
+			if err := v.frameExit(top); err != nil {
+				return errAt("then branch: %v", err)
+			}
+			top.sawElse = true
+			top.unreachable = false
+			v.stack = v.stack[:top.height]
+
+		case OpEnd:
+			top := &v.ctrl[len(v.ctrl)-1]
+			if top.op == OpIf && !top.sawElse && len(top.result) != 0 {
+				return errAt("if with result requires else")
+			}
+			if err := v.frameExit(top); err != nil {
+				return errAt("end: %v", err)
+			}
+			v.stack = v.stack[:top.height]
+			for _, r := range top.result {
+				v.push(r)
+			}
+			v.ctrl = v.ctrl[:len(v.ctrl)-1]
+			if len(v.ctrl) == 0 {
+				if d.rem() != 0 {
+					return errAt("trailing bytes after function end")
+				}
+				return nil
+			}
+
+		case OpBr, OpBrIf:
+			depth, okd := d.u32()
+			if !okd {
+				return errAt("truncated br depth")
+			}
+			if int(depth) >= len(v.ctrl) {
+				return errAt("br depth %d exceeds %d frames", depth, len(v.ctrl))
+			}
+			if op == OpBrIf {
+				if err := v.pop(I32); err != nil {
+					return errAt("br_if condition: %v", err)
+				}
+			}
+			target := &v.ctrl[len(v.ctrl)-1-int(depth)]
+			lt := target.labelTypes()
+			// Values the branch carries must be on the stack.
+			for i := len(lt) - 1; i >= 0; i-- {
+				if err := v.pop(lt[i]); err != nil {
+					return errAt("br operand: %v", err)
+				}
+			}
+			if op == OpBr {
+				v.markUnreachable()
+			} else {
+				for _, t := range lt {
+					v.push(t)
+				}
+			}
+
+		case OpReturn:
+			for i := len(v.ctrl[0].result) - 1; i >= 0; i-- {
+				if err := v.pop(v.ctrl[0].result[i]); err != nil {
+					return errAt("return: %v", err)
+				}
+			}
+			v.markUnreachable()
+
+		case OpCall:
+			fi, okf := d.u32()
+			if !okf {
+				return errAt("truncated call index")
+			}
+			if fi >= v.m.NumImports() {
+				return errAt("call %d: only host imports are callable in filter modules", fi)
+			}
+			ft, err := v.m.FuncTypeAt(fi)
+			if err != nil {
+				return errAt("%v", err)
+			}
+			if len(ft.Params) > 5 {
+				return errAt("host import with %d params exceeds 5-register ABI", len(ft.Params))
+			}
+			for i := len(ft.Params) - 1; i >= 0; i-- {
+				if err := v.pop(ft.Params[i]); err != nil {
+					return errAt("call arg %d: %v", i, err)
+				}
+			}
+			for _, r := range ft.Results {
+				v.push(r)
+			}
+
+		case OpDrop:
+			if _, err := v.popAny(); err != nil {
+				return errAt("drop: %v", err)
+			}
+
+		case OpSelect:
+			if err := v.pop(I32); err != nil {
+				return errAt("select condition: %v", err)
+			}
+			b, err := v.popAny()
+			if err != nil {
+				return errAt("select: %v", err)
+			}
+			a, err := v.popAny()
+			if err != nil {
+				return errAt("select: %v", err)
+			}
+			if a != b {
+				return errAt("select operands differ: %v vs %v", a, b)
+			}
+			v.push(a)
+
+		case OpLocalGet, OpLocalSet, OpLocalTee:
+			idx, oki := d.u32()
+			if !oki {
+				return errAt("truncated local index")
+			}
+			if int(idx) >= len(v.locals) {
+				return errAt("local %d out of %d", idx, len(v.locals))
+			}
+			t := v.locals[idx]
+			switch op {
+			case OpLocalGet:
+				v.push(t)
+			case OpLocalSet:
+				if err := v.pop(t); err != nil {
+					return errAt("local.set: %v", err)
+				}
+			case OpLocalTee:
+				if err := v.pop(t); err != nil {
+					return errAt("local.tee: %v", err)
+				}
+				v.push(t)
+			}
+
+		case OpGlobalGet, OpGlobalSet:
+			idx, oki := d.u32()
+			if !oki {
+				return errAt("truncated global index")
+			}
+			if int(idx) >= len(v.m.Globals) {
+				return errAt("global %d out of %d", idx, len(v.m.Globals))
+			}
+			t := v.m.Globals[idx].Type
+			if op == OpGlobalGet {
+				v.push(t)
+			} else if err := v.pop(t); err != nil {
+				return errAt("global.set: %v", err)
+			}
+
+		case OpI32Load, OpI64Load, OpI32Store, OpI64Store:
+			if v.m.MemPages == 0 {
+				return errAt("memory op without declared memory")
+			}
+			v.res.UsesMemory = true
+			if _, oki := d.u32(); !oki { // offset immediate
+				return errAt("truncated memory offset")
+			}
+			switch op {
+			case OpI32Load:
+				if err := v.pop(I32); err != nil {
+					return errAt("load addr: %v", err)
+				}
+				v.push(I32)
+			case OpI64Load:
+				if err := v.pop(I32); err != nil {
+					return errAt("load addr: %v", err)
+				}
+				v.push(I64)
+			case OpI32Store:
+				if err := v.pop(I32); err != nil {
+					return errAt("store value: %v", err)
+				}
+				if err := v.pop(I32); err != nil {
+					return errAt("store addr: %v", err)
+				}
+			case OpI64Store:
+				if err := v.pop(I64); err != nil {
+					return errAt("store value: %v", err)
+				}
+				if err := v.pop(I32); err != nil {
+					return errAt("store addr: %v", err)
+				}
+			}
+
+		case OpI32Const:
+			if _, oki := d.u32(); !oki {
+				return errAt("truncated i32 const")
+			}
+			v.push(I32)
+
+		case OpI64Const:
+			if _, oki := d.u64(); !oki {
+				return errAt("truncated i64 const")
+			}
+			v.push(I64)
+
+		case OpI32WrapI64:
+			if err := v.pop(I64); err != nil {
+				return errAt("wrap: %v", err)
+			}
+			v.push(I32)
+
+		case OpI64ExtendI32:
+			if err := v.pop(I32); err != nil {
+				return errAt("extend: %v", err)
+			}
+			v.push(I64)
+
+		default:
+			in, out, okk := aluShape(op)
+			if !okk {
+				return errAt("unknown opcode %#x", op)
+			}
+			for i := 0; i < in.count; i++ {
+				if err := v.pop(in.t); err != nil {
+					return errAt("op %#x: %v", op, err)
+				}
+			}
+			v.push(out)
+		}
+	}
+}
+
+// frameExit checks the stack matches the frame's result on falling out.
+func (v *fnValidator) frameExit(f *ctrlFrame) error {
+	if f.unreachable {
+		return nil
+	}
+	want := f.height + len(f.result)
+	if len(v.stack) != want {
+		return fmt.Errorf("stack height %d at frame exit, want %d", len(v.stack), want)
+	}
+	for i, r := range f.result {
+		if v.stack[f.height+i] != r {
+			return fmt.Errorf("frame result %d: have %v, want %v", i, v.stack[f.height+i], r)
+		}
+	}
+	return nil
+}
+
+type aluIn struct {
+	t     ValType
+	count int
+}
+
+// aluShape returns the operand/result shape of pure value ops.
+func aluShape(op uint8) (aluIn, ValType, bool) {
+	switch op {
+	case OpI32Eqz:
+		return aluIn{I32, 1}, I32, true
+	case OpI64Eqz:
+		return aluIn{I64, 1}, I32, true
+	case OpI32Eq, OpI32Ne, OpI32LtS, OpI32LtU, OpI32GtS, OpI32GtU, OpI32LeS, OpI32GeS:
+		return aluIn{I32, 2}, I32, true
+	case OpI64Eq, OpI64Ne, OpI64LtS, OpI64LtU, OpI64GtS, OpI64GtU, OpI64LeS, OpI64GeS:
+		return aluIn{I64, 2}, I32, true
+	case OpI32Add, OpI32Sub, OpI32Mul, OpI32DivS, OpI32DivU, OpI32RemU,
+		OpI32And, OpI32Or, OpI32Xor, OpI32Shl, OpI32ShrS, OpI32ShrU:
+		return aluIn{I32, 2}, I32, true
+	case OpI64Add, OpI64Sub, OpI64Mul, OpI64DivS, OpI64DivU, OpI64RemU,
+		OpI64And, OpI64Or, OpI64Xor, OpI64Shl, OpI64ShrS, OpI64ShrU:
+		return aluIn{I64, 2}, I64, true
+	}
+	return aluIn{}, 0, false
+}
+
+// decoder walks a bytecode body.
+type decoder struct {
+	b       []byte
+	off     int
+	lastOff int
+}
+
+func (d *decoder) rem() int { return len(d.b) - d.off }
+
+func (d *decoder) op() (uint8, bool) {
+	d.lastOff = d.off
+	if d.off >= len(d.b) {
+		return 0, false
+	}
+	op := d.b[d.off]
+	d.off++
+	return op, true
+}
+
+func (d *decoder) u8() (uint8, bool) {
+	if d.off >= len(d.b) {
+		return 0, false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, true
+}
+
+func (d *decoder) u32() (uint32, bool) {
+	if d.off+4 > len(d.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, true
+}
+
+func (d *decoder) u64() (uint64, bool) {
+	if d.off+8 > len(d.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, true
+}
+
+// HostFuncIDs maps importable host-function names to xabi helper ids. The
+// import's signature is checked against HostFuncSigs at validation.
+var HostFuncIDs = map[string]int{
+	"proxy_get_header":   xabi.HelperGetHeader,
+	"proxy_set_header":   xabi.HelperSetHeader,
+	"proxy_log":          xabi.HelperLog,
+	"proxy_get_body_len": xabi.HelperGetBodyLen,
+	"clock_now":          xabi.HelperKtimeGetNS,
+	"random_u32":         xabi.HelperGetPrandomU32,
+}

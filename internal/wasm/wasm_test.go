@@ -1,0 +1,558 @@
+package wasm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rdx/internal/ebpf/vm"
+	"rdx/internal/native"
+	"rdx/internal/xabi"
+)
+
+// runBoth validates, interprets, compiles for both arches, links, and runs —
+// asserting all three engines agree. Returns the interpreter result.
+func runBoth(t *testing.T, m *Module, env *xabi.Env, ctx []byte) uint64 {
+	t.Helper()
+	if _, err := Validate(m); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+
+	mkEnv := func() *xabi.Env {
+		if env == nil {
+			return &xabi.Env{}
+		}
+		cp := *env
+		return &cp
+	}
+
+	inst, err := NewLocalInstance(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxI := append([]byte(nil), ctx...)
+	want, err := inst.Run(mkEnv(), ctxI)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+
+	for _, arch := range []native.Arch{native.ArchX64, native.ArchA64} {
+		bin, err := Compile(m, arch)
+		if err != nil {
+			t.Fatalf("%v: compile: %v", arch, err)
+		}
+		inst2, err := NewLocalInstance(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		helpers := map[uint64]xabi.HelperFn{}
+		next := uint64(0xEE00_0000)
+		err = native.Link(bin, func(kind native.RelocKind, sym string) (uint64, bool) {
+			switch {
+			case kind == native.RelocGlobal && sym == SymMemory:
+				return inst2.MemBase, true
+			case kind == native.RelocGlobal && sym == SymGlobals:
+				return inst2.GlobBase, true
+			case kind == native.RelocHelper:
+				next += 0x10
+				name := strings.TrimPrefix(sym, "helper:")
+				id, ok := HostFuncIDs[name]
+				if !ok {
+					return 0, false
+				}
+				helpers[next] = vm.DefaultHelpers()[int32(id)]
+				return next, true
+			}
+			return 0, false
+		})
+		if err != nil {
+			t.Fatalf("%v: link: %v", arch, err)
+		}
+		np, err := native.DecodeProgram(bin.Arch, bin.Code)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", arch, err)
+		}
+		e := &native.Engine{HelperAddrs: helpers}
+		runEnv := mkEnv()
+		runEnv.Mem = inst2.Mem
+		// The filter ABI: ctx lands in linear memory at offset 0.
+		ctxN := append([]byte(nil), ctx...)
+		if m.MemPages > 0 && len(ctxN) > 0 {
+			if err := inst2.Mem.WriteBytes(inst2.MemBase, ctxN); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := e.Run(np, runEnv, nil)
+		if err != nil {
+			t.Fatalf("%v: run: %v", arch, err)
+		}
+		if got != want {
+			t.Errorf("%v: compiled = %#x, interpreted = %#x", arch, got, want)
+		}
+		if m.MemPages > 0 && len(ctxN) > 0 {
+			back, _ := inst2.Mem.ReadBytes(inst2.MemBase, len(ctxN))
+			ctxIView := ctxI
+			for i := range back {
+				if back[i] != ctxIView[i] {
+					t.Errorf("%v: memory side effects differ at %d: %d vs %d", arch, i, back[i], ctxIView[i])
+					break
+				}
+			}
+		}
+	}
+	copy(ctx, ctxI)
+	return want
+}
+
+func TestConstReturn(t *testing.T) {
+	m := SimpleFilter("c", 0, nil, NewBody().I64Const(42).End().Bytes())
+	if got := runBoth(t, m, nil, nil); got != 42 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := FilterWithImports("rt", 2,
+		[]Import{{Name: "clock_now", Type: 1}},
+		[]FuncType{{Results: []ValType{I64}}},
+		[]ValType{I64, I32},
+		NewBody().I64Const(1).End().Bytes())
+	m.Globals = []Global{{Type: I64, Init: -5}, {Type: I32, Init: 7}}
+
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.MemPages != 2 || len(got.Types) != 2 ||
+		len(got.Imports) != 1 || len(got.Funcs) != 1 || len(got.Globals) != 2 {
+		t.Fatalf("decoded shape: %+v", got)
+	}
+	if got.Imports[0].Name != "clock_now" {
+		t.Error("import name lost")
+	}
+	if got.Globals[0].Init != -5 {
+		t.Error("global init lost")
+	}
+	if got.Exports[EntryExport] != 1 {
+		t.Error("export lost")
+	}
+	if string(got.Funcs[0].Body) != string(m.Funcs[0].Body) {
+		t.Error("body lost")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a module")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	enc := Encode(SimpleFilter("x", 0, nil, NewBody().I64Const(1).End().Bytes()))
+	if _, err := Decode(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated accepted")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		body *Body
+		want uint64
+	}{
+		{"add", NewBody().I64Const(40).I64Const(2).Raw(OpI64Add), 42},
+		{"sub", NewBody().I64Const(40).I64Const(2).Raw(OpI64Sub), 38},
+		{"mul", NewBody().I64Const(6).I64Const(7).Raw(OpI64Mul), 42},
+		{"divs", NewBody().I64Const(-84).I64Const(2).Raw(OpI64DivS), uint64(0xFFFFFFFFFFFFFFD6)}, // -42
+		{"divu", NewBody().I64Const(84).I64Const(2).Raw(OpI64DivU), 42},
+		{"div0", NewBody().I64Const(84).I64Const(0).Raw(OpI64DivU), 0},
+		{"divs0", NewBody().I64Const(84).I64Const(0).Raw(OpI64DivS), 0},
+		{"rem", NewBody().I64Const(85).I64Const(2).Raw(OpI64RemU), 1},
+		{"and", NewBody().I64Const(0b1100).I64Const(0b1010).Raw(OpI64And), 0b1000},
+		{"shl", NewBody().I64Const(1).I64Const(5).Raw(OpI64Shl), 32},
+		{"shrs", NewBody().I64Const(-32).I64Const(2).Raw(OpI64ShrS), uint64(0xFFFFFFFFFFFFFFF8)},
+		{"xor", NewBody().I64Const(5).I64Const(3).Raw(OpI64Xor), 6},
+	}
+	for _, c := range cases {
+		m := SimpleFilter(c.name, 0, nil, c.body.End().Bytes())
+		if got := runBoth(t, m, nil, nil); got != c.want {
+			t.Errorf("%s = %#x, want %#x", c.name, got, c.want)
+		}
+	}
+}
+
+func TestI32Semantics(t *testing.T) {
+	// i32 ops truncate and comparisons are width-correct.
+	cases := []struct {
+		name string
+		body *Body
+		want uint64
+	}{
+		{"wrap-add", NewBody().I32Const(-1).I32Const(1).Raw(OpI32Add).Raw(OpI64ExtendI32), 0},
+		{"lt_s", NewBody().I32Const(-1).I32Const(1).Raw(OpI32LtS).Raw(OpI64ExtendI32), 1},
+		{"lt_u", NewBody().I32Const(-1).I32Const(1).Raw(OpI32LtU).Raw(OpI64ExtendI32), 0},
+		{"div_s", NewBody().I32Const(-6).I32Const(3).Raw(OpI32DivS).Raw(OpI64ExtendI32), uint64(uint32(0xFFFFFFFE))},
+		{"div_s_min", NewBody().I32Const(-0x80000000).I32Const(-1).Raw(OpI32DivS).Raw(OpI64ExtendI32), 0x80000000},
+		{"shr_s", NewBody().I32Const(-8).I32Const(1).Raw(OpI32ShrS).Raw(OpI64ExtendI32), uint64(uint32(0xFFFFFFFC))},
+		{"wrap64", NewBody().I64Const(0x1_0000_0005).Raw(OpI32WrapI64).Raw(OpI64ExtendI32), 5},
+		{"eqz", NewBody().I32Const(0).Raw(OpI32Eqz).Raw(OpI64ExtendI32), 1},
+	}
+	for _, c := range cases {
+		m := SimpleFilter(c.name, 0, nil, c.body.End().Bytes())
+		if got := runBoth(t, m, nil, nil); got != c.want {
+			t.Errorf("%s = %#x, want %#x", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLocals(t *testing.T) {
+	body := NewBody().
+		I64Const(10).LocalSet(0).
+		I64Const(32).LocalSet(1).
+		LocalGet(0).LocalGet(1).Raw(OpI64Add).
+		LocalTee(0).Drop().
+		LocalGet(0).
+		End().Bytes()
+	m := SimpleFilter("locals", 0, []ValType{I64, I64}, body)
+	if got := runBoth(t, m, nil, nil); got != 42 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	body := NewBody().
+		GlobalGet(0).I64Const(2).Raw(OpI64Mul).GlobalSet(0).
+		GlobalGet(0).
+		End().Bytes()
+	m := SimpleFilter("globals", 0, nil, body)
+	m.Globals = []Global{{Type: I64, Init: 21}}
+	if got := runBoth(t, m, nil, nil); got != 42 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	mk := func(cond int32) *Module {
+		body := NewBody().
+			I32Const(cond).
+			If(uint8(I64)).
+			I64Const(100).
+			Else().
+			I64Const(200).
+			End().
+			End().Bytes()
+		return SimpleFilter("if", 0, nil, body)
+	}
+	if got := runBoth(t, mk(1), nil, nil); got != 100 {
+		t.Errorf("then branch: %d", got)
+	}
+	if got := runBoth(t, mk(0), nil, nil); got != 200 {
+		t.Errorf("else branch: %d", got)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	mk := func(cond int32) *Module {
+		body := NewBody().
+			I64Const(1).LocalSet(0).
+			I32Const(cond).
+			If(BlockEmpty).
+			I64Const(99).LocalSet(0).
+			End().
+			LocalGet(0).
+			End().Bytes()
+		return SimpleFilter("ifne", 0, []ValType{I64}, body)
+	}
+	if got := runBoth(t, mk(1), nil, nil); got != 99 {
+		t.Errorf("taken: %d", got)
+	}
+	if got := runBoth(t, mk(0), nil, nil); got != 1 {
+		t.Errorf("skipped: %d", got)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// sum = 0; i = 10; loop { sum += i; i -= 1; br_if i != 0 } → 55
+	body := NewBody().
+		I64Const(10).LocalSet(0).
+		I64Const(0).LocalSet(1).
+		Loop(BlockEmpty).
+		LocalGet(1).LocalGet(0).Raw(OpI64Add).LocalSet(1).
+		LocalGet(0).I64Const(1).Raw(OpI64Sub).LocalTee(0).Drop().
+		LocalGet(0).I64Const(0).Raw(OpI64Ne).
+		BrIf(0).
+		End().
+		LocalGet(1).
+		End().Bytes()
+	m := SimpleFilter("loop", 0, []ValType{I64, I64}, body)
+	if got := runBoth(t, m, nil, nil); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestBlockBrOut(t *testing.T) {
+	// block(i64) { 7; br 0; unreachable } → 7
+	body := NewBody().
+		Block(uint8(I64)).
+		I64Const(7).
+		Br(0).
+		End().
+		End().Bytes()
+	m := SimpleFilter("br", 0, nil, body)
+	if got := runBoth(t, m, nil, nil); got != 7 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestNestedBr(t *testing.T) {
+	// Outer block with result; br 1 from inside inner block.
+	body := NewBody().
+		Block(uint8(I64)).
+		Block(BlockEmpty).
+		I64Const(13).
+		Br(1).
+		End().
+		I64Const(99). // only if inner falls through (it doesn't)
+		End().
+		End().Bytes()
+	m := SimpleFilter("nested", 0, nil, body)
+	if got := runBoth(t, m, nil, nil); got != 13 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	body := NewBody().
+		I32Const(512).I64Const(0xABCDEF).I64Store(0).
+		I32Const(512).I64Load(0).
+		End().Bytes()
+	m := SimpleFilter("mem", 1, nil, body)
+	if got := runBoth(t, m, nil, nil); got != 0xABCDEF {
+		t.Errorf("got %#x", got)
+	}
+}
+
+func TestCtxABI(t *testing.T) {
+	// Read the data-length field from the ctx copied into memory[0..256),
+	// write a verdict, return the length.
+	body := NewBody().
+		I32Const(int32(xabi.CtxOffVerdict)).I32Const(2).I32Store(0).
+		I32Const(int32(xabi.CtxOffDataLen)).I32Load(0).Raw(OpI64ExtendI32).
+		End().Bytes()
+	m := SimpleFilter("ctx", 1, nil, body)
+	ctx := make([]byte, xabi.CtxSize)
+	ctx[xabi.CtxOffDataLen] = 77
+	got := runBoth(t, m, nil, ctx)
+	if got != 77 {
+		t.Errorf("got %d", got)
+	}
+	if ctx[xabi.CtxOffVerdict] != 2 {
+		t.Errorf("verdict = %d (ctx write-back)", ctx[xabi.CtxOffVerdict])
+	}
+}
+
+func TestHostCall(t *testing.T) {
+	m := FilterWithImports("host", 0,
+		[]Import{{Name: "clock_now", Type: 1}},
+		[]FuncType{{Results: []ValType{I64}}},
+		nil,
+		NewBody().Call(0).End().Bytes())
+	env := &xabi.Env{NowNS: func() uint64 { return 31415 }}
+	if got := runBoth(t, m, env, nil); got != 31415 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestHostCallWithArgs(t *testing.T) {
+	// proxy_get_header(4) looks up "x-rdx-version".
+	m := FilterWithImports("hdr", 0,
+		[]Import{{Name: "proxy_get_header", Type: 1}},
+		[]FuncType{{Params: []ValType{I64}, Results: []ValType{I64}}},
+		nil,
+		NewBody().I64Const(4).Call(0).End().Bytes())
+	env := &xabi.Env{Headers: map[string]string{"x-rdx-version": "v7"}}
+	got := runBoth(t, m, env, nil)
+	if got == 0 {
+		t.Error("header lookup returned 0")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	mk := func(c int32) *Module {
+		body := NewBody().
+			I64Const(111).I64Const(222).I32Const(c).Select().
+			End().Bytes()
+		return SimpleFilter("sel", 0, nil, body)
+	}
+	if got := runBoth(t, mk(1), nil, nil); got != 111 {
+		t.Errorf("select true: %d", got)
+	}
+	if got := runBoth(t, mk(0), nil, nil); got != 222 {
+		t.Errorf("select false: %d", got)
+	}
+}
+
+func TestReturnEarly(t *testing.T) {
+	body := NewBody().
+		I64Const(5).
+		Return().
+		End().Bytes()
+	m := SimpleFilter("ret", 0, nil, body)
+	if got := runBoth(t, m, nil, nil); got != 5 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestValidationRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Module
+		want string
+	}{
+		{"no export", &Module{Types: []FuncType{{Results: []ValType{I64}}}, Funcs: []Func{{Body: NewBody().I64Const(1).End().Bytes()}}, Exports: map[string]uint32{}}, "missing"},
+		{"bad sig", func() *Module {
+			m := SimpleFilter("x", 0, nil, NewBody().I32Const(1).End().Bytes())
+			m.Types[0] = FuncType{Results: []ValType{I32}}
+			return m
+		}(), "signature"},
+		{"type mismatch", SimpleFilter("x", 0, nil, NewBody().I32Const(1).End().Bytes()), "want i64"},
+		{"underflow", SimpleFilter("x", 0, nil, NewBody().Raw(OpI64Add).End().Bytes()), "underflow"},
+		{"bad local", SimpleFilter("x", 0, nil, NewBody().LocalGet(3).End().Bytes()), "local 3"},
+		{"bad global", SimpleFilter("x", 0, nil, NewBody().GlobalGet(0).Drop().I64Const(1).End().Bytes()), "global 0"},
+		{"mem without pages", SimpleFilter("x", 0, nil, NewBody().I32Const(0).I32Load(0).Drop().I64Const(1).End().Bytes()), "without declared memory"},
+		{"bad br depth", SimpleFilter("x", 0, nil, NewBody().Br(5).End().Bytes()), "br depth"},
+		{"unbalanced", SimpleFilter("x", 0, nil, NewBody().Block(BlockEmpty).I64Const(1).End().Bytes()), "stack height"},
+		{"unknown import", FilterWithImports("x", 0, []Import{{Name: "evil_syscall", Type: 0}}, nil, nil, NewBody().I64Const(1).End().Bytes()), "unknown host import"},
+		{"two funcs", &Module{
+			Types:   []FuncType{{Results: []ValType{I64}}},
+			Funcs:   []Func{{Body: NewBody().I64Const(1).End().Bytes()}, {Body: NewBody().I64Const(1).End().Bytes()}},
+			Exports: map[string]uint32{EntryExport: 0},
+		}, "exactly 1"},
+		{"if needs else", SimpleFilter("x", 0, nil, NewBody().I32Const(1).If(uint8(I64)).I64Const(1).End().End().Bytes()), "requires else"},
+		{"too many pages", SimpleFilter("x", MaxMemPages+1, nil, NewBody().I64Const(1).End().Bytes()), "pages"},
+	}
+	for _, c := range cases {
+		_, err := Validate(c.m)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestFrameLimitEnforced(t *testing.T) {
+	// 60 locals exceeds the 56-slot frame budget.
+	locals := make([]ValType, 60)
+	for i := range locals {
+		locals[i] = I64
+	}
+	m := SimpleFilter("big", 0, locals, NewBody().I64Const(1).End().Bytes())
+	if _, err := Validate(m); err == nil || !strings.Contains(err.Error(), "slots") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnreachableTraps(t *testing.T) {
+	m := SimpleFilter("trap", 0, nil, NewBody().Unreachable().End().Bytes())
+	if _, err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := NewLocalInstance(m)
+	if _, err := inst.Run(nil, nil); !errors.Is(err, ErrTrap) {
+		t.Errorf("interp err = %v", err)
+	}
+	bin, err := Compile(m, native.ArchX64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, _ := native.DecodeProgram(bin.Arch, bin.Code)
+	if _, err := (&native.Engine{}).Run(np, &xabi.Env{}, nil); err == nil {
+		t.Error("compiled unreachable did not trap")
+	}
+}
+
+func TestInterpreterFuel(t *testing.T) {
+	// Infinite loop must exhaust fuel.
+	body := NewBody().
+		Loop(BlockEmpty).
+		Br(0).
+		End().
+		I64Const(1).
+		End().Bytes()
+	m := SimpleFilter("spin", 0, nil, body)
+	inst, _ := NewLocalInstance(m)
+	inst.Fuel = 1000
+	if _, err := inst.Run(nil, nil); !errors.Is(err, ErrFuel) {
+		t.Errorf("err = %v", err)
+	}
+	// Compiled version hits engine fuel too.
+	bin, err := Compile(m, native.ArchA64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, _ := native.DecodeProgram(bin.Arch, bin.Code)
+	e := &native.Engine{Fuel: 1000}
+	if _, err := e.Run(np, &xabi.Env{}, nil); !errors.Is(err, native.ErrFuel) {
+		t.Errorf("compiled err = %v", err)
+	}
+}
+
+func TestMemoryOOBTraps(t *testing.T) {
+	body := NewBody().
+		I32Const(PageSize - 2).I64Load(0). // straddles page end
+		End().Bytes()
+	m := SimpleFilter("oob", 1, nil, body)
+	inst, _ := NewLocalInstance(m)
+	if _, err := inst.Run(nil, nil); !errors.Is(err, ErrTrap) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDigestStable(t *testing.T) {
+	a := SimpleFilter("d", 1, nil, NewBody().I64Const(1).End().Bytes())
+	b := SimpleFilter("d", 1, nil, NewBody().I64Const(1).End().Bytes())
+	if Digest(a) != Digest(b) {
+		t.Error("identical modules, different digests")
+	}
+	c := SimpleFilter("d", 1, nil, NewBody().I64Const(2).End().Bytes())
+	if Digest(a) == Digest(c) {
+		t.Error("different modules, same digest")
+	}
+}
+
+func TestRateLimiterFilter(t *testing.T) {
+	// A realistic mesh filter: count requests in a global; return Pass
+	// until the count exceeds 3, then Drop.
+	body := NewBody().
+		GlobalGet(0).I64Const(1).Raw(OpI64Add).GlobalSet(0).
+		GlobalGet(0).I64Const(3).Raw(OpI64GtS).
+		If(uint8(I64)).
+		I64Const(int64(xabi.VerdictDrop)).
+		Else().
+		I64Const(int64(xabi.VerdictPass)).
+		End().
+		End().Bytes()
+	m := SimpleFilter("ratelimit", 0, nil, body)
+	m.Globals = []Global{{Type: I64, Init: 0}}
+	if _, err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := NewLocalInstance(m)
+	var verdicts []uint64
+	for i := 0; i < 5; i++ {
+		v, err := inst.Run(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts = append(verdicts, v)
+	}
+	want := []uint64{xabi.VerdictPass, xabi.VerdictPass, xabi.VerdictPass, xabi.VerdictDrop, xabi.VerdictDrop}
+	for i := range want {
+		if verdicts[i] != want[i] {
+			t.Errorf("request %d: verdict %d, want %d", i, verdicts[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package xabi
+
+import "fmt"
+
+// Overlay maps a per-invocation context buffer (at CtxBase) and stack (below
+// StackBase) over a base memory. Both the eBPF interpreter and the native
+// engine execute through an Overlay so extension semantics are identical
+// across engines.
+type Overlay struct {
+	Base  Memory // may be nil
+	Ctx   []byte
+	Stack []byte
+}
+
+// NewOverlay builds an overlay memory.
+func NewOverlay(base Memory, ctx, stack []byte) *Overlay {
+	return &Overlay{Base: base, Ctx: ctx, Stack: stack}
+}
+
+func (m *Overlay) resolve(addr uint64, n int) ([]byte, bool) {
+	if addr >= CtxBase && addr-CtxBase+uint64(n) <= uint64(len(m.Ctx)) {
+		off := addr - CtxBase
+		return m.Ctx[off : off+uint64(n)], true
+	}
+	stackLo := StackBase - uint64(len(m.Stack))
+	if addr >= stackLo && addr < StackBase && addr-stackLo+uint64(n) <= uint64(len(m.Stack)) {
+		off := addr - stackLo
+		return m.Stack[off : off+uint64(n)], true
+	}
+	return nil, false
+}
+
+// ReadMem implements Memory.
+func (m *Overlay) ReadMem(addr uint64, size int) (uint64, error) {
+	if b, ok := m.resolve(addr, size); ok {
+		var v uint64
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+		return v, nil
+	}
+	if m.Base != nil {
+		return m.Base.ReadMem(addr, size)
+	}
+	return 0, fmt.Errorf("%w: load [%#x,+%d)", ErrFault, addr, size)
+}
+
+// WriteMem implements Memory.
+func (m *Overlay) WriteMem(addr uint64, size int, val uint64) error {
+	if b, ok := m.resolve(addr, size); ok {
+		for i := 0; i < size; i++ {
+			b[i] = byte(val >> (8 * i))
+		}
+		return nil
+	}
+	if m.Base != nil {
+		return m.Base.WriteMem(addr, size, val)
+	}
+	return fmt.Errorf("%w: store [%#x,+%d)", ErrFault, addr, size)
+}
+
+// ReadBytes implements Memory.
+func (m *Overlay) ReadBytes(addr uint64, n int) ([]byte, error) {
+	if b, ok := m.resolve(addr, n); ok {
+		out := make([]byte, n)
+		copy(out, b)
+		return out, nil
+	}
+	if m.Base != nil {
+		return m.Base.ReadBytes(addr, n)
+	}
+	return nil, fmt.Errorf("%w: read [%#x,+%d)", ErrFault, addr, n)
+}
+
+// WriteBytes implements Memory.
+func (m *Overlay) WriteBytes(addr uint64, b []byte) error {
+	if dst, ok := m.resolve(addr, len(b)); ok {
+		copy(dst, b)
+		return nil
+	}
+	if m.Base != nil {
+		return m.Base.WriteBytes(addr, b)
+	}
+	return fmt.Errorf("%w: write [%#x,+%d)", ErrFault, addr, len(b))
+}

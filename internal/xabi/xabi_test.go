@@ -1,0 +1,202 @@
+package xabi
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionMemoryRoundTrip(t *testing.T) {
+	m, err := NewRegionMemory(&Region{Base: 0x1000, Data: make([]byte, 256), Writable: true, Name: "rw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 2, 4, 8} {
+		want := uint64(0x1122334455667788) & (1<<(8*size) - 1)
+		if err := m.WriteMem(0x1010, size, want); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		got, err := m.ReadMem(0x1010, size)
+		if err != nil || got != want {
+			t.Fatalf("size %d: got %#x want %#x err=%v", size, got, want, err)
+		}
+	}
+	if err := m.WriteBytes(0x1080, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadBytes(0x1080, 5)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("bytes: %q %v", b, err)
+	}
+}
+
+func TestRegionMemoryLittleEndian(t *testing.T) {
+	m, _ := NewRegionMemory(&Region{Base: 0, Data: make([]byte, 16), Writable: true, Name: "le"})
+	m.WriteMem(0, 4, 0x01020304)
+	b, _ := m.ReadBytes(0, 4)
+	if b[0] != 0x04 || b[3] != 0x01 {
+		t.Errorf("layout = %v, want little-endian", b)
+	}
+}
+
+func TestRegionMemoryFaults(t *testing.T) {
+	m, _ := NewRegionMemory(
+		&Region{Base: 0x1000, Data: make([]byte, 64), Writable: true, Name: "rw"},
+		&Region{Base: 0x2000, Data: make([]byte, 64), Writable: false, Name: "ro"},
+	)
+	if _, err := m.ReadMem(0x500, 8); !errors.Is(err, ErrFault) {
+		t.Errorf("unmapped read: %v", err)
+	}
+	if _, err := m.ReadMem(0x103C, 8); !errors.Is(err, ErrFault) {
+		t.Errorf("straddling read: %v", err)
+	}
+	if err := m.WriteMem(0x2000, 8, 1); !errors.Is(err, ErrFault) {
+		t.Errorf("read-only write: %v", err)
+	}
+	if err := m.WriteBytes(0x2000, []byte{1}); !errors.Is(err, ErrFault) {
+		t.Errorf("read-only write bytes: %v", err)
+	}
+	// Cross-region access must fault even if both regions exist.
+	if _, err := m.ReadBytes(0x103F, 2); !errors.Is(err, ErrFault) {
+		t.Errorf("cross-region: %v", err)
+	}
+}
+
+func TestRegionOverlapRejected(t *testing.T) {
+	_, err := NewRegionMemory(
+		&Region{Base: 0x1000, Data: make([]byte, 100), Writable: true, Name: "a"},
+		&Region{Base: 0x1050, Data: make([]byte, 100), Writable: true, Name: "b"},
+	)
+	if err == nil {
+		t.Error("overlapping regions accepted")
+	}
+	_, err = NewRegionMemory(&Region{Base: 0, Data: nil, Name: "empty"})
+	if err == nil {
+		t.Error("empty region accepted")
+	}
+}
+
+func TestOverlayPrecedence(t *testing.T) {
+	base, _ := NewRegionMemory(&Region{Base: CtxBase, Data: make([]byte, 1024), Writable: true, Name: "shadowed"})
+	base.WriteMem(CtxBase, 8, 0xBA5E)
+
+	ctx := make([]byte, CtxSize)
+	stack := make([]byte, StackSize)
+	ov := NewOverlay(base, ctx, stack)
+
+	// The overlay's ctx shadows the base mapping at CtxBase.
+	v, err := ov.ReadMem(CtxBase, 8)
+	if err != nil || v != 0 {
+		t.Errorf("overlay read = %#x err=%v, want 0 (fresh ctx)", v, err)
+	}
+	if err := ov.WriteMem(CtxBase, 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	if ctx[0] != 7 {
+		t.Error("overlay write missed the ctx buffer")
+	}
+	if got, _ := base.ReadMem(CtxBase, 8); got != 0xBA5E {
+		t.Error("overlay write leaked into base memory")
+	}
+}
+
+func TestOverlayStackBounds(t *testing.T) {
+	ov := NewOverlay(nil, make([]byte, CtxSize), make([]byte, StackSize))
+	if err := ov.WriteMem(StackBase-8, 8, 1); err != nil {
+		t.Errorf("top-of-stack write: %v", err)
+	}
+	if err := ov.WriteMem(StackBase-StackSize, 8, 1); err != nil {
+		t.Errorf("bottom-of-stack write: %v", err)
+	}
+	if err := ov.WriteMem(StackBase, 8, 1); err == nil {
+		t.Error("write above stack accepted")
+	}
+	if err := ov.WriteMem(StackBase-StackSize-8, 8, 1); err == nil {
+		t.Error("write below stack accepted")
+	}
+	if _, err := ov.ReadMem(0xDEAD, 8); !errors.Is(err, ErrFault) {
+		t.Errorf("unmapped without base: %v", err)
+	}
+}
+
+func TestOverlayPassThrough(t *testing.T) {
+	base, _ := NewRegionMemory(&Region{Base: 0x9000, Data: make([]byte, 64), Writable: true, Name: "base"})
+	ov := NewOverlay(base, make([]byte, CtxSize), make([]byte, StackSize))
+	if err := ov.WriteMem(0x9000, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := base.ReadMem(0x9000, 8); v != 42 {
+		t.Error("pass-through write lost")
+	}
+	if err := ov.WriteBytes(0x9008, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ov.ReadBytes(0x9008, 2)
+	if err != nil || b[0] != 1 || b[1] != 2 {
+		t.Errorf("pass-through bytes: %v %v", b, err)
+	}
+}
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m, _ := NewRegionMemory(&Region{Base: 0x4000, Data: make([]byte, 4096), Writable: true, Name: "p"})
+	f := func(off uint16, val uint64, sizeSel uint8) bool {
+		size := []int{1, 2, 4, 8}[sizeSel%4]
+		addr := 0x4000 + uint64(off)%(4096-8)
+		if err := m.WriteMem(addr, size, val); err != nil {
+			return false
+		}
+		got, err := m.ReadMem(addr, size)
+		if err != nil {
+			return false
+		}
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		return got == val&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvDefaults(t *testing.T) {
+	var e Env
+	if e.Now() != 0 || e.Rand() != 0 {
+		t.Error("nil clock/prng should read 0")
+	}
+	e.Log("dropped silently") // nil sink must not panic
+	var got string
+	e.LogSink = func(m string) { got = m }
+	e.Log("hello")
+	if got != "hello" {
+		t.Error("log sink not invoked")
+	}
+}
+
+func TestHelperNames(t *testing.T) {
+	for _, id := range []int{HelperMapLookup, HelperKtimeGetNS, HelperGetHeader} {
+		if HelperName(id) == "" {
+			t.Errorf("helper %d has no name", id)
+		}
+	}
+	if HelperName(9999) != "helper#9999" {
+		t.Errorf("unknown helper name: %s", HelperName(9999))
+	}
+}
+
+func TestHandleMapResolver(t *testing.T) {
+	r := HandleMapResolver{}
+	if _, ok := r.ResolveMap(5); ok {
+		t.Error("empty resolver resolved something")
+	}
+}
+
+func TestMapTypeString(t *testing.T) {
+	if MapTypeArray.String() != "array" || MapTypeHash.String() != "hash" || MapTypeLRU.String() != "lru" {
+		t.Error("map type names wrong")
+	}
+	if MapType(42).String() == "" {
+		t.Error("unknown map type has empty name")
+	}
+}

@@ -1,0 +1,190 @@
+// Package rdx is the public API of the RDX library: Remote Direct Code
+// Execution — RDMA elevated from remote memory access to remote code
+// execution (HotNets '25).
+//
+// RDX lets a centralized control plane validate, JIT-compile, link, and
+// inject runtime extensions (eBPF programs, Wasm filters, UDFs) directly
+// into the memory of remote data-plane sandboxes using one-sided RDMA
+// verbs. The target nodes run no agent: after a one-time boot (management
+// stubs), every control-path operation is remote memory manipulation.
+//
+// # Quick start
+//
+//	// Boot a data-plane node and serve its software RNIC.
+//	n, _ := rdx.NewNode(rdx.NodeConfig{ID: "n0", Hooks: []string{"ingress"}})
+//	fabric := rdx.NewFabric()
+//	l, _ := fabric.Listen("n0")
+//	go n.Serve(l)
+//
+//	// Control plane: bind a CodeFlow and inject an extension.
+//	cp := rdx.NewControlPlane()
+//	conn, _ := fabric.Dial("n0")
+//	cf, _ := cp.CreateCodeFlow(conn)
+//	udfExt, _ := rdx.NewUDF("sampler", "len > 128 && (hash(flow) % 100) < 10")
+//	cf.InjectExtension(udfExt, "ingress")
+//
+//	// Data plane: requests now flow through the injected logic.
+//	ctx := make([]byte, rdx.CtxSize)
+//	res, _ := n.ExecHook("ingress", ctx, nil)
+//
+// The implementation lives under internal/; this package re-exports the
+// stable surface. See DESIGN.md for the architecture and EXPERIMENTS.md for
+// the paper-reproduction results.
+package rdx
+
+import (
+	"rdx/internal/core"
+	"rdx/internal/ebpf"
+	"rdx/internal/ext"
+	"rdx/internal/native"
+	"rdx/internal/node"
+	"rdx/internal/orchestrator"
+	"rdx/internal/rdma"
+	"rdx/internal/udf"
+	"rdx/internal/wasm"
+	"rdx/internal/xabi"
+)
+
+// Control plane and CodeFlow (Table 1 of the paper).
+type (
+	// ControlPlane is the centralized, agentless extension authority.
+	ControlPlane = core.ControlPlane
+	// CodeFlow is a handle bound to one remote data-plane node.
+	CodeFlow = core.CodeFlow
+	// Group is a collective CodeFlow for rdx_broadcast.
+	Group = core.Group
+	// BroadcastOptions configures collective updates (BBU etc.).
+	BroadcastOptions = core.BroadcastOptions
+	// Report carries per-stage injection timings.
+	Report = core.Report
+	// Deployed records a published extension version.
+	Deployed = core.Deployed
+	// TxWrite is one staged write of an rdx_tx transaction.
+	TxWrite = core.TxWrite
+	// QwordSwap is an rdx_tx commit point.
+	QwordSwap = core.QwordSwap
+	// XState is a deployed remote state instance.
+	XState = core.XState
+)
+
+// NewControlPlane creates an empty control plane with a warm registry.
+var NewControlPlane = core.NewControlPlane
+
+// Data plane.
+type (
+	// Node is one data-plane host (arena + RNIC + cores + sandbox).
+	Node = node.Node
+	// NodeConfig configures a node.
+	NodeConfig = node.Config
+	// ExecResult reports one hook execution.
+	ExecResult = node.ExecResult
+	// HookStats are a hook's data-plane counters.
+	HookStats = node.HookStats
+)
+
+// NewNode boots a data-plane node (ctx_init + ctx_register).
+var NewNode = node.New
+
+// ErrDropped marks requests dropped by an extension verdict.
+var ErrDropped = node.ErrDropped
+
+// Extensions.
+type (
+	// Extension is one deployable runtime extension of any kind.
+	Extension = ext.Extension
+	// EBPFProgram is an eBPF extension's IR.
+	EBPFProgram = ebpf.Program
+	// MapSpec declares an XState map.
+	MapSpec = ebpf.MapSpec
+	// WasmModule is a Wasm filter module.
+	WasmModule = wasm.Module
+	// UDFProgram is a user-defined function.
+	UDFProgram = udf.Program
+)
+
+// Extension constructors.
+var (
+	FromEBPF = ext.FromEBPF
+	FromWasm = ext.FromWasm
+	FromUDF  = ext.FromUDF
+)
+
+// NewUDF parses a UDF expression and wraps it as an Extension.
+func NewUDF(name, source string) (*Extension, error) {
+	p, err := udf.New(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return FromUDF(p), nil
+}
+
+// Fabric and architectures.
+type (
+	// Fabric is an in-process RDMA network for single-process clusters.
+	Fabric = rdma.Fabric
+	// LatencyModel injects per-verb fabric latency.
+	LatencyModel = rdma.LatencyModel
+	// Arch is a target instruction-set architecture.
+	Arch = native.Arch
+)
+
+// NewFabric creates an in-process fabric.
+var NewFabric = rdma.NewFabric
+
+// DefaultLatency approximates a CX-4-class RNIC on a 25 Gb/s fabric.
+var DefaultLatency = rdma.DefaultLatency
+
+// NoLatency disables injected fabric latency (tests).
+var NoLatency = rdma.NoLatency
+
+// Target architectures.
+const (
+	ArchX64 = native.ArchX64
+	ArchA64 = native.ArchA64
+)
+
+// Orchestration (declarative cluster-wide rollouts, §7 future work).
+type (
+	// Orchestrator executes declarative plans against named CodeFlows.
+	Orchestrator = orchestrator.Orchestrator
+	// Plan is a parsed orchestration program.
+	Plan = orchestrator.Plan
+)
+
+// NewOrchestrator creates an orchestrator over a control plane.
+var NewOrchestrator = orchestrator.New
+
+// ParsePlan compiles orchestration-plan source.
+var ParsePlan = orchestrator.Parse
+
+// Security (§5): role-based deployment policy and runtime limits.
+type (
+	// AccessPolicy maps roles to deployment privileges.
+	AccessPolicy = core.AccessPolicy
+	// Role names a CodeFlow principal's privilege level.
+	Role = core.Role
+	// Privilege describes what a role may deploy, where.
+	Privilege = core.Privilege
+)
+
+// ErrDenied is returned when the access policy rejects an operation.
+var ErrDenied = core.ErrDenied
+
+// ErrRuntimeLimit marks executions aborted by a hook's instruction budget.
+var ErrRuntimeLimit = node.ErrRuntimeLimit
+
+// Extension ABI constants.
+const (
+	// CtxSize is the request context structure size.
+	CtxSize = xabi.CtxSize
+	// Context field offsets.
+	CtxOffDataLen  = xabi.CtxOffDataLen
+	CtxOffProtocol = xabi.CtxOffProtocol
+	CtxOffVerdict  = xabi.CtxOffVerdict
+	CtxOffFlowID   = xabi.CtxOffFlowID
+	CtxOffTenant   = xabi.CtxOffTenant
+	// Verdicts.
+	VerdictDrop  = xabi.VerdictDrop
+	VerdictPass  = xabi.VerdictPass
+	VerdictAbort = xabi.VerdictAbort
+)
