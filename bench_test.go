@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"rdx"
 	"rdx/internal/agent"
@@ -25,6 +26,7 @@ import (
 	"rdx/internal/ext"
 	"rdx/internal/native"
 	"rdx/internal/node"
+	"rdx/internal/pipeline"
 	"rdx/internal/rdma"
 	"rdx/internal/xabi"
 )
@@ -468,3 +470,84 @@ func BenchmarkVerifierThroughput(b *testing.B) {
 // experimentsQuickSanity keeps the experiment drivers compiling against the
 // bench build; it is not a benchmark.
 var _ = experiments.Options{}
+
+// BenchmarkPipelineInjection rolls one extension out to 8 nodes per
+// iteration, comparing the seed path — a sequential per-node
+// InjectExtension loop — against the injection scheduler's batched fan-out
+// (OpBatch chains, coalesced doorbells, parallel nodes). The fabric is
+// latency-bound (500 µs per verb) so sequential round trips cost wall-clock
+// time, as they do on a real link; the registry is warmed outside the
+// timer, isolating the injection path itself.
+func BenchmarkPipelineInjection(b *testing.B) {
+	const nodes = 8
+	lat := &rdma.LatencyModel{Base: 500 * time.Microsecond, BytesPerSec: 3.125e9}
+
+	fleet := func(b *testing.B, prefix string) (*core.ControlPlane, []*core.CodeFlow) {
+		b.Helper()
+		fab := rdx.NewFabric()
+		cp := rdx.NewControlPlane()
+		var cfs []*core.CodeFlow
+		for i := 0; i < nodes; i++ {
+			id := fmt.Sprintf("%s%d", prefix, i)
+			n, err := rdx.NewNode(rdx.NodeConfig{ID: id, Hooks: []string{"ingress"}, Latency: lat})
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, _ := fab.Listen(id)
+			go n.Serve(l)
+			conn, _ := fab.Dial(id)
+			cf, err := cp.CreateCodeFlow(conn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfs = append(cfs, cf)
+			b.Cleanup(n.Close)
+		}
+		return cp, cfs
+	}
+	// Distinct pre-compiled extensions per iteration: repeats would hit the
+	// resident-blob fast path and measure nothing but the commit CAS.
+	pool := func(b *testing.B, cp *core.ControlPlane, arch native.Arch) []*ext.Extension {
+		b.Helper()
+		exts := make([]*ext.Extension, b.N)
+		for i := range exts {
+			exts[i] = cluster.GenerationExt(ext.KindEBPF, i, 100)
+			if err := cp.Precompile(exts[i], arch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return exts
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		cp, cfs := fleet(b, "seq")
+		exts := pool(b, cp, cfs[0].Arch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, cf := range cfs {
+				if _, err := cf.InjectExtension(exts[i], "ingress"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		cp, cfs := fleet(b, "bat")
+		exts := pool(b, cp, cfs[0].Arch)
+		sched := cp.Scheduler()
+		targets := make([]pipeline.Target, len(cfs))
+		for i, cf := range cfs {
+			targets[i] = cf
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sched.Inject(pipeline.Request{Ext: exts[i], Hook: "ingress", Targets: targets})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ferr := res.FirstErr(); ferr != nil {
+				b.Fatal(ferr)
+			}
+		}
+	})
+}

@@ -5,7 +5,7 @@
 //
 //	rdxbench [-quick] [experiment ...]
 //
-// Experiments: fig2a fig2b fig2c fig4a fig4b fig5 redis mesh all
+// Experiments: fig2a fig2b fig2c fig4a fig4b fig5 redis mesh pipeline all
 // (default: all). -quick shrinks sizes and durations.
 package main
 
@@ -22,16 +22,28 @@ import (
 var registry = []struct {
 	name string
 	desc string
-	run  func(experiments.Options) (*telemetry.Table, error)
+	run  func(experiments.Options) ([]*telemetry.Table, error)
 }{
-	{"fig2a", "agent injection latency vs program size", experiments.Fig2a},
-	{"fig2b", "update inconsistency during rollouts", experiments.Fig2b},
-	{"fig2c", "control/data-path contention on a KV app", experiments.Fig2c},
-	{"fig4a", "agent vs RDX load completion time", experiments.Fig4a},
-	{"fig4b", "injection time breakdown", experiments.Fig4b},
-	{"fig5", "RNIC→CPU incoherence: vanilla vs cc_event", experiments.Fig5},
-	{"redis", "KV throughput under extension churn (§6)", experiments.Redis},
-	{"mesh", "microservice completion under Wasm churn (§6)", experiments.Mesh},
+	{"fig2a", "agent injection latency vs program size", single(experiments.Fig2a)},
+	{"fig2b", "update inconsistency during rollouts", single(experiments.Fig2b)},
+	{"fig2c", "control/data-path contention on a KV app", single(experiments.Fig2c)},
+	{"fig4a", "agent vs RDX load completion time", single(experiments.Fig4a)},
+	{"fig4b", "injection time breakdown", single(experiments.Fig4b)},
+	{"fig5", "RNIC→CPU incoherence: vanilla vs cc_event", single(experiments.Fig5)},
+	{"redis", "KV throughput under extension churn (§6)", single(experiments.Redis)},
+	{"mesh", "microservice completion under Wasm churn (§6)", single(experiments.Mesh)},
+	{"pipeline", "fleet rollout: sequential vs batched scheduler", experiments.PipelineWithStats},
+}
+
+// single adapts a one-table experiment to the registry signature.
+func single(f func(experiments.Options) (*telemetry.Table, error)) func(experiments.Options) ([]*telemetry.Table, error) {
+	return func(o experiments.Options) ([]*telemetry.Table, error) {
+		tbl, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*telemetry.Table{tbl}, nil
+	}
 }
 
 func main() {
@@ -72,13 +84,15 @@ func main() {
 			found = true
 			fmt.Printf("== %s: %s ==\n", e.name, e.desc)
 			start := time.Now()
-			tbl, err := e.run(opts)
+			tbls, err := e.run(opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 				exit = 1
 				break
 			}
-			fmt.Println(tbl.String())
+			for _, tbl := range tbls {
+				fmt.Println(tbl.String())
+			}
 			fmt.Printf("(%s in %s)\n\n", e.name, time.Since(start).Round(time.Millisecond))
 		}
 		if !found {

@@ -10,6 +10,7 @@
 //	rdxctl detach  -node host:7700 -hook kv
 //	rdxctl bench   -node host:7700 -hook ingress -n 50 -synthetic 1300
 //	rdxctl apply   -plan plan.rdx -nodes edge-1=host1:7700,edge-2=host2:7700
+//	rdxctl broadcast -nodes edge-1=host1:7700,edge-2=host2:7700 -hook ingress -synthetic 1300
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"rdx/internal/ext"
 	"rdx/internal/node"
 	"rdx/internal/orchestrator"
+	"rdx/internal/pipeline"
 	"rdx/internal/telemetry"
 	"rdx/internal/udf"
 )
@@ -41,6 +43,7 @@ commands:
   detach   clear a hook's dispatch pointer (remote teardown)
   bench    deploy repeatedly and report injection latency
   apply    execute a declarative orchestration plan across nodes
+  broadcast  deploy to a fleet through the injection scheduler
 `)
 	os.Exit(2)
 }
@@ -58,12 +61,17 @@ func main() {
 		synthetic = fs.Int("synthetic", 0, "deploy a synthetic eBPF program of N instructions")
 		n         = fs.Int("n", 20, "bench repetitions")
 		planFile  = fs.String("plan", "", "orchestration plan file (apply)")
-		nodeList  = fs.String("nodes", "", "name=addr pairs for apply, comma-separated")
+		nodeList  = fs.String("nodes", "", "name=addr pairs for apply/broadcast, comma-separated")
+		atomic    = fs.Bool("atomic", false, "broadcast: withhold every publish if any node fails to stage")
 	)
 	fs.Parse(os.Args[2:])
 
 	if cmd == "apply" {
 		runApply(*planFile, *nodeList)
+		return
+	}
+	if cmd == "broadcast" {
+		runBroadcast(*nodeList, *hook, buildExtension(*udfSrc, *synthetic), *atomic)
 		return
 	}
 
@@ -183,6 +191,55 @@ func runBench(cf *core.CodeFlow, hook string, e *ext.Extension, n int) {
 		}
 	}
 	fmt.Printf("%d deploys of %s: %s (registry hits: %d)\n", n, e.Name(), hist.Summary(), cacheHits)
+}
+
+// runBroadcast deploys one extension to every listed node through the
+// control plane's injection scheduler and prints the per-node outcomes plus
+// the scheduler's per-stage span table.
+func runBroadcast(nodeList, hook string, e *ext.Extension, atomic bool) {
+	if nodeList == "" {
+		log.Fatal("rdxctl: broadcast requires -nodes")
+	}
+	cp := core.NewControlPlane()
+	var targets []pipeline.Target
+	var names []string
+	for _, pair := range strings.Split(nodeList, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			log.Fatalf("rdxctl: bad -nodes entry %q (want name=addr)", pair)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			log.Fatalf("rdxctl: dial %s (%s): %v", addr, name, err)
+		}
+		cf, err := cp.CreateCodeFlow(conn)
+		if err != nil {
+			log.Fatalf("rdxctl: codeflow %s: %v", name, err)
+		}
+		defer cf.Close()
+		targets = append(targets, cf)
+		names = append(names, name)
+	}
+
+	res, err := cp.Scheduler().Inject(pipeline.Request{
+		Ext: e, Hook: hook, Targets: targets, Atomic: atomic,
+	})
+	if err != nil {
+		log.Fatalf("rdxctl: broadcast: %v", err)
+	}
+	for i, o := range res.Outcomes {
+		status := fmt.Sprintf("version=%d", o.Version)
+		if o.Err != nil {
+			status = "FAILED: " + o.Err.Error()
+		}
+		fmt.Printf("%-16s attempts=%d latency=%s %s\n",
+			names[i], o.Attempts, telemetry.FormatDuration(o.Latency), status)
+	}
+	fmt.Printf("published=%v failed=%d total=%s\n", res.Published, len(res.Failed()), telemetry.FormatDuration(res.Total))
+	fmt.Println(cp.Scheduler().Stats().String())
+	if !res.Published || res.FirstErr() != nil {
+		os.Exit(1)
+	}
 }
 
 func runApply(planFile, nodeList string) {

@@ -2,14 +2,13 @@ package core
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"sync"
 	"time"
 
 	"rdx/internal/ext"
 	"rdx/internal/node"
+	"rdx/internal/pipeline"
 )
 
 // Group is a collective CodeFlow: a set of node handles updated as one.
@@ -42,185 +41,102 @@ type BroadcastReport struct {
 	Versions []uint64
 }
 
-// staged is one node's prepared-but-unpublished deployment.
-type staged struct {
-	cf       *CodeFlow
-	hookAddr uint64
-	blob     uint64
-	version  uint64
-}
-
 // Broadcast is rdx_broadcast: transactionally deploy one extension to every
-// node in the group (the write set spans all target hooks, §4). Phase one
-// stages code and state on every node in parallel; phase two publishes with
-// one CAS per node, optionally bracketed by BBU gates.
+// node in the group (the write set spans all target hooks, §4). It runs as
+// one Atomic job on the control plane's injection scheduler: staging (link +
+// batched write) fans out to all nodes in parallel and publishes only if
+// every node staged — the abort path leaves staged blobs as unreferenced
+// garbage in the ring allocators, never exposed by any pointer. BBU gates
+// slot into the scheduler's publish barrier.
 func (g Group) Broadcast(e *ext.Extension, opts BroadcastOptions) (BroadcastReport, error) {
 	var rep BroadcastReport
 	if len(g) == 0 {
 		return rep, fmt.Errorf("core: empty broadcast group")
 	}
 	start := time.Now()
-
-	// Phase 1: prepare — stage everywhere, publish nowhere.
-	stagedAll := make([]staged, len(g))
-	errs := make([]error, len(g))
-	var wg sync.WaitGroup
+	targets := make([]pipeline.Target, len(g))
 	for i, cf := range g {
-		wg.Add(1)
-		go func(i int, cf *CodeFlow) {
-			defer wg.Done()
-			stagedAll[i], errs[i] = cf.stage(e, opts.Hook)
-		}(i, cf)
+		targets[i] = cf
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			// Abort: staged blobs are unreferenced garbage in the bump
-			// allocator; no pointer ever exposed them.
-			return rep, fmt.Errorf("core: broadcast stage on node %d: %w", i, err)
-		}
-	}
-	rep.Prepare = time.Since(start)
 
-	// Phase 2: commit.
-	commitStart := time.Now()
-	if opts.BBU {
-		for i, cf := range g {
-			wg.Add(1)
-			go func(i int, cf *CodeFlow) {
-				defer wg.Done()
-				errs[i] = cf.SetBufferGate(opts.Hook, true)
-			}(i, cf)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				// Roll gates back before failing.
+	var prepareEnd, gateStart time.Time
+	res, err := g[0].cp.Scheduler().Inject(pipeline.Request{
+		Ext:     e,
+		Hook:    opts.Hook,
+		Targets: targets,
+		Atomic:  true,
+		BeforePublish: func() error {
+			prepareEnd = time.Now()
+			if !opts.BBU {
+				return nil
+			}
+			// Raise every gate, then drain: wait for every request already
+			// inside the bubble to complete, so nothing straddles old and
+			// new logic.
+			errs := make([]error, len(g))
+			var wg sync.WaitGroup
+			for i, cf := range g {
+				wg.Add(1)
+				go func(i int, cf *CodeFlow) {
+					defer wg.Done()
+					errs[i] = cf.SetBufferGate(opts.Hook, true)
+				}(i, cf)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					// Roll gates back before failing.
+					for _, cf := range g {
+						cf.SetBufferGate(opts.Hook, false)
+					}
+					return fmt.Errorf("core: broadcast gate raise: %w", err)
+				}
+			}
+			gateStart = time.Now()
+			timeout := opts.DrainTimeout
+			if timeout == 0 {
+				timeout = 2 * time.Second
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			if err := g.drainInflight(ctx, opts.Hook); err != nil {
 				for _, cf := range g {
 					cf.SetBufferGate(opts.Hook, false)
 				}
-				return rep, fmt.Errorf("core: broadcast gate raise: %w", err)
+				return fmt.Errorf("core: broadcast drain: %w", err)
 			}
-		}
-	}
-	gateStart := time.Now()
-	if opts.BBU {
-		// Drain: wait for every request already inside the bubble to
-		// complete, so nothing straddles old and new logic.
-		timeout := opts.DrainTimeout
-		if timeout == 0 {
-			timeout = 2 * time.Second
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		err := g.drainInflight(ctx, opts.Hook)
-		cancel()
-		if err != nil {
-			for _, cf := range g {
-				cf.SetBufferGate(opts.Hook, false)
+			return nil
+		},
+		AfterPublish: func() {
+			if opts.BBU {
+				for _, cf := range g {
+					cf.SetBufferGate(opts.Hook, false)
+				}
+				rep.GateHeld = time.Since(gateStart)
 			}
-			return rep, fmt.Errorf("core: broadcast drain: %w", err)
+		},
+	})
+	if err != nil {
+		return rep, fmt.Errorf("core: broadcast: %w", err)
+	}
+	if !res.Published {
+		// Atomic abort: a stage (or the barrier) failed; no node changed.
+		if ferr := res.FirstErr(); ferr != nil {
+			return rep, fmt.Errorf("core: broadcast aborted: %w", ferr)
 		}
+		return rep, fmt.Errorf("core: broadcast aborted")
 	}
-
-	for i := range stagedAll {
-		s := &stagedAll[i]
-		wg.Add(1)
-		go func(i int, s *staged) {
-			defer wg.Done()
-			errs[i] = s.publish()
-		}(i, s)
-	}
-	wg.Wait()
-	var commitErr error
-	for i, err := range errs {
-		if err != nil && commitErr == nil {
-			commitErr = fmt.Errorf("core: broadcast commit on node %d: %w", i, err)
-		}
-	}
-
-	if opts.BBU {
-		for _, cf := range g {
-			cf.SetBufferGate(opts.Hook, false)
-		}
-		rep.GateHeld = time.Since(gateStart)
-	}
-	rep.Commit = time.Since(commitStart)
+	rep.Prepare = prepareEnd.Sub(start)
+	rep.Commit = time.Since(prepareEnd)
 	rep.Total = time.Since(start)
-	for _, s := range stagedAll {
-		rep.Versions = append(rep.Versions, s.version)
+	var commitErr error
+	for i, o := range res.Outcomes {
+		rep.Versions = append(rep.Versions, o.Version)
+		if o.Err != nil && commitErr == nil {
+			commitErr = fmt.Errorf("core: broadcast commit on node %d: %w", i, o.Err)
+		}
 	}
 	return rep, commitErr
-}
-
-// stage runs everything except publication for one node.
-func (cf *CodeFlow) stage(e *ext.Extension, hook string) (staged, error) {
-	hookAddr, err := cf.HookAddr(hook)
-	if err != nil {
-		return staged{}, err
-	}
-	bin, err := cf.JITCompileCode(e)
-	if err != nil {
-		return staged{}, err
-	}
-	extra := map[string]uint64{}
-	params := DeployParams{Kind: uint8(e.Kind)}
-	if err := cf.setupState(e, extra, &params); err != nil {
-		return staged{}, err
-	}
-	if err := cf.LinkCode(bin, extra); err != nil {
-		return staged{}, err
-	}
-	version, err := cf.NextVersion()
-	if err != nil {
-		return staged{}, err
-	}
-	blob, err := cf.AllocCode(node.BlobHdrSize + len(bin.Code))
-	if err != nil {
-		return staged{}, err
-	}
-	hdr := node.EncodeBlobHeader(bin.Arch, node.BlobParams{
-		Kind: params.Kind, Version: version, MemBase: params.MemBase, GlobBase: params.GlobBase,
-	}, len(bin.Code))
-	if err := cf.Remote.WriteBytes(blob, append(hdr, bin.Code...)); err != nil {
-		return staged{}, err
-	}
-	codeSum := sha256.Sum256(bin.Code)
-	cf.mu.Lock()
-	cf.codeHashes[blob] = hex.EncodeToString(codeSum[:])
-	cf.mu.Unlock()
-	// Record the staged blob on the hook (crash-visible prepare record).
-	if err := cf.Remote.WriteMem(hookAddr+node.HookOffStaged, 8, blob); err != nil {
-		return staged{}, err
-	}
-	return staged{cf: cf, hookAddr: hookAddr, blob: blob, version: version}, nil
-}
-
-// publish flips the staged blob live: version write + dispatch CAS +
-// cc_event, the commit-only path.
-func (s *staged) publish() error {
-	cf := s.cf
-	if err := cf.Tx(
-		[]TxWrite{{Addr: s.hookAddr + node.HookOffVersion, Qword: s.version}},
-		QwordSwap{Addr: s.hookAddr + node.HookOffDispatch, New: s.blob},
-	); err != nil {
-		return err
-	}
-	cf.CCEvent(s.hookAddr + node.HookOffDispatch)
-	cf.mu.Lock()
-	cf.history[hookNameFromAddr(cf, s.hookAddr)] = append(cf.history[hookNameFromAddr(cf, s.hookAddr)],
-		Deployed{Blob: s.blob, Version: s.version})
-	cf.mu.Unlock()
-	return nil
-}
-
-// hookNameFromAddr reverse-maps a hook address to its name (small tables).
-func hookNameFromAddr(cf *CodeFlow, addr uint64) string {
-	for sym, a := range cf.got {
-		if a == addr && len(sym) > 5 && sym[:5] == "hook:" {
-			return sym[5:]
-		}
-	}
-	return fmt.Sprintf("hook@%#x", addr)
 }
 
 // drainInflight polls every node's in-flight counter until all are zero.

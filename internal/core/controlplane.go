@@ -18,6 +18,7 @@ import (
 
 	"rdx/internal/ext"
 	"rdx/internal/native"
+	"rdx/internal/pipeline"
 )
 
 // ControlPlane is the remote control plane: validation, the
@@ -35,6 +36,10 @@ type ControlPlane struct {
 
 	policy   *AccessPolicy
 	auditLog []auditEntry
+
+	// sched is the lazily created injection scheduler (see Scheduler).
+	schedOnce sync.Once
+	sched     *pipeline.Scheduler
 }
 
 type registryKey struct {

@@ -107,6 +107,52 @@ func (m *RemoteMemory) FetchAddMem(addr uint64, delta uint64) (uint64, error) {
 	return m.qp.FetchAdd(rkey, addr, delta)
 }
 
+// BatchWrite is one entry of a coalesced remote write chain. When HasImm is
+// set the entry's final segment becomes a WRITE_WITH_IMM, ringing the node's
+// doorbell as part of the chain instead of with a separate verb.
+type BatchWrite struct {
+	Addr   uint64
+	Data   []byte
+	Imm    uint32
+	HasImm bool
+}
+
+// WriteBatch coalesces all entries into OpBatch chains on the wire: one
+// latency-model charge and one completion per chain instead of one per
+// write. Entries larger than the segment limit are split; rkeys are resolved
+// per segment so a chain may span MRs.
+func (m *RemoteMemory) WriteBatch(writes []BatchWrite) error {
+	var ops []rdma.BatchOp
+	for _, w := range writes {
+		off := 0
+		for {
+			end := len(w.Data)
+			if end-off > rdma.WriteSeg {
+				end = off + rdma.WriteSeg
+			}
+			seg := w.Data[off:end]
+			span := len(seg)
+			if span == 0 {
+				span = 1 // doorbell-only entry still needs a valid MR
+			}
+			rkey, err := m.rkeyFor(w.Addr+uint64(off), span)
+			if err != nil {
+				return err
+			}
+			op := rdma.BatchOp{RKey: rkey, Addr: w.Addr + uint64(off), Data: seg}
+			if w.HasImm && end == len(w.Data) {
+				op.Imm, op.HasImm = w.Imm, true
+			}
+			ops = append(ops, op)
+			off = end
+			if off >= len(w.Data) {
+				break
+			}
+		}
+	}
+	return m.qp.WriteBatch(ops)
+}
+
 // WriteImm performs a WRITE_WITH_IMM (the cc_event doorbell).
 func (m *RemoteMemory) WriteImm(addr uint64, imm uint32, data []byte) error {
 	n := len(data)

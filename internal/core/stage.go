@@ -1,0 +1,157 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"rdx/internal/ext"
+	"rdx/internal/native"
+	"rdx/internal/node"
+	"rdx/internal/pipeline"
+)
+
+// NodeKey implements pipeline.Target.
+func (cf *CodeFlow) NodeKey() string { return fmt.Sprintf("%#x", cf.NodeID) }
+
+// Stage implements pipeline.Target by staging without publishing.
+func (cf *CodeFlow) Stage(e *ext.Extension, hook string) (pipeline.Staged, error) {
+	return cf.StageExtension(e, hook)
+}
+
+// StagedDeploy is a prepared-but-unpublished deployment on one node: the
+// blob is fully written and recorded on the hook's staged slot, but no
+// dispatch pointer references it yet. Publish is the commit-only half.
+type StagedDeploy struct {
+	cf       *CodeFlow
+	hook     string
+	name     string
+	hookAddr uint64
+	blob     uint64
+	version  uint64
+	link     time.Duration
+	write    time.Duration
+}
+
+// StageExtension runs everything except publication for one node: JIT (via
+// the registry), state setup, linking, remote allocation, then ONE OpBatch
+// chain carrying every blob segment plus the staged-record write, terminated
+// by a single doorbell WriteImm — the coalesced-doorbell injection path.
+func (cf *CodeFlow) StageExtension(e *ext.Extension, hook string) (*StagedDeploy, error) {
+	hookAddr, err := cf.HookAddr(hook)
+	if err != nil {
+		return nil, err
+	}
+	linkStart := time.Now()
+	bin, err := cf.JITCompileCode(e)
+	if err != nil {
+		return nil, err
+	}
+	extra := map[string]uint64{}
+	params := DeployParams{Kind: uint8(e.Kind)}
+	if err := cf.setupState(e, extra, &params); err != nil {
+		return nil, err
+	}
+	if err := cf.LinkCode(bin, extra); err != nil {
+		return nil, err
+	}
+	version, err := cf.NextVersion()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := cf.AllocCode(node.BlobHdrSize + len(bin.Code))
+	if err != nil {
+		return nil, err
+	}
+	link := time.Since(linkStart)
+
+	writeStart := time.Now()
+	hdr := node.EncodeBlobHeader(bin.Arch, node.BlobParams{
+		Kind: params.Kind, Version: version, MemBase: params.MemBase, GlobBase: params.GlobBase,
+	}, len(bin.Code))
+	var stagedRec [8]byte
+	binary.LittleEndian.PutUint64(stagedRec[:], blob)
+	// Blob payload and the crash-visible staged record travel as one chain;
+	// the trailing immediate exposes the staged slot to the node's CPU cache
+	// without a second doorbell verb.
+	if err := cf.Remote.WriteBatch([]BatchWrite{
+		{Addr: blob, Data: append(hdr, bin.Code...)},
+		{Addr: hookAddr + node.HookOffStaged, Data: stagedRec[:], Imm: node.DoorbellCCInvalidate, HasImm: true},
+	}); err != nil {
+		return nil, err
+	}
+	write := time.Since(writeStart)
+
+	codeSum := sha256.Sum256(bin.Code)
+	cf.mu.Lock()
+	cf.codeHashes[blob] = hex.EncodeToString(codeSum[:])
+	cf.mu.Unlock()
+	return &StagedDeploy{
+		cf: cf, hook: hook, name: e.Name(), hookAddr: hookAddr,
+		blob: blob, version: version, link: link, write: write,
+	}, nil
+}
+
+// Publish implements pipeline.Staged: version write + dispatch CAS +
+// cc_event, the commit-only transaction.
+func (s *StagedDeploy) Publish() error {
+	cf := s.cf
+	if err := cf.Tx(
+		[]TxWrite{{Addr: s.hookAddr + node.HookOffVersion, Qword: s.version}},
+		QwordSwap{Addr: s.hookAddr + node.HookOffDispatch, New: s.blob},
+	); err != nil {
+		return err
+	}
+	cf.CCEvent(s.hookAddr + node.HookOffDispatch)
+	cf.mu.Lock()
+	cf.history[s.hook] = append(cf.history[s.hook], Deployed{Blob: s.blob, Version: s.version, Name: s.name})
+	cf.mu.Unlock()
+	return nil
+}
+
+// Version implements pipeline.Staged.
+func (s *StagedDeploy) Version() uint64 { return s.version }
+
+// LinkDuration implements pipeline.Staged.
+func (s *StagedDeploy) LinkDuration() time.Duration { return s.link }
+
+// WriteDuration implements pipeline.Staged.
+func (s *StagedDeploy) WriteDuration() time.Duration { return s.write }
+
+// Scheduler returns the control plane's injection scheduler, created on
+// first use. Validation and compilation are wired to the registry, so a
+// fleet-wide job validates once and JITs once per distinct architecture
+// among the targets, regardless of fleet size.
+func (cp *ControlPlane) Scheduler() *pipeline.Scheduler {
+	cp.schedOnce.Do(func() {
+		cp.sched = pipeline.New(pipeline.Config{
+			Retries: 2,
+			Validate: func(e *ext.Extension) error {
+				_, err := cp.ValidateCode(e)
+				return err
+			},
+			Compile: func(e *ext.Extension, targets []pipeline.Target) error {
+				seen := map[native.Arch]bool{}
+				for _, t := range targets {
+					cf, ok := t.(*CodeFlow)
+					if !ok || seen[cf.Arch] {
+						continue
+					}
+					seen[cf.Arch] = true
+					if _, err := cp.JITCompileCode(e, cf.Arch); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
+	})
+	return cp.sched
+}
+
+var (
+	_ pipeline.Target = (*CodeFlow)(nil)
+	_ pipeline.Staged = (*StagedDeploy)(nil)
+)

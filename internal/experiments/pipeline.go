@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rdx/internal/core"
+	"rdx/internal/ebpf/progen"
+	"rdx/internal/ext"
+	"rdx/internal/node"
+	"rdx/internal/pipeline"
+	"rdx/internal/rdma"
+	"rdx/internal/telemetry"
+)
+
+// fleetRig is one control plane bound to N served nodes on a fabric.
+type fleetRig struct {
+	cp  *core.ControlPlane
+	cfs []*core.CodeFlow
+
+	closers []func()
+}
+
+func newFleetRig(prefix string, nodes int, lat *rdma.LatencyModel) (*fleetRig, error) {
+	r := &fleetRig{cp: core.NewControlPlane()}
+	fab := rdma.NewFabric()
+	for i := 0; i < nodes; i++ {
+		id := fmt.Sprintf("%s-%d", prefix, i)
+		n, err := node.New(node.Config{
+			ID: id, Hooks: []string{"ingress"}, Cores: 2, Latency: lat, Seed: int64(i),
+		})
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		l, err := fab.Listen(id)
+		if err != nil {
+			n.Close()
+			r.close()
+			return nil, err
+		}
+		go n.Serve(l)
+		conn, err := fab.Dial(id)
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		cf, err := r.cp.CreateCodeFlow(conn)
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.cfs = append(r.cfs, cf)
+		r.closers = append(r.closers, func() { cf.Close(); n.Close() })
+	}
+	return r, nil
+}
+
+func (r *fleetRig) close() {
+	for _, c := range r.closers {
+		c()
+	}
+}
+
+// Pipeline compares fleet-wide extension rollout through the seed path — a
+// sequential per-node InjectExtension loop — against the injection
+// scheduler's batched parallel fan-out (OpBatch write chains with coalesced
+// doorbells, concurrent nodes). The registry is warmed first, as in the
+// paper's compile-once/deploy-anywhere workflow, so the table isolates the
+// per-node injection cost the pipeline actually changes. The fabric models
+// a latency-bound link (500 µs per verb — a congested or cross-DC fabric)
+// where every sequential round trip is wall-clock waiting: the regime the
+// scheduler's in-flight batching and parallel fan-out are built for.
+func Pipeline(opts Options) (*telemetry.Table, error) {
+	tbl, _, err := pipelineRun(opts)
+	return tbl, err
+}
+
+// PipelineWithStats runs Pipeline and also returns the scheduler's
+// per-stage span table (queue → validate → jit → link → write → publish).
+func PipelineWithStats(opts Options) ([]*telemetry.Table, error) {
+	tbl, stats, err := pipelineRun(opts)
+	if err != nil {
+		return nil, err
+	}
+	return []*telemetry.Table{tbl, stats}, nil
+}
+
+func pipelineRun(opts Options) (*telemetry.Table, *telemetry.Table, error) {
+	nodes, reps := 8, 3
+	sizes := []int{1000, 20000}
+	if opts.Quick {
+		nodes, reps = 4, 1
+		sizes = []int{1000}
+	}
+
+	lat := &rdma.LatencyModel{Base: 500 * time.Microsecond, BytesPerSec: 3.125e9}
+	rig, err := newFleetRig("pipe", nodes, lat)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rig.close()
+	sched := rig.cp.Scheduler()
+	targets := make([]pipeline.Target, len(rig.cfs))
+	for i, cf := range rig.cfs {
+		targets[i] = cf
+	}
+
+	tbl := telemetry.NewTable(
+		fmt.Sprintf("pipeline — %d-node fleet rollout: sequential loop vs batched scheduler", nodes),
+		"insns", "sequential", "pipelined", "speedup")
+
+	seed := int64(1)
+	for _, size := range sizes {
+		var seq, pipe time.Duration
+		for rep := 0; rep < reps; rep++ {
+			// Fresh programs per path so neither run hits the resident-blob
+			// fast path; the compile registry amortizes within each rollout
+			// for both, exactly as in production.
+			eSeq := ext.FromEBPF(progen.MustGenerate(progen.Options{Size: size, Seed: seed, WithHelpers: true}))
+			seed++
+			if err := rig.cp.Precompile(eSeq, rig.cfs[0].Arch); err != nil {
+				return nil, nil, err
+			}
+			t0 := time.Now()
+			for _, cf := range rig.cfs {
+				if _, err := cf.InjectExtension(eSeq, "ingress"); err != nil {
+					return nil, nil, fmt.Errorf("pipeline sequential size %d: %w", size, err)
+				}
+			}
+			seq += time.Since(t0)
+
+			ePipe := ext.FromEBPF(progen.MustGenerate(progen.Options{Size: size, Seed: seed, WithHelpers: true}))
+			seed++
+			if err := rig.cp.Precompile(ePipe, rig.cfs[0].Arch); err != nil {
+				return nil, nil, err
+			}
+			t1 := time.Now()
+			res, err := sched.Inject(pipeline.Request{Ext: ePipe, Hook: "ingress", Targets: targets})
+			if err != nil {
+				return nil, nil, fmt.Errorf("pipeline batched size %d: %w", size, err)
+			}
+			if ferr := res.FirstErr(); ferr != nil {
+				return nil, nil, fmt.Errorf("pipeline batched size %d: %w", size, ferr)
+			}
+			pipe += time.Since(t1)
+		}
+		n := time.Duration(reps)
+		tbl.AddRowf(size, seq/n, pipe/n, fmt.Sprintf("%.1fx", float64(seq)/float64(pipe)))
+	}
+	return tbl, sched.Stats().Table(), nil
+}

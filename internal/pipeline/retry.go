@@ -1,0 +1,52 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"rdx/internal/rdma"
+)
+
+// DefaultTransient classifies per-node errors worth retrying: transport
+// teardown (the QP died mid-verb) and network-level failures. Remote status
+// errors (bounds, access, malformed ops) and validation failures are
+// deterministic, so retrying them only burns the job's deadline.
+func DefaultTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, rdma.ErrClosed) {
+		return true
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr)
+}
+
+// withRetry runs fn with the scheduler's backoff policy, returning the
+// number of attempts made. The context deadline bounds both the attempts
+// and the sleeps between them.
+func (s *Scheduler) withRetry(ctx context.Context, fn func() error) (attempts int, err error) {
+	backoff := s.cfg.Backoff
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			return attempt, fmt.Errorf("pipeline: deadline: %w", ctx.Err())
+		}
+		err = fn()
+		if err == nil || attempt > s.cfg.Retries || !s.cfg.Transient(err) {
+			return attempt, err
+		}
+		s.m.retries.Inc()
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return attempt, fmt.Errorf("pipeline: deadline during backoff: %w (last error: %v)", ctx.Err(), err)
+		}
+		backoff *= 2
+		if backoff > s.cfg.MaxBackoff {
+			backoff = s.cfg.MaxBackoff
+		}
+	}
+}

@@ -84,12 +84,11 @@ func (qp *QP) readLoop() {
 		if !ok {
 			continue // stale completion; drop
 		}
-		c := Completion{ID: resp.id, Err: statusErr(resp.status)}
-		if c.Err == nil {
-			c.Data = resp.data
-			if len(resp.data) == 8 {
-				c.OldVal = binary.BigEndian.Uint64(resp.data)
-			}
+		// Data is attached even on error completions: batch responses carry
+		// per-sub-verb statuses the initiator uses to locate the failure.
+		c := Completion{ID: resp.id, Err: statusErr(resp.status), Data: resp.data}
+		if c.Err == nil && len(resp.data) == 8 {
+			c.OldVal = binary.BigEndian.Uint64(resp.data)
 		}
 		ch <- c
 	}
@@ -167,26 +166,131 @@ func (qp *QP) ReadQword(rkey uint32, addr mem.Addr) (uint64, error) {
 	return binary.LittleEndian.Uint64(b), nil
 }
 
+// WriteSeg is the transparent segmentation unit for large WRITEs.
+const WriteSeg = 1 << 20
+
+// batchBudget caps one OpBatch frame's coalesced payload, keeping each
+// frame well under MaxFrame while still amortizing the per-verb base cost
+// across several segments.
+const batchBudget = 4 << 20
+
 // Write performs a one-sided WRITE of data at addr. Writes larger than the
-// frame budget are segmented transparently; segments post back-to-back on
-// this QP so they apply in order (but, as on hardware, the overall write is
-// not atomic — use CAS-based commit protocols for atomicity).
+// frame budget are segmented transparently and coalesced into OpBatch
+// chains posted back-to-back in flight — the initiator never stalls on a
+// per-segment round trip. Segments apply in order (but, as on hardware, the
+// overall write is not atomic — use CAS-based commit protocols for
+// atomicity).
 func (qp *QP) Write(rkey uint32, addr mem.Addr, data []byte) error {
-	const seg = 1 << 20
-	for off := 0; off < len(data); off += seg {
-		end := off + seg
+	if len(data) <= WriteSeg {
+		_, err := qp.call(request{op: OpWrite, rkey: rkey, addr: addr, data: data})
+		return err
+	}
+	ops := make([]BatchOp, 0, (len(data)+WriteSeg-1)/WriteSeg)
+	for off := 0; off < len(data); off += WriteSeg {
+		end := off + WriteSeg
 		if end > len(data) {
 			end = len(data)
 		}
-		if _, err := qp.call(request{op: OpWrite, rkey: rkey, addr: addr + mem.Addr(off), data: data[off:end]}); err != nil {
+		ops = append(ops, BatchOp{RKey: rkey, Addr: addr + mem.Addr(off), Data: data[off:end]})
+	}
+	return qp.WriteBatch(ops)
+}
+
+// BatchOp is one sub-verb of an OpBatch chain: a WRITE, or — when HasImm is
+// set — a WRITE_WITH_IMM that rings the target's doorbell. A chain carries
+// many writes but typically only its final op carries the immediate, so one
+// doorbell covers the whole coalesced update.
+type BatchOp struct {
+	RKey   uint32
+	Addr   mem.Addr
+	Data   []byte
+	Imm    uint32
+	HasImm bool
+}
+
+// PostBatch posts one OpBatch chain asynchronously. The endpoint executes
+// the sub-verbs in order, charges the latency model once for the coalesced
+// payload, and returns a single completion for the chain.
+func (qp *QP) PostBatch(ops []BatchOp) (<-chan Completion, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("rdma: empty batch")
+	}
+	if len(ops) > 0xFFFF {
+		return nil, fmt.Errorf("rdma: batch of %d sub-verbs exceeds 65535", len(ops))
+	}
+	size := 0
+	subs := make([]request, len(ops))
+	for i, op := range ops {
+		if len(op.Data) > WriteSeg {
+			return nil, fmt.Errorf("rdma: batch sub-verb %d payload %d exceeds segment %d", i, len(op.Data), WriteSeg)
+		}
+		subs[i] = request{op: OpWrite, rkey: op.RKey, addr: op.Addr, data: op.Data}
+		if op.HasImm {
+			subs[i].op = OpWriteImm
+			subs[i].imm = op.Imm
+		}
+		size += 21 + len(op.Data)
+	}
+	if size > MaxFrame-64 {
+		return nil, fmt.Errorf("rdma: batch payload %d exceeds frame budget; split first", size)
+	}
+	return qp.post(request{op: OpBatch, subs: subs})
+}
+
+// WriteBatch coalesces ops into OpBatch frames of at most batchBudget
+// payload each, posts them all without waiting, then drains completions —
+// the pipelined bulk path QP.Write and the injection scheduler share. On
+// failure the error identifies the first failed sub-verb.
+func (qp *QP) WriteBatch(ops []BatchOp) error {
+	var chans []<-chan Completion
+	start, size := 0, 0
+	flush := func(end int) error {
+		if end == start {
+			return nil
+		}
+		ch, err := qp.PostBatch(ops[start:end])
+		if err != nil {
 			return err
 		}
+		chans = append(chans, ch)
+		start, size = end, 0
+		return nil
 	}
-	if len(data) == 0 {
-		_, err := qp.call(request{op: OpWrite, rkey: rkey, addr: addr})
-		return err
+	var postErr error
+	for i, op := range ops {
+		if size > 0 && size+len(op.Data) > batchBudget {
+			if postErr = flush(i); postErr != nil {
+				break
+			}
+		}
+		size += len(op.Data)
 	}
-	return nil
+	if postErr == nil {
+		postErr = flush(len(ops))
+	}
+	// Drain every posted chain even after a failure so no completion leaks.
+	var firstErr error
+	for _, ch := range chans {
+		c := <-ch
+		if c.Err != nil && firstErr == nil {
+			firstErr = batchErr(c)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return postErr
+}
+
+// batchErr decorates a failed batch completion with the index of the first
+// failed sub-verb, recovered from the per-sub status bytes.
+func batchErr(c Completion) error {
+	for i, st := range c.Data {
+		if st != StatusOK && st != StatusFlushed {
+			return fmt.Errorf("rdma: batch sub-verb %d: %w", i, c.Err)
+		}
+	}
+	return c.Err
 }
 
 // WriteQword writes one 8-byte little-endian word at addr. Note this is a

@@ -227,12 +227,8 @@ func (e *Endpoint) handle(payload []byte) response {
 	if q.op == OpQueryMRs {
 		return response{id: q.id, status: StatusOK, data: e.encodeMRTable()}
 	}
-
-	e.mu.RLock()
-	mr, ok := e.mrs[q.rkey]
-	e.mu.RUnlock()
-	if !ok {
-		return response{id: q.id, status: StatusAccessErr}
+	if q.op == OpBatch {
+		return e.handleBatch(&q)
 	}
 
 	// Model fabric + RNIC processing latency for the verb.
@@ -241,6 +237,45 @@ func (e *Endpoint) handle(payload []byte) response {
 		size = int(q.len)
 	}
 	e.latency.Wait(size)
+	st, data := e.exec(&q)
+	return response{id: q.id, status: st, data: data}
+}
+
+// handleBatch executes an OpBatch chain: the latency model is charged ONCE
+// for the coalesced payload (one doorbell ring moves the whole chain), then
+// the sub-verbs apply in posted order. The first failure flushes the rest,
+// matching a QP's error-WQE semantics; the response carries per-sub statuses.
+func (e *Endpoint) handleBatch(q *request) response {
+	total := 0
+	for i := range q.subs {
+		total += len(q.subs[i].data)
+	}
+	e.latency.Wait(total)
+	statuses := make([]byte, len(q.subs))
+	overall := StatusOK
+	for i := range q.subs {
+		if overall != StatusOK {
+			statuses[i] = StatusFlushed
+			continue
+		}
+		st, _ := e.exec(&q.subs[i])
+		statuses[i] = st
+		if st != StatusOK {
+			overall = st
+		}
+	}
+	return response{id: q.id, status: overall, data: statuses}
+}
+
+// exec applies one already-decoded verb to the arena with no latency charge
+// (the caller models fabric cost per frame, not per sub-verb).
+func (e *Endpoint) exec(q *request) (uint8, []byte) {
+	e.mu.RLock()
+	mr, ok := e.mrs[q.rkey]
+	e.mu.RUnlock()
+	if !ok {
+		return StatusAccessErr, nil
+	}
 
 	inBounds := func(addr mem.Addr, n uint64) bool {
 		return addr >= mr.Addr && n <= mr.Len && addr-mr.Addr <= mr.Len-n
@@ -249,63 +284,63 @@ func (e *Endpoint) handle(payload []byte) response {
 	switch q.op {
 	case OpRead:
 		if mr.Perm&PermRead == 0 {
-			return response{id: q.id, status: StatusAccessErr}
+			return StatusAccessErr, nil
 		}
 		if !inBounds(q.addr, uint64(q.len)) {
-			return response{id: q.id, status: StatusBoundsErr}
+			return StatusBoundsErr, nil
 		}
 		data, err := e.arena.Read(q.addr, int(q.len))
 		if err != nil {
-			return response{id: q.id, status: StatusBoundsErr}
+			return StatusBoundsErr, nil
 		}
-		return response{id: q.id, status: StatusOK, data: data}
+		return StatusOK, data
 
 	case OpWrite, OpWriteImm:
 		if mr.Perm&PermWrite == 0 {
-			return response{id: q.id, status: StatusAccessErr}
+			return StatusAccessErr, nil
 		}
 		if !inBounds(q.addr, uint64(len(q.data))) {
-			return response{id: q.id, status: StatusBoundsErr}
+			return StatusBoundsErr, nil
 		}
 		if err := e.arena.Write(q.addr, q.data); err != nil {
-			return response{id: q.id, status: StatusBoundsErr}
+			return StatusBoundsErr, nil
 		}
 		if q.op == OpWriteImm {
 			e.fireDoorbells(q.imm, q.addr, q.data)
 		}
-		return response{id: q.id, status: StatusOK}
+		return StatusOK, nil
 
 	case OpCAS:
 		if mr.Perm&PermAtomic == 0 {
-			return response{id: q.id, status: StatusAccessErr}
+			return StatusAccessErr, nil
 		}
 		if !inBounds(q.addr, 8) {
-			return response{id: q.id, status: StatusBoundsErr}
+			return StatusBoundsErr, nil
 		}
 		prev, _, err := e.arena.CompareAndSwap(q.addr, q.cmp, q.swap)
 		if err != nil {
-			return response{id: q.id, status: StatusOpErr}
+			return StatusOpErr, nil
 		}
 		var out [8]byte
 		binary.BigEndian.PutUint64(out[:], prev)
-		return response{id: q.id, status: StatusOK, data: out[:]}
+		return StatusOK, out[:]
 
 	case OpFetchAdd:
 		if mr.Perm&PermAtomic == 0 {
-			return response{id: q.id, status: StatusAccessErr}
+			return StatusAccessErr, nil
 		}
 		if !inBounds(q.addr, 8) {
-			return response{id: q.id, status: StatusBoundsErr}
+			return StatusBoundsErr, nil
 		}
 		prev, err := e.arena.FetchAdd(q.addr, q.delta)
 		if err != nil {
-			return response{id: q.id, status: StatusOpErr}
+			return StatusOpErr, nil
 		}
 		var out [8]byte
 		binary.BigEndian.PutUint64(out[:], prev)
-		return response{id: q.id, status: StatusOK, data: out[:]}
+		return StatusOK, out[:]
 	}
-	return response{id: q.id, status: StatusOpErr}
+	return StatusOpErr, nil
 }
 
 func (e *Endpoint) fireDoorbells(imm uint32, addr mem.Addr, data []byte) {

@@ -1,9 +1,12 @@
 package rdma
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"net"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -479,4 +482,210 @@ func TestOverTCP(t *testing.T) {
 	if err != nil || len(mrs) != 1 {
 		t.Fatalf("QueryMRs over TCP: %v", err)
 	}
+}
+
+func TestWireBatchRoundTrip(t *testing.T) {
+	want := request{op: OpBatch, id: 9, subs: []request{
+		{op: OpWrite, rkey: 7, addr: 0x100, data: []byte("abc")},
+		{op: OpWrite, rkey: 8, addr: 0x200, data: nil},
+		{op: OpWriteImm, rkey: 7, addr: 0x300, imm: 0xFEED, data: []byte{1}},
+	}}
+	got, err := decodeRequest(want.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.op != OpBatch || got.id != want.id || len(got.subs) != len(want.subs) {
+		t.Fatalf("batch header mismatch: %+v", got)
+	}
+	for i, s := range got.subs {
+		w := want.subs[i]
+		if s.op != w.op || s.rkey != w.rkey || s.addr != w.addr || s.imm != w.imm || !bytes.Equal(s.data, w.data) {
+			t.Errorf("sub %d: got %+v want %+v", i, s, w)
+		}
+	}
+}
+
+func TestWireBatchRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		(&request{op: OpBatch, id: 1}).encode()[:10],       // truncated count
+		append((&request{op: OpBatch, id: 1}).encode(), 9), // trailing byte
+	}
+	// A sub-verb carrying a disallowed opcode (READ in a write chain).
+	cas := (&request{op: OpBatch, id: 2, subs: []request{{op: OpCAS, rkey: 1, addr: 8}}}).encode()
+	bad = append(bad, cas)
+	for i, b := range bad {
+		if _, err := decodeRequest(b); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+}
+
+func TestBatchExecutesInOrderWithDoorbell(t *testing.T) {
+	arena, ep, qp := newTestRig(t, 1<<16, nil)
+	mr, _ := ep.RegisterMR("all", 0, arena.Size(), PermAll)
+
+	var mu sync.Mutex
+	var rings []uint32
+	ep.RegisterDoorbell(0, arena.Size(), func(imm uint32, _ mem.Addr, _ []byte) {
+		mu.Lock()
+		rings = append(rings, imm)
+		mu.Unlock()
+	})
+
+	ops := []BatchOp{
+		{RKey: mr.RKey, Addr: 0, Data: []byte("first")},
+		{RKey: mr.RKey, Addr: 100, Data: []byte("second")},
+		{RKey: mr.RKey, Addr: 200, Data: []byte{0xAA}, Imm: 0xD00B, HasImm: true},
+	}
+	ch, err := qp.PostBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := <-ch; c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	if b, _ := arena.Read(0, 5); !bytes.Equal(b, []byte("first")) {
+		t.Error("sub-verb 0 not applied")
+	}
+	if b, _ := arena.Read(100, 6); !bytes.Equal(b, []byte("second")) {
+		t.Error("sub-verb 1 not applied")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(rings) != 1 || rings[0] != 0xD00B {
+		t.Errorf("doorbell rings = %v, want exactly one 0xD00B (coalesced)", rings)
+	}
+}
+
+func TestBatchFirstFailureFlushesRest(t *testing.T) {
+	arena, ep, qp := newTestRig(t, 1<<16, nil)
+	mr, _ := ep.RegisterMR("small", 0, 512, PermAll)
+
+	ops := []BatchOp{
+		{RKey: mr.RKey, Addr: 0, Data: []byte{1}},
+		{RKey: mr.RKey, Addr: 4096, Data: []byte{2}}, // out of MR bounds
+		{RKey: mr.RKey, Addr: 8, Data: []byte{3}},    // must be flushed
+	}
+	ch, err := qp.PostBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := <-ch
+	if c.Err != ErrBounds {
+		t.Fatalf("batch err = %v, want ErrBounds", c.Err)
+	}
+	if !bytes.Equal(c.Data, []byte{StatusOK, StatusBoundsErr, StatusFlushed}) {
+		t.Errorf("per-sub statuses = %v", c.Data)
+	}
+	if b, _ := arena.Read(8, 1); b[0] != 0 {
+		t.Error("flushed sub-verb applied")
+	}
+	// WriteBatch surfaces the failing index.
+	if err := qp.WriteBatch(ops); err == nil || !strings.Contains(err.Error(), "sub-verb 1") {
+		t.Errorf("WriteBatch err = %v, want sub-verb 1 identified", err)
+	}
+}
+
+// TestLargeWriteCrossesTwoSegmentBoundaries is the regression for the
+// batched QP.Write path: a >2 MiB payload spans three segments, all of
+// which must be coalesced into one pipelined OpBatch chain and land intact.
+func TestLargeWriteCrossesTwoSegmentBoundaries(t *testing.T) {
+	arena, ep, qp := newTestRig(t, 4<<20, nil)
+	mr, _ := ep.RegisterMR("all", 0, arena.Size(), PermAll)
+	big := make([]byte, (2<<20)+4097) // crosses the 1 MiB and 2 MiB boundaries
+	for i := range big {
+		big[i] = byte(i*131 + i>>11)
+	}
+	const base = 1234
+	if err := qp.Write(mr.RKey, base, big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := arena.Read(base, len(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		for i := range got {
+			if got[i] != big[i] {
+				t.Fatalf("first corruption at offset %d (segment %d)", i, i/WriteSeg)
+			}
+		}
+	}
+}
+
+// TestBatchChargesLatencyOnce verifies the coalescing win: a multi-segment
+// write costs ONE base latency charge, not one per segment.
+func TestBatchChargesLatencyOnce(t *testing.T) {
+	// Base is large enough to dominate transport copy cost (which is
+	// substantial under -race): four sequential per-segment charges would
+	// cost >=4x Base, a single coalesced charge stays well under 3x.
+	lat := &LatencyModel{Base: 100 * time.Millisecond}
+	arena, ep, qp := newTestRig(t, 5<<20, lat)
+	mr, _ := ep.RegisterMR("all", 0, arena.Size(), PermAll)
+	big := make([]byte, 4<<20) // four segments, one batch frame
+	start := time.Now()
+	if err := qp.Write(mr.RKey, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 3*lat.Base {
+		t.Errorf("4-segment batched write took %v; sequential per-segment charges?", el)
+	}
+}
+
+// TestFailAllDeliversToEveryWaiter covers QP.failAll: closing the transport
+// with many verbs in flight must deliver an error completion to every
+// waiter, and the reader goroutine must exit (no leak).
+func TestFailAllDeliversToEveryWaiter(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// A server that accepts frames but never responds, so posts stay
+	// in flight until the transport dies.
+	client, server := net.Pipe()
+	go func() {
+		br := bufio.NewReader(server)
+		for {
+			if _, err := readFrame(br); err != nil {
+				return
+			}
+		}
+	}()
+	qp := NewQP(client)
+
+	const inflight = 16
+	var chans []<-chan Completion
+	for i := 0; i < inflight; i++ {
+		ch, err := qp.PostWrite(1, mem.Addr(i*8), []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	qp.Close()
+	server.Close()
+
+	// Drain: every waiter must receive exactly one error completion.
+	for i, ch := range chans {
+		select {
+		case c := <-ch:
+			if c.Err == nil {
+				t.Errorf("post %d completed OK after close", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("post %d never completed; failAll dropped a waiter", i)
+		}
+	}
+	// A post after teardown fails immediately with the sticky error.
+	if _, err := qp.PostWrite(1, 0, []byte{1}); err == nil {
+		t.Error("post on failed QP succeeded")
+	}
+
+	// The read loop and helper goroutines must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after drain; reader leaked?", before, runtime.NumGoroutine())
 }

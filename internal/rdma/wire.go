@@ -38,6 +38,7 @@ const (
 	OpFetchAdd uint8 = 4 // body: rkey u32, addr u64, delta u64
 	OpWriteImm uint8 = 5 // body: rkey u32, addr u64, imm u32, data
 	OpQueryMRs uint8 = 6 // body: empty; resp: MR table (metadata exchange, as in RDMA CM)
+	OpBatch    uint8 = 7 // body: count u16, then per sub-verb a WRITE/WRITE_IMM descriptor
 	OpResp     uint8 = 0x80
 )
 
@@ -47,6 +48,7 @@ const (
 	StatusAccessErr uint8 = 1 // unknown rkey or permission violation
 	StatusBoundsErr uint8 = 2 // access outside the registered region
 	StatusOpErr     uint8 = 3 // malformed or unsupported request
+	StatusFlushed   uint8 = 4 // batch sub-verb skipped after an earlier failure
 )
 
 // MaxFrame bounds a single frame's payload; large transfers are the
@@ -117,6 +119,78 @@ type request struct {
 	delta uint64 // OpFetchAdd
 	imm   uint32 // OpWriteImm
 	data  []byte // OpWrite / OpWriteImm
+	subs  []request // OpBatch: sub-verbs, each OpWrite or OpWriteImm
+}
+
+// Batch sub-verb descriptor layout (concatenated, one per sub-verb):
+//
+//	[1B subop][4B rkey][8B addr]
+//	OpWrite:    [4B dataLen][data]
+//	OpWriteImm: [4B imm][4B dataLen][data]
+//
+// Only WRITE and WRITE_WITH_IMM may ride in a batch: OpBatch models the
+// posted-write chains an initiator doorbells as one unit; reads and atomics
+// keep their own completions.
+
+func (q *request) encodeBatch(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(q.subs)))
+	for i := range q.subs {
+		s := &q.subs[i]
+		b = append(b, s.op)
+		b = binary.BigEndian.AppendUint32(b, s.rkey)
+		b = binary.BigEndian.AppendUint64(b, s.addr)
+		if s.op == OpWriteImm {
+			b = binary.BigEndian.AppendUint32(b, s.imm)
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(len(s.data)))
+		b = append(b, s.data...)
+	}
+	return b
+}
+
+func decodeBatch(q *request, body []byte) error {
+	if len(body) < 2 {
+		return errors.New("rdma: short BATCH body")
+	}
+	n := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	q.subs = make([]request, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 13 {
+			return errors.New("rdma: truncated BATCH sub-verb")
+		}
+		var s request
+		s.op = body[0]
+		s.rkey = binary.BigEndian.Uint32(body[1:5])
+		s.addr = binary.BigEndian.Uint64(body[5:13])
+		body = body[13:]
+		switch s.op {
+		case OpWriteImm:
+			if len(body) < 4 {
+				return errors.New("rdma: truncated BATCH sub-verb")
+			}
+			s.imm = binary.BigEndian.Uint32(body[0:4])
+			body = body[4:]
+		case OpWrite:
+		default:
+			return fmt.Errorf("rdma: opcode %#x not allowed in BATCH", s.op)
+		}
+		if len(body) < 4 {
+			return errors.New("rdma: truncated BATCH sub-verb")
+		}
+		dn := int(binary.BigEndian.Uint32(body[0:4]))
+		body = body[4:]
+		if len(body) < dn {
+			return errors.New("rdma: truncated BATCH sub-verb data")
+		}
+		s.data = body[:dn]
+		body = body[dn:]
+		q.subs = append(q.subs, s)
+	}
+	if len(body) != 0 {
+		return errors.New("rdma: trailing bytes after BATCH sub-verbs")
+	}
+	return nil
 }
 
 func (q *request) encode() []byte {
@@ -126,11 +200,20 @@ func (q *request) encode() []byte {
 		b = make([]byte, 0, 9+16)
 	case OpWrite, OpWriteImm:
 		b = make([]byte, 0, 9+20+len(q.data))
+	case OpBatch:
+		size := 9 + 2
+		for i := range q.subs {
+			size += 21 + len(q.subs[i].data)
+		}
+		b = make([]byte, 0, size)
 	default:
 		b = make([]byte, 0, 9+28)
 	}
 	b = append(b, q.op)
 	b = binary.BigEndian.AppendUint64(b, q.id)
+	if q.op == OpBatch {
+		return q.encodeBatch(b)
+	}
 	b = binary.BigEndian.AppendUint32(b, q.rkey)
 	b = binary.BigEndian.AppendUint64(b, q.addr)
 	switch q.op {
@@ -160,6 +243,9 @@ func decodeRequest(p []byte) (request, error) {
 	body := p[9:]
 	if q.op == OpQueryMRs {
 		return q, nil
+	}
+	if q.op == OpBatch {
+		return q, decodeBatch(&q, body)
 	}
 	if len(body) < 12 {
 		return q, fmt.Errorf("rdma: short verb body (%d bytes)", len(body))

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	c := NewCounter()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+}
+
+func TestCounterSnapshotRate(t *testing.T) {
+	c := NewCounter()
+	s0 := c.Snapshot()
+	if s0.Value != 0 || s0.At.IsZero() {
+		t.Fatalf("snapshot = %+v", s0)
+	}
+	c.Add(100)
+	s1 := c.Snapshot()
+	s1.At = s0.At.Add(2 * time.Second) // pin the interval for a exact rate
+	if got := s1.RateSince(s0); got != 50 {
+		t.Errorf("rate = %v, want 50", got)
+	}
+	// Degenerate interval must not divide by zero.
+	if got := s0.RateSince(s0); got != 0 {
+		t.Errorf("zero-interval rate = %v", got)
+	}
+}
