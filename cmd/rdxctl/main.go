@@ -29,6 +29,7 @@ import (
 	"rdx/internal/node"
 	"rdx/internal/orchestrator"
 	"rdx/internal/pipeline"
+	"rdx/internal/rdma"
 	"rdx/internal/telemetry"
 	"rdx/internal/udf"
 )
@@ -63,19 +64,21 @@ func main() {
 		planFile  = fs.String("plan", "", "orchestration plan file (apply)")
 		nodeList  = fs.String("nodes", "", "name=addr pairs for apply/broadcast, comma-separated")
 		atomic    = fs.Bool("atomic", false, "broadcast: withhold every publish if any node fails to stage")
+		reconnect = fs.Bool("reconnect", false, "redial on transport failure and replay idempotent verbs")
+		timeout   = fs.Duration("timeout", 2*time.Second, "per-verb deadline (0 disables)")
 	)
 	fs.Parse(os.Args[2:])
 
 	if cmd == "apply" {
-		runApply(*planFile, *nodeList)
+		runApply(*planFile, *nodeList, *reconnect, *timeout)
 		return
 	}
 	if cmd == "broadcast" {
-		runBroadcast(*nodeList, *hook, buildExtension(*udfSrc, *synthetic), *atomic)
+		runBroadcast(*nodeList, *hook, buildExtension(*udfSrc, *synthetic), *atomic, *reconnect, *timeout)
 		return
 	}
 
-	cf := mustConnect(*nodeAddr)
+	cf := mustConnect(*nodeAddr, *reconnect, *timeout)
 	defer cf.Close()
 
 	switch cmd {
@@ -114,17 +117,43 @@ func main() {
 	}
 }
 
-func mustConnect(addr string) *core.CodeFlow {
-	conn, err := net.Dial("tcp", addr)
+func mustConnect(addr string, reconnect bool, timeout time.Duration) *core.CodeFlow {
+	qp, err := dialVerbs(addr, reconnect, timeout)
 	if err != nil {
 		log.Fatalf("rdxctl: dial %s: %v", addr, err)
 	}
 	cp := core.NewControlPlane()
-	cf, err := cp.CreateCodeFlow(conn)
+	cf, err := cp.CreateCodeFlowQP(qp)
 	if err != nil {
 		log.Fatalf("rdxctl: create codeflow: %v", err)
 	}
 	return cf
+}
+
+// dialVerbs opens the node's RNIC as either a plain QP (transport failures
+// are fatal) or, with -reconnect, a ReconnQP that redials and replays
+// idempotent verbs. Either way every verb gets the -timeout deadline so a
+// dead node fails the verb with rdma.ErrTimeout instead of hanging the CLI.
+func dialVerbs(addr string, reconnect bool, timeout time.Duration) (rdma.Verbs, error) {
+	if timeout == 0 {
+		timeout = -1 // ReconnConfig/SetTimeout treat <0 as "no deadline"
+	}
+	if reconnect {
+		return rdma.NewReconnQP(rdma.ReconnConfig{
+			Dial:        func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			VerbTimeout: timeout,
+			Logf:        log.Printf,
+		})
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	qp := rdma.NewQP(conn)
+	if timeout > 0 {
+		qp.SetTimeout(timeout)
+	}
+	return qp, nil
 }
 
 func buildExtension(udfSrc string, synthetic int) *ext.Extension {
@@ -196,7 +225,7 @@ func runBench(cf *core.CodeFlow, hook string, e *ext.Extension, n int) {
 // runBroadcast deploys one extension to every listed node through the
 // control plane's injection scheduler and prints the per-node outcomes plus
 // the scheduler's per-stage span table.
-func runBroadcast(nodeList, hook string, e *ext.Extension, atomic bool) {
+func runBroadcast(nodeList, hook string, e *ext.Extension, atomic, reconnect bool, timeout time.Duration) {
 	if nodeList == "" {
 		log.Fatal("rdxctl: broadcast requires -nodes")
 	}
@@ -208,11 +237,11 @@ func runBroadcast(nodeList, hook string, e *ext.Extension, atomic bool) {
 		if !ok {
 			log.Fatalf("rdxctl: bad -nodes entry %q (want name=addr)", pair)
 		}
-		conn, err := net.Dial("tcp", addr)
+		qp, err := dialVerbs(addr, reconnect, timeout)
 		if err != nil {
 			log.Fatalf("rdxctl: dial %s (%s): %v", addr, name, err)
 		}
-		cf, err := cp.CreateCodeFlow(conn)
+		cf, err := cp.CreateCodeFlowQP(qp)
 		if err != nil {
 			log.Fatalf("rdxctl: codeflow %s: %v", name, err)
 		}
@@ -242,7 +271,7 @@ func runBroadcast(nodeList, hook string, e *ext.Extension, atomic bool) {
 	}
 }
 
-func runApply(planFile, nodeList string) {
+func runApply(planFile, nodeList string, reconnect bool, timeout time.Duration) {
 	if planFile == "" || nodeList == "" {
 		log.Fatal("rdxctl: apply requires -plan and -nodes")
 	}
@@ -261,11 +290,11 @@ func runApply(planFile, nodeList string) {
 		if !ok {
 			log.Fatalf("rdxctl: bad -nodes entry %q (want name=addr)", pair)
 		}
-		conn, err := net.Dial("tcp", addr)
+		qp, err := dialVerbs(addr, reconnect, timeout)
 		if err != nil {
 			log.Fatalf("rdxctl: dial %s (%s): %v", addr, name, err)
 		}
-		cf, err := cp.CreateCodeFlow(conn)
+		cf, err := cp.CreateCodeFlowQP(qp)
 		if err != nil {
 			log.Fatalf("rdxctl: codeflow %s: %v", name, err)
 		}

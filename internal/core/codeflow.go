@@ -24,7 +24,7 @@ import (
 // architecture.
 type CodeFlow struct {
 	cp     *ControlPlane
-	qp     *rdma.QP
+	qp     rdma.Verbs
 	Remote *RemoteMemory
 	NodeID uint64 // node identity hash from the control block
 	Arch   native.Arch
@@ -60,7 +60,13 @@ type Deployed struct {
 // metadata exchange: MR discovery, control-block sanity check, and GOT
 // snapshot (§3.3's "expose this global context to the RDX control plane").
 func (cp *ControlPlane) CreateCodeFlow(conn net.Conn) (*CodeFlow, error) {
-	qp := rdma.NewQP(conn)
+	return cp.CreateCodeFlowQP(rdma.NewQP(conn))
+}
+
+// CreateCodeFlowQP binds a handle over an already-built verb issuer — a raw
+// *rdma.QP, or an rdma.ReconnQP for fault-tolerant deployments that survive
+// transport failures mid-rollout. On error the issuer is closed.
+func (cp *ControlPlane) CreateCodeFlowQP(qp rdma.Verbs) (*CodeFlow, error) {
 	mrs, err := qp.QueryMRs()
 	if err != nil {
 		qp.Close()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,19 +9,30 @@ import (
 	"rdx/internal/xabi"
 )
 
-// RemoteMemory adapts a queue pair plus the target's MR table to the
-// extension ABI, so control-plane code (the XState map implementation in
-// particular) operates on remote node memory exactly as local extensions
-// do — every access becomes a one-sided verb. This is what makes
-// rdx_deploy_xstate and the XState lookup/update interfaces of §3.4 work
-// without host involvement.
+// Retryable classifies an error from a remote-memory or CodeFlow operation
+// as worth re-driving: transport teardown (QP death, verb timeout, refused
+// post) and lost atomic completions. RDX control-plane sequences are
+// re-driveable end to end — staging writes are idempotent, a duplicated
+// FETCH_ADD only burns ring space, and publish CASes re-read the slot — so
+// even ErrUncertain is safe to retry at this layer. Remote status errors
+// (bounds, access) are deterministic and are not retryable.
+func Retryable(err error) bool {
+	return rdma.IsTransportErr(err) || errors.Is(err, rdma.ErrUncertain)
+}
+
+// RemoteMemory adapts a verb issuer (a raw *rdma.QP or a reconnecting
+// rdma.ReconnQP) plus the target's MR table to the extension ABI, so
+// control-plane code (the XState map implementation in particular) operates
+// on remote node memory exactly as local extensions do — every access
+// becomes a one-sided verb. This is what makes rdx_deploy_xstate and the
+// XState lookup/update interfaces of §3.4 work without host involvement.
 type RemoteMemory struct {
-	qp  *rdma.QP
+	qp  rdma.Verbs
 	mrs []rdma.MR // sorted by Addr
 }
 
 // NewRemoteMemory builds a remote memory over the MR table.
-func NewRemoteMemory(qp *rdma.QP, mrs []rdma.MR) *RemoteMemory {
+func NewRemoteMemory(qp rdma.Verbs, mrs []rdma.MR) *RemoteMemory {
 	sorted := append([]rdma.MR(nil), mrs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
 	return &RemoteMemory{qp: qp, mrs: sorted}

@@ -128,6 +128,10 @@ func (cp *ControlPlane) Scheduler() *pipeline.Scheduler {
 	cp.schedOnce.Do(func() {
 		cp.sched = pipeline.New(pipeline.Config{
 			Retries: 2,
+			// Reconnectable transport failures (QP death, verb timeouts,
+			// lost atomic completions behind a ReconnQP) are retryable:
+			// staging is re-driveable end to end.
+			Transient: Retryable,
 			Validate: func(e *ext.Extension) error {
 				_, err := cp.ValidateCode(e)
 				return err

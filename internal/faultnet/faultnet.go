@@ -1,13 +1,13 @@
 // Package faultnet injects transport faults for reliability testing — the
 // paper's future-work direction #4 ("fault injection for reliability
 // testing"). It wraps any net.Conn with deterministic failure behavior:
-// kill the connection after N operations, delay every operation, or corrupt
-// a payload byte — so tests can prove the control plane degrades cleanly
-// (errors surface, no partial state is published, reconnection recovers).
+// kill the connection after N operations or N payload bytes, truncate a
+// frame mid-write, delay every operation, or corrupt a payload byte — so
+// tests can prove the control plane degrades cleanly (errors surface, no
+// partial state is published, reconnection recovers).
 package faultnet
 
 import (
-	"fmt"
 	"net"
 	"sync/atomic"
 	"time"
@@ -17,21 +17,43 @@ import (
 type Options struct {
 	// FailAfterOps kills the connection on the Nth Read/Write call.
 	FailAfterOps int64
+	// KillAfterBytes kills the connection once N payload bytes have been
+	// written. The killing Write delivers only the bytes up to the
+	// boundary, so the peer observes a truncated frame mid-stream — the
+	// worst-case transport failure for a length-prefixed protocol.
+	KillAfterBytes int64
+	// TruncateWriteOp truncates the Nth Write (1-based) to half its
+	// payload and then kills the connection: the peer sees a frame whose
+	// length prefix promises more bytes than ever arrive.
+	TruncateWriteOp int64
 	// DelayPerOp stalls every Read/Write by this duration.
 	DelayPerOp time.Duration
 	// CorruptOp flips a bit in the payload of the Nth Write (1-based).
 	CorruptOp int64
 }
 
-// ErrInjected marks failures produced by the wrapper.
-var ErrInjected = fmt.Errorf("faultnet: injected failure")
+// injectedError is the concrete type behind ErrInjected. It implements
+// net.Error so transport classifiers (pipeline.DefaultTransient,
+// rdma.IsTransportErr) treat injected faults like real fabric failures.
+type injectedError struct{}
+
+func (injectedError) Error() string   { return "faultnet: injected failure" }
+func (injectedError) Timeout() bool   { return false }
+func (injectedError) Temporary() bool { return true }
+
+// ErrInjected marks failures produced by the wrapper. It satisfies
+// net.Error, so error classifiers built on errors.As(&net.Error) see it as
+// a transport failure.
+var ErrInjected net.Error = injectedError{}
 
 // Conn is a fault-injecting net.Conn.
 type Conn struct {
 	net.Conn
 	opts      Options
 	failAfter atomic.Int64
+	killBytes atomic.Int64
 	ops       atomic.Int64
+	bytes     atomic.Int64
 	dead      atomic.Bool
 }
 
@@ -39,15 +61,33 @@ type Conn struct {
 func Wrap(conn net.Conn, opts Options) *Conn {
 	c := &Conn{Conn: conn, opts: opts}
 	c.failAfter.Store(opts.FailAfterOps)
+	c.killBytes.Store(opts.KillAfterBytes)
 	return c
 }
 
 // Ops reports how many Read/Write calls have passed through.
 func (c *Conn) Ops() int64 { return c.ops.Load() }
 
+// BytesWritten reports how many payload bytes have been written through.
+func (c *Conn) BytesWritten() int64 { return c.bytes.Load() }
+
 // SetFailAfterOps (re)arms the kill switch: the connection dies on the Nth
 // operation. Useful to let a setup phase complete before the fault fires.
 func (c *Conn) SetFailAfterOps(n int64) { c.failAfter.Store(n) }
+
+// SetKillAfterBytes (re)arms the byte-triggered kill: the Write that
+// crosses the Nth written byte delivers only up to the boundary, then the
+// connection dies.
+func (c *Conn) SetKillAfterBytes(n int64) { c.killBytes.Store(n) }
+
+// Kill severs the connection immediately, mid-stream: every later Read and
+// Write fails with ErrInjected and the underlying conn is closed (so a
+// blocked peer wakes up too).
+func (c *Conn) Kill() {
+	if c.dead.CompareAndSwap(false, true) {
+		c.Conn.Close()
+	}
+}
 
 func (c *Conn) step() (int64, error) {
 	if c.dead.Load() {
@@ -58,8 +98,7 @@ func (c *Conn) step() (int64, error) {
 		time.Sleep(c.opts.DelayPerOp)
 	}
 	if fa := c.failAfter.Load(); fa > 0 && n >= fa {
-		c.dead.Store(true)
-		c.Conn.Close()
+		c.Kill()
 		return n, ErrInjected
 	}
 	return n, nil
@@ -79,10 +118,38 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if c.opts.TruncateWriteOp > 0 && n == c.opts.TruncateWriteOp && len(p) > 1 {
+		// Deliver half the frame, then die: the peer's length prefix now
+		// promises bytes that never arrive.
+		written, _ := c.Conn.Write(p[:len(p)/2])
+		c.bytes.Add(int64(written))
+		c.Kill()
+		return written, ErrInjected
+	}
+	if kb := c.killBytes.Load(); kb > 0 {
+		sofar := c.bytes.Load()
+		if sofar+int64(len(p)) > kb {
+			keep := kb - sofar
+			if keep < 0 {
+				keep = 0
+			}
+			written := 0
+			if keep > 0 {
+				written, _ = c.Conn.Write(p[:keep])
+				c.bytes.Add(int64(written))
+			}
+			c.Kill()
+			return written, ErrInjected
+		}
+	}
 	if c.opts.CorruptOp > 0 && n == c.opts.CorruptOp && len(p) > 0 {
 		corrupted := append([]byte(nil), p...)
 		corrupted[len(corrupted)/2] ^= 0x40
-		return c.Conn.Write(corrupted)
+		written, err := c.Conn.Write(corrupted)
+		c.bytes.Add(int64(written))
+		return written, err
 	}
-	return c.Conn.Write(p)
+	written, err := c.Conn.Write(p)
+	c.bytes.Add(int64(written))
+	return written, err
 }

@@ -96,6 +96,104 @@ func TestDelayPerOp(t *testing.T) {
 	}
 }
 
+func TestErrInjectedIsNetError(t *testing.T) {
+	var netErr net.Error
+	if !errors.As(error(ErrInjected), &netErr) {
+		t.Fatal("ErrInjected does not satisfy net.Error")
+	}
+	if netErr.Timeout() {
+		t.Error("ErrInjected should not report Timeout")
+	}
+}
+
+func TestKillAfterBytesTruncatesMidFrame(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Options{KillAfterBytes: 10})
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		total := 0
+		for {
+			n, err := b.Read(buf[total:])
+			total += n
+			if err != nil {
+				got <- buf[:total]
+				return
+			}
+		}
+	}()
+	if _, err := fc.Write([]byte("12345678")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	// This write crosses the 10-byte boundary: only 2 bytes may land.
+	n, err := fc.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("boundary write: %v, want ErrInjected", err)
+	}
+	if n != 2 {
+		t.Errorf("boundary write delivered %d bytes, want 2", n)
+	}
+	if recv := <-got; string(recv) != "12345678ab" {
+		t.Errorf("peer saw %q, want truncated stream %q", recv, "12345678ab")
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-kill write: %v", err)
+	}
+}
+
+func TestTruncateWriteOp(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Options{TruncateWriteOp: 1})
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		total := 0
+		for {
+			n, err := b.Read(buf[total:])
+			total += n
+			if err != nil {
+				got <- buf[:total]
+				return
+			}
+		}
+	}()
+	n, err := fc.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncated write: %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Errorf("truncated write delivered %d bytes, want 4", n)
+	}
+	if recv := <-got; string(recv) != "abcd" {
+		t.Errorf("peer saw %q, want %q", recv, "abcd")
+	}
+}
+
+func TestKillSeversImmediately(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := Wrap(a, Options{})
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1))
+		readErr <- err
+	}()
+	fc.Kill()
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-kill write: %v", err)
+	}
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Error("blocked peer read returned nil after Kill")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("blocked peer read did not wake after Kill")
+	}
+}
+
 func TestCorruptOp(t *testing.T) {
 	a, b := pipePair()
 	defer a.Close()

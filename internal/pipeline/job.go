@@ -65,8 +65,10 @@ type Outcome struct {
 // Result summarizes one completed job.
 type Result struct {
 	Outcomes []Outcome
-	// Published reports whether the commit phase ran; false means an
-	// atomic job aborted (or BeforePublish failed) and no node changed.
+	// Published reports whether at least one node's publish succeeded;
+	// false means an atomic job aborted, BeforePublish failed, or every
+	// per-node publish errored — in all of those no node serves the new
+	// version.
 	Published bool
 
 	// Per-stage wall-clock spans for this job.

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rdx/internal/ext"
@@ -214,10 +215,12 @@ func (s *Scheduler) finishJob(ctx context.Context, req Request, res *Result, sta
 						res.Outcomes[i].Err = fmt.Errorf("pipeline: publish barrier: %w", err)
 					}
 				}
+				s.m.spanPublish.RecordDuration(time.Since(publishStart))
 				break
 			}
 		}
 		var wg sync.WaitGroup
+		var pubOK atomic.Int64
 		for i := range staged {
 			if staged[i] == nil {
 				continue
@@ -233,13 +236,15 @@ func (s *Scheduler) finishJob(ctx context.Context, req Request, res *Result, sta
 				o.Attempts += attempts - 1
 				if err != nil {
 					o.Err = err
+				} else {
+					pubOK.Add(1)
 				}
 				o.Latency += time.Since(pubStart)
 				s.m.spanPublish.RecordDuration(time.Since(pubStart))
 			}(i)
 		}
 		wg.Wait()
-		res.Published = true
+		res.Published = pubOK.Load() > 0
 		if req.AfterPublish != nil {
 			req.AfterPublish()
 		}

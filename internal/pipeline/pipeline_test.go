@@ -319,6 +319,41 @@ func TestPrepareFailureNotCached(t *testing.T) {
 	}
 }
 
+// TestPublishedReflectsPublishOutcomes pins the Result.Published contract:
+// true requires at least one per-node publish to succeed — a job whose
+// every publish failed must not report itself as live anywhere.
+func TestPublishedReflectsPublishOutcomes(t *testing.T) {
+	pubErr := errors.New("publish slot CAS lost")
+
+	allDead := []*fakeTarget{
+		{key: "n0", publishErr: pubErr},
+		{key: "n1", publishErr: pubErr},
+	}
+	s := New(Config{})
+	res, err := s.Inject(Request{Ext: constExt(20), Hook: "h", Targets: targetsOf(allDead...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Published {
+		t.Error("Published = true with zero successful publishes")
+	}
+	if len(res.Failed()) != 2 {
+		t.Errorf("failed = %+v, want both nodes", res.Failed())
+	}
+
+	oneAlive := []*fakeTarget{
+		{key: "n0", publishErr: pubErr},
+		{key: "n1"},
+	}
+	res, err = s.Inject(Request{Ext: constExt(21), Hook: "h", Targets: targetsOf(oneAlive...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Published {
+		t.Error("Published = false despite one successful publish")
+	}
+}
+
 func TestPublishBarrierHooks(t *testing.T) {
 	var order []string
 	var mu sync.Mutex

@@ -11,14 +11,19 @@ import (
 )
 
 // DefaultTransient classifies per-node errors worth retrying: transport
-// teardown (the QP died mid-verb) and network-level failures. Remote status
-// errors (bounds, access, malformed ops) and validation failures are
+// teardown (the QP died mid-verb, a verb timed out, a post was refused),
+// network-level failures, and lost atomic completions. Remote status errors
+// (bounds, access, malformed ops) and validation failures are
 // deterministic, so retrying them only burns the job's deadline.
+//
+// ErrUncertain counts as retryable because pipeline stages are re-driveable
+// end to end: a duplicated FETCH_ADD burns ring space but stays correct,
+// and a duplicated CAS re-reads the publish slot before swapping.
 func DefaultTransient(err error) bool {
 	if err == nil {
 		return false
 	}
-	if errors.Is(err, rdma.ErrClosed) {
+	if rdma.IsTransportErr(err) || errors.Is(err, rdma.ErrUncertain) {
 		return true
 	}
 	var netErr net.Error

@@ -2,10 +2,13 @@ package rdma
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rdx/internal/mem"
 )
@@ -19,6 +22,20 @@ type Completion struct {
 	OldVal uint64 // decoded atomic result, valid for CAS/FETCH_ADD
 }
 
+// Verbs is the initiator-side verb surface shared by a raw QP and the
+// fault-tolerant ReconnQP wrapper, so higher layers (core.RemoteMemory,
+// CodeFlow) run unchanged over either.
+type Verbs interface {
+	Read(rkey uint32, addr mem.Addr, n int) ([]byte, error)
+	Write(rkey uint32, addr mem.Addr, data []byte) error
+	WriteImm(rkey uint32, addr mem.Addr, imm uint32, data []byte) error
+	WriteBatch(ops []BatchOp) error
+	CompareAndSwap(rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error)
+	FetchAdd(rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error)
+	QueryMRs() ([]MR, error)
+	Close() error
+}
+
 // QP is an initiator-side queue pair: it posts verbs to a remote endpoint
 // and matches completions by request id. All methods are safe for
 // concurrent use; the endpoint executes this QP's requests in post order.
@@ -28,6 +45,11 @@ type QP struct {
 
 	sendMu sync.Mutex
 	nextID uint64
+
+	// tmo is the per-verb deadline in nanoseconds (0 = none): synchronous
+	// verbs whose completion does not arrive in time fail with ErrTimeout
+	// instead of blocking forever on a dead fabric link.
+	tmo atomic.Int64
 
 	pendMu  sync.Mutex
 	pending map[uint64]chan Completion
@@ -63,6 +85,12 @@ func (qp *QP) Close() error {
 	return err
 }
 
+// SetTimeout installs a default per-verb deadline: synchronous verbs posted
+// after this call complete with ErrTimeout if no completion arrives within
+// d. Zero disables the deadline (the default). Safe to call concurrently
+// with verbs in flight.
+func (qp *QP) SetTimeout(d time.Duration) { qp.tmo.Store(int64(d)) }
+
 func (qp *QP) readLoop() {
 	defer close(qp.done)
 	br := bufio.NewReaderSize(qp.conn, 64<<10)
@@ -74,7 +102,11 @@ func (qp *QP) readLoop() {
 		}
 		resp, err := decodeResponse(payload)
 		if err != nil {
-			qp.failAll(fmt.Errorf("rdma: protocol error: %w", err))
+			// A malformed response means the stream framing can no longer
+			// be trusted: the QP enters the error state. Wrapping ErrClosed
+			// keeps the failure in the reconnectable transport class.
+			qp.failAll(fmt.Errorf("%w: protocol error: %v", ErrClosed, err))
+			qp.conn.Close()
 			return
 		}
 		qp.pendMu.Lock()
@@ -104,23 +136,27 @@ func (qp *QP) failAll(err error) {
 	qp.pendMu.Unlock()
 }
 
-// post sends a request and returns a channel that will receive its
-// completion.
-func (qp *QP) post(q request) (<-chan Completion, error) {
+// post sends a request and returns its id plus a channel that will receive
+// its completion. The sticky-error check and the pending-map insert happen
+// in ONE pendMu critical section: a concurrent failAll either already set
+// qp.err (and the registration is refused with ErrUnposted — the verb is
+// provably unexecuted) or will observe the entry and fail it. Checking and
+// inserting in separate sections lost completions: a verb registered after
+// the failAll drain blocked its caller forever.
+func (qp *QP) post(q request) (uint64, <-chan Completion, error) {
 	ch := make(chan Completion, 1)
+
+	qp.sendMu.Lock()
+	qp.nextID++
+	q.id = qp.nextID
 
 	qp.pendMu.Lock()
 	if qp.err != nil {
 		err := qp.err
 		qp.pendMu.Unlock()
-		return nil, err
+		qp.sendMu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %w", ErrUnposted, err)
 	}
-	qp.pendMu.Unlock()
-
-	qp.sendMu.Lock()
-	qp.nextID++
-	q.id = qp.nextID
-	qp.pendMu.Lock()
 	qp.pending[q.id] = ch
 	qp.pendMu.Unlock()
 
@@ -134,23 +170,73 @@ func (qp *QP) post(q request) (<-chan Completion, error) {
 		qp.pendMu.Lock()
 		delete(qp.pending, q.id)
 		qp.pendMu.Unlock()
-		return nil, err
+		return 0, nil, err
 	}
-	return ch, nil
+	return q.id, ch, nil
+}
+
+// abandon removes a pending verb whose caller stopped waiting; a completion
+// arriving later is dropped by readLoop as stale.
+func (qp *QP) abandon(id uint64) {
+	qp.pendMu.Lock()
+	delete(qp.pending, id)
+	qp.pendMu.Unlock()
+}
+
+// wait blocks for the completion of posted verb id, bounded by ctx and the
+// QP's default timeout. On timeout or cancellation the verb completes as
+// ErrTimeout and its pending entry is abandoned — the caller never blocks
+// on a dead fabric link. Note the verb may still execute remotely; only
+// the completion is lost (real RC-QP semantics).
+func (qp *QP) wait(ctx context.Context, id uint64, ch <-chan Completion) (Completion, error) {
+	var timeout <-chan time.Time
+	if d := time.Duration(qp.tmo.Load()); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case c := <-ch:
+		return c, c.Err
+	case <-timeout:
+	case <-ctx.Done():
+	}
+	qp.abandon(id)
+	// The completion may have raced the deadline; prefer it if present.
+	select {
+	case c := <-ch:
+		return c, c.Err
+	default:
+	}
+	err := error(ErrTimeout)
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		err = fmt.Errorf("%w: %w", ErrTimeout, ctxErr)
+	}
+	return Completion{ID: id, Err: err}, err
 }
 
 func (qp *QP) call(q request) (Completion, error) {
-	ch, err := qp.post(q)
+	return qp.callCtx(context.Background(), q)
+}
+
+// callCtx posts one verb and waits for its completion under ctx plus the
+// QP's default deadline.
+func (qp *QP) callCtx(ctx context.Context, q request) (Completion, error) {
+	id, ch, err := qp.post(q)
 	if err != nil {
 		return Completion{}, err
 	}
-	c := <-ch
-	return c, c.Err
+	return qp.wait(ctx, id, ch)
 }
 
 // Read performs a one-sided READ of n bytes at addr within the region rkey.
 func (qp *QP) Read(rkey uint32, addr mem.Addr, n int) ([]byte, error) {
-	c, err := qp.call(request{op: OpRead, rkey: rkey, addr: addr, len: uint32(n)})
+	return qp.ReadCtx(context.Background(), rkey, addr, n)
+}
+
+// ReadCtx is Read bounded by ctx (in addition to the QP deadline).
+func (qp *QP) ReadCtx(ctx context.Context, rkey uint32, addr mem.Addr, n int) ([]byte, error) {
+	c, err := qp.callCtx(ctx, request{op: OpRead, rkey: rkey, addr: addr, len: uint32(n)})
 	if err != nil {
 		return nil, err
 	}
@@ -181,8 +267,13 @@ const batchBudget = 4 << 20
 // overall write is not atomic — use CAS-based commit protocols for
 // atomicity).
 func (qp *QP) Write(rkey uint32, addr mem.Addr, data []byte) error {
+	return qp.WriteCtx(context.Background(), rkey, addr, data)
+}
+
+// WriteCtx is Write bounded by ctx (in addition to the QP deadline).
+func (qp *QP) WriteCtx(ctx context.Context, rkey uint32, addr mem.Addr, data []byte) error {
 	if len(data) <= WriteSeg {
-		_, err := qp.call(request{op: OpWrite, rkey: rkey, addr: addr, data: data})
+		_, err := qp.callCtx(ctx, request{op: OpWrite, rkey: rkey, addr: addr, data: data})
 		return err
 	}
 	ops := make([]BatchOp, 0, (len(data)+WriteSeg-1)/WriteSeg)
@@ -193,7 +284,7 @@ func (qp *QP) Write(rkey uint32, addr mem.Addr, data []byte) error {
 		}
 		ops = append(ops, BatchOp{RKey: rkey, Addr: addr + mem.Addr(off), Data: data[off:end]})
 	}
-	return qp.WriteBatch(ops)
+	return qp.WriteBatchCtx(ctx, ops)
 }
 
 // BatchOp is one sub-verb of an OpBatch chain: a WRITE, or — when HasImm is
@@ -212,17 +303,22 @@ type BatchOp struct {
 // the sub-verbs in order, charges the latency model once for the coalesced
 // payload, and returns a single completion for the chain.
 func (qp *QP) PostBatch(ops []BatchOp) (<-chan Completion, error) {
+	_, ch, err := qp.postBatch(ops)
+	return ch, err
+}
+
+func (qp *QP) postBatch(ops []BatchOp) (uint64, <-chan Completion, error) {
 	if len(ops) == 0 {
-		return nil, fmt.Errorf("rdma: empty batch")
+		return 0, nil, fmt.Errorf("rdma: empty batch")
 	}
 	if len(ops) > 0xFFFF {
-		return nil, fmt.Errorf("rdma: batch of %d sub-verbs exceeds 65535", len(ops))
+		return 0, nil, fmt.Errorf("rdma: batch of %d sub-verbs exceeds 65535", len(ops))
 	}
 	size := 0
 	subs := make([]request, len(ops))
 	for i, op := range ops {
 		if len(op.Data) > WriteSeg {
-			return nil, fmt.Errorf("rdma: batch sub-verb %d payload %d exceeds segment %d", i, len(op.Data), WriteSeg)
+			return 0, nil, fmt.Errorf("rdma: batch sub-verb %d payload %d exceeds segment %d", i, len(op.Data), WriteSeg)
 		}
 		subs[i] = request{op: OpWrite, rkey: op.RKey, addr: op.Addr, data: op.Data}
 		if op.HasImm {
@@ -232,7 +328,7 @@ func (qp *QP) PostBatch(ops []BatchOp) (<-chan Completion, error) {
 		size += 21 + len(op.Data)
 	}
 	if size > MaxFrame-64 {
-		return nil, fmt.Errorf("rdma: batch payload %d exceeds frame budget; split first", size)
+		return 0, nil, fmt.Errorf("rdma: batch payload %d exceeds frame budget; split first", size)
 	}
 	return qp.post(request{op: OpBatch, subs: subs})
 }
@@ -242,17 +338,28 @@ func (qp *QP) PostBatch(ops []BatchOp) (<-chan Completion, error) {
 // the pipelined bulk path QP.Write and the injection scheduler share. On
 // failure the error identifies the first failed sub-verb.
 func (qp *QP) WriteBatch(ops []BatchOp) error {
-	var chans []<-chan Completion
+	return qp.WriteBatchCtx(context.Background(), ops)
+}
+
+// WriteBatchCtx is WriteBatch bounded by ctx; every chain's drain also
+// honors the QP deadline, so a dead link fails the batch instead of
+// wedging it.
+func (qp *QP) WriteBatchCtx(ctx context.Context, ops []BatchOp) error {
+	type posted struct {
+		id uint64
+		ch <-chan Completion
+	}
+	var chains []posted
 	start, size := 0, 0
 	flush := func(end int) error {
 		if end == start {
 			return nil
 		}
-		ch, err := qp.PostBatch(ops[start:end])
+		id, ch, err := qp.postBatch(ops[start:end])
 		if err != nil {
 			return err
 		}
-		chans = append(chans, ch)
+		chains = append(chains, posted{id, ch})
 		start, size = end, 0
 		return nil
 	}
@@ -270,9 +377,9 @@ func (qp *QP) WriteBatch(ops []BatchOp) error {
 	}
 	// Drain every posted chain even after a failure so no completion leaks.
 	var firstErr error
-	for _, ch := range chans {
-		c := <-ch
-		if c.Err != nil && firstErr == nil {
+	for _, p := range chains {
+		c, err := qp.wait(ctx, p.id, p.ch)
+		if err != nil && firstErr == nil {
 			firstErr = batchErr(c)
 		}
 	}
@@ -304,7 +411,12 @@ func (qp *QP) WriteQword(rkey uint32, addr mem.Addr, v uint64) error {
 // CompareAndSwap atomically swaps the qword at addr from old to new,
 // returning the value found there (swap happened iff prev == old).
 func (qp *QP) CompareAndSwap(rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error) {
-	c, err := qp.call(request{op: OpCAS, rkey: rkey, addr: addr, cmp: old, swap: new})
+	return qp.CompareAndSwapCtx(context.Background(), rkey, addr, old, new)
+}
+
+// CompareAndSwapCtx is CompareAndSwap bounded by ctx.
+func (qp *QP) CompareAndSwapCtx(ctx context.Context, rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error) {
+	c, err := qp.callCtx(ctx, request{op: OpCAS, rkey: rkey, addr: addr, cmp: old, swap: new})
 	if err != nil {
 		return 0, err
 	}
@@ -314,7 +426,12 @@ func (qp *QP) CompareAndSwap(rkey uint32, addr mem.Addr, old, new uint64) (prev 
 // FetchAdd atomically adds delta to the qword at addr, returning the prior
 // value.
 func (qp *QP) FetchAdd(rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error) {
-	c, err := qp.call(request{op: OpFetchAdd, rkey: rkey, addr: addr, delta: delta})
+	return qp.FetchAddCtx(context.Background(), rkey, addr, delta)
+}
+
+// FetchAddCtx is FetchAdd bounded by ctx.
+func (qp *QP) FetchAddCtx(ctx context.Context, rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error) {
+	c, err := qp.callCtx(ctx, request{op: OpFetchAdd, rkey: rkey, addr: addr, delta: delta})
 	if err != nil {
 		return 0, err
 	}
@@ -335,17 +452,20 @@ func (qp *QP) PostWrite(rkey uint32, addr mem.Addr, data []byte) (<-chan Complet
 	if len(data) > MaxFrame-64 {
 		return nil, fmt.Errorf("rdma: PostWrite payload %d too large; segment first", len(data))
 	}
-	return qp.post(request{op: OpWrite, rkey: rkey, addr: addr, data: data})
+	_, ch, err := qp.post(request{op: OpWrite, rkey: rkey, addr: addr, data: data})
+	return ch, err
 }
 
 // PostCAS posts an asynchronous CAS.
 func (qp *QP) PostCAS(rkey uint32, addr mem.Addr, old, new uint64) (<-chan Completion, error) {
-	return qp.post(request{op: OpCAS, rkey: rkey, addr: addr, cmp: old, swap: new})
+	_, ch, err := qp.post(request{op: OpCAS, rkey: rkey, addr: addr, cmp: old, swap: new})
+	return ch, err
 }
 
 // QueryMRs fetches the endpoint's registered-region table. This is control
 // metadata exchange (the equivalent of RDMA CM handshakes), used once when
-// a CodeFlow is created.
+// a CodeFlow is created and again by ReconnQP after every redial (rkeys may
+// change across endpoint restarts).
 func (qp *QP) QueryMRs() ([]MR, error) {
 	c, err := qp.call(request{op: OpQueryMRs})
 	if err != nil {
@@ -353,3 +473,5 @@ func (qp *QP) QueryMRs() ([]MR, error) {
 	}
 	return decodeMRTable(c.Data)
 }
+
+var _ Verbs = (*QP)(nil)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sort"
@@ -202,13 +203,25 @@ func (e *Endpoint) ServeConn(conn net.Conn) {
 		}
 		payload, err := readFrame(br)
 		if err != nil {
-			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
-				// Normal teardown arrives as EOF or closed-pipe; only
-				// log genuinely unexpected decode failures.
+			// Normal teardown arrives as EOF or closed-pipe; anything
+			// else (truncated frame, oversized length prefix, transport
+			// fault) is a protocol error worth surfacing.
+			if !isCleanTeardown(err) {
+				e.Logf("rdma: endpoint read error from %v: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		resp := e.handle(payload)
+		q, err := decodeRequest(payload)
+		if err != nil {
+			// A malformed frame means the stream is unframed garbage: a
+			// reply would carry a partially-decoded id (often 0) and the
+			// initiator's real request would never complete. Move the QP
+			// to error state instead — drop the connection so the client
+			// fails fast via failAll.
+			e.Logf("rdma: malformed frame from %v, closing QP: %v", conn.RemoteAddr(), err)
+			return
+		}
+		resp := e.handle(&q)
 		if err := writeFrame(bw, resp.encode()); err != nil {
 			return
 		}
@@ -218,17 +231,22 @@ func (e *Endpoint) ServeConn(conn net.Conn) {
 	}
 }
 
-// handle executes one request against the arena and builds the response.
-func (e *Endpoint) handle(payload []byte) response {
-	q, err := decodeRequest(payload)
-	if err != nil {
-		return response{id: q.id, status: StatusOpErr}
-	}
+// isCleanTeardown reports whether a connection read error is an expected
+// peer-disconnect rather than a protocol violation.
+func isCleanTeardown(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.ErrClosedPipe)
+}
+
+// handle executes one decoded request against the arena and builds the
+// response.
+func (e *Endpoint) handle(q *request) response {
 	if q.op == OpQueryMRs {
 		return response{id: q.id, status: StatusOK, data: e.encodeMRTable()}
 	}
 	if q.op == OpBatch {
-		return e.handleBatch(&q)
+		return e.handleBatch(q)
 	}
 
 	// Model fabric + RNIC processing latency for the verb.
@@ -237,7 +255,7 @@ func (e *Endpoint) handle(payload []byte) response {
 		size = int(q.len)
 	}
 	e.latency.Wait(size)
-	st, data := e.exec(&q)
+	st, data := e.exec(q)
 	return response{id: q.id, status: st, data: data}
 }
 
@@ -347,8 +365,21 @@ func (e *Endpoint) fireDoorbells(imm uint32, addr mem.Addr, data []byte) {
 	e.mu.RLock()
 	regs := append([]doorbellReg(nil), e.doorbells...)
 	e.mu.RUnlock()
+	n := uint64(len(data))
+	if n == 0 {
+		n = 1 // zero-length WRITE_WITH_IMM still rings the doorbell at addr
+	}
 	for _, d := range regs {
-		if addr >= d.addr && addr < d.addr+d.len {
+		// Overlap of [addr, addr+n) with [d.addr, d.addr+d.len), written
+		// with subtractions so d.addr+d.len cannot overflow and a write
+		// starting below the window but spanning into it still fires.
+		var hit bool
+		if addr >= d.addr {
+			hit = addr-d.addr < d.len
+		} else {
+			hit = d.addr-addr < n
+		}
+		if hit {
 			d.fn(imm, addr, data)
 		}
 	}

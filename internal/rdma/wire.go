@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Opcodes.
@@ -61,7 +62,44 @@ var (
 	ErrBounds = errors.New("rdma: remote access out of registered bounds")
 	ErrOp     = errors.New("rdma: malformed or unsupported operation")
 	ErrClosed = errors.New("rdma: queue pair closed")
+
+	// ErrTimeout marks a verb whose completion did not arrive within the
+	// QP's deadline (or whose context expired). As on hardware, a timed-out
+	// verb may still execute remotely; only the completion is lost.
+	ErrTimeout = errors.New("rdma: verb deadline exceeded")
+
+	// ErrUnposted marks a verb rejected before any byte reached the wire
+	// (the QP already carried a sticky transport error). Such verbs are
+	// provably unexecuted and always safe to replay — including atomics.
+	ErrUnposted = errors.New("rdma: verb not posted")
+
+	// ErrUncertain marks a non-idempotent verb (CAS, FETCH_ADD) whose
+	// completion was lost to a transport failure after it was posted: the
+	// remote side may or may not have executed it. Callers must re-derive
+	// state (e.g. re-read the target qword) before retrying.
+	ErrUncertain = errors.New("rdma: atomic verb outcome uncertain (completion lost)")
 )
+
+// IsTransportErr reports whether err is a transport-level failure — the QP
+// (or its connection) died rather than the remote side refusing the verb.
+// Transport failures are the reconnectable class: a fresh QP to the same
+// endpoint can be expected to succeed. Remote status errors (ErrAccess,
+// ErrBounds, ErrOp) and local validation failures are deterministic and are
+// NOT transport errors.
+func IsTransportErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrUnposted) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr)
+}
 
 func statusErr(s uint8) error {
 	switch s {
