@@ -7,17 +7,20 @@
 //	rdxctl deploy  -node host:7700 -hook kv -udf 'len > 128 && proto != 3'
 //	rdxctl deploy  -node host:7700 -hook ingress -synthetic 1300
 //	rdxctl stats   -node host:7700 -hook kv
+//	rdxctl stats   -http host:7702 [-trace 7]
 //	rdxctl detach  -node host:7700 -hook kv
 //	rdxctl bench   -node host:7700 -hook ingress -n 50 -synthetic 1300
 //	rdxctl apply   -plan plan.rdx -nodes edge-1=host1:7700,edge-2=host2:7700
-//	rdxctl broadcast -nodes edge-1=host1:7700,edge-2=host2:7700 -hook ingress -synthetic 1300
+//	rdxctl broadcast -nodes edge-1=host1:7700,edge-2=host2:7700 -hook ingress -synthetic 1300 -trace 1
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -40,11 +43,13 @@ func usage() {
 commands:
   info     show a node's architecture, hooks, GOT, and XState index
   deploy   validate, compile, link, and deploy an extension to a hook
-  stats    read a hook's data-plane counters
+  stats    read a hook's data-plane counters and the wire-verb registry;
+           with -http, scrape a node's /metrics (and /trace with -trace)
   detach   clear a hook's dispatch pointer (remote teardown)
   bench    deploy repeatedly and report injection latency
   apply    execute a declarative orchestration plan across nodes
   broadcast  deploy to a fleet through the injection scheduler
+             (-trace 1 dumps the job's end-to-end trace afterwards)
 `)
 	os.Exit(2)
 }
@@ -66,6 +71,8 @@ func main() {
 		atomic    = fs.Bool("atomic", false, "broadcast: withhold every publish if any node fails to stage")
 		reconnect = fs.Bool("reconnect", false, "redial on transport failure and replay idempotent verbs")
 		timeout   = fs.Duration("timeout", 2*time.Second, "per-verb deadline (0 disables)")
+		httpAddr  = fs.String("http", "", "stats: scrape a node's observability endpoint instead of its RNIC")
+		traceSpec = fs.Bool("trace", false, "broadcast/stats: dump per-trace spans")
 	)
 	fs.Parse(os.Args[2:])
 
@@ -74,11 +81,15 @@ func main() {
 		return
 	}
 	if cmd == "broadcast" {
-		runBroadcast(*nodeList, *hook, buildExtension(*udfSrc, *synthetic), *atomic, *reconnect, *timeout)
+		runBroadcast(*nodeList, *hook, buildExtension(*udfSrc, *synthetic), *atomic, *reconnect, *timeout, *traceSpec)
+		return
+	}
+	if cmd == "stats" && *httpAddr != "" {
+		runHTTPStats(*httpAddr, *traceSpec)
 		return
 	}
 
-	cf := mustConnect(*nodeAddr, *reconnect, *timeout)
+	cf, cp := mustConnect(*nodeAddr, *reconnect, *timeout)
 	defer cf.Close()
 
 	switch cmd {
@@ -101,6 +112,10 @@ func main() {
 			log.Fatalf("rdxctl: stats: %v", err)
 		}
 		fmt.Printf("hook %s: execs=%d drops=%d version=%d\n", *hook, execs, drops, version)
+		// The control plane's own registry: every verb this invocation issued
+		// (MR discovery, control-block reads, the counter reads above) with
+		// per-opcode counts and completion-latency percentiles.
+		fmt.Println(cp.Registry.Snapshot().Table("control-plane wire registry").String())
 	case "detach":
 		hookAddr, err := cf.HookAddr(*hook)
 		if err != nil {
@@ -117,7 +132,7 @@ func main() {
 	}
 }
 
-func mustConnect(addr string, reconnect bool, timeout time.Duration) *core.CodeFlow {
+func mustConnect(addr string, reconnect bool, timeout time.Duration) (*core.CodeFlow, *core.ControlPlane) {
 	qp, err := dialVerbs(addr, reconnect, timeout)
 	if err != nil {
 		log.Fatalf("rdxctl: dial %s: %v", addr, err)
@@ -127,7 +142,50 @@ func mustConnect(addr string, reconnect bool, timeout time.Duration) *core.CodeF
 	if err != nil {
 		log.Fatalf("rdxctl: create codeflow: %v", err)
 	}
-	return cf
+	return cf, cp
+}
+
+// runHTTPStats scrapes a node's observability endpoint (rdxd -http): the
+// /metrics registry snapshot, plus /trace when -trace is set.
+func runHTTPStats(addr string, withTrace bool) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	var snap telemetry.RegistrySnapshot
+	if err := fetchJSON(base+"/metrics", &snap); err != nil {
+		log.Fatalf("rdxctl: stats: %v", err)
+	}
+	fmt.Println(snap.Table("node metrics ("+addr+")").String())
+	if withTrace {
+		var evs []telemetry.TraceEvent
+		if err := fetchJSON(base+"/trace", &evs); err != nil {
+			log.Fatalf("rdxctl: trace: %v", err)
+		}
+		byTrace := map[telemetry.TraceID][]telemetry.TraceEvent{}
+		var order []telemetry.TraceID
+		for _, ev := range evs {
+			if _, ok := byTrace[ev.Trace]; !ok {
+				order = append(order, ev.Trace)
+			}
+			byTrace[ev.Trace] = append(byTrace[ev.Trace], ev)
+		}
+		for _, id := range order {
+			fmt.Println(telemetry.TraceTable(id, byTrace[id]).String())
+		}
+	}
+}
+
+func fetchJSON(url string, into interface{}) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
 }
 
 // dialVerbs opens the node's RNIC as either a plain QP (transport failures
@@ -224,8 +282,10 @@ func runBench(cf *core.CodeFlow, hook string, e *ext.Extension, n int) {
 
 // runBroadcast deploys one extension to every listed node through the
 // control plane's injection scheduler and prints the per-node outcomes plus
-// the scheduler's per-stage span table.
-func runBroadcast(nodeList, hook string, e *ext.Extension, atomic, reconnect bool, timeout time.Duration) {
+// the scheduler's per-stage span table. With trace, it also dumps the job's
+// end-to-end span trace — every pipeline stage and every wire verb the job
+// issued, correlated under the job's trace ID.
+func runBroadcast(nodeList, hook string, e *ext.Extension, atomic, reconnect bool, timeout time.Duration, trace bool) {
 	if nodeList == "" {
 		log.Fatal("rdxctl: broadcast requires -nodes")
 	}
@@ -266,6 +326,9 @@ func runBroadcast(nodeList, hook string, e *ext.Extension, atomic, reconnect boo
 	}
 	fmt.Printf("published=%v failed=%d total=%s\n", res.Published, len(res.Failed()), telemetry.FormatDuration(res.Total))
 	fmt.Println(cp.Scheduler().Stats().String())
+	if trace {
+		fmt.Println(telemetry.TraceTable(res.Trace, cp.Tracer.Trace(res.Trace)).String())
+	}
 	if !res.Published || res.FirstErr() != nil {
 		os.Exit(1)
 	}

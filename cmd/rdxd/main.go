@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	rdxd -id node0 -listen :7700 [-kv :7701] [-hooks ingress,kv] [-cores 4]
+//	rdxd -id node0 -listen :7700 [-kv :7701] [-hooks ingress,kv] [-cores 4] [-http :7702]
 //
 // A control plane (cmd/rdxctl or any rdx.ControlPlane user) connects to the
 // -listen address, creates a CodeFlow, and manages extensions remotely; the
 // node itself runs no control software after boot.
+//
+// With -http, the node exposes its observability surface:
+//
+//	GET /metrics        registry snapshot (per-opcode verb counts, bytes,
+//	                    service-latency percentiles) as JSON
+//	GET /trace[?id=N]   buffered endpoint trace spans (all, or one trace ID)
 package main
 
 import (
@@ -17,8 +23,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -26,6 +34,7 @@ import (
 	"rdx/internal/native"
 	"rdx/internal/node"
 	"rdx/internal/rdma"
+	"rdx/internal/telemetry"
 )
 
 func main() {
@@ -35,8 +44,9 @@ func main() {
 		kvAddr = flag.String("kv", "", "optional KV application listen address")
 		hooks  = flag.String("hooks", "ingress,kv", "comma-separated hook names")
 		cores  = flag.Int("cores", 4, "simulated CPU cores")
-		arch   = flag.String("arch", "x64", "native architecture (x64|a64)")
-		kvHook = flag.String("kv-hook", "kv", "hook the KV app routes commands through ('' disables)")
+		arch     = flag.String("arch", "x64", "native architecture (x64|a64)")
+		kvHook   = flag.String("kv-hook", "kv", "hook the KV app routes commands through ('' disables)")
+		httpAddr = flag.String("http", "", "optional observability listen address (/metrics, /trace)")
 	)
 	flag.Parse()
 
@@ -54,6 +64,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("rdxd: %v", err)
 	}
+
+	// Instrument the RNIC whether or not -http is set: the registry is cheap
+	// and a later scrape should not miss verbs served before it started.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTraceRecorder(0)
+	n.RNIC.SetInstruments(rdma.NewWireMetrics(reg, "endpoint"), tracer, *id)
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -77,6 +93,37 @@ func main() {
 		go func() {
 			if err := srv.Serve(kvl); err != nil {
 				log.Printf("rdxd: kv serve: %v", err)
+			}
+		}()
+	}
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+		})
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			var trace telemetry.TraceID
+			if s := r.URL.Query().Get("id"); s != "" {
+				v, err := strconv.ParseUint(s, 0, 64)
+				if err != nil {
+					http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				trace = telemetry.TraceID(v)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			tracer.WriteJSON(w, trace)
+		})
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("rdxd: http listen: %v", err)
+		}
+		log.Printf("rdxd: observability on http://%s (/metrics, /trace)", hl.Addr())
+		go func() {
+			if err := http.Serve(hl, mux); err != nil {
+				log.Printf("rdxd: http serve: %v", err)
 			}
 		}()
 	}

@@ -140,26 +140,44 @@ func (g Group) Broadcast(e *ext.Extension, opts BroadcastOptions) (BroadcastRepo
 }
 
 // drainInflight polls every node's in-flight counter until all are zero.
+// Nodes drain in parallel under one ctx — the gate-held window tracks the
+// slowest node, not the sum of a sequential sweep — and reads issue on the
+// context-aware verb path so the drain deadline cancels an in-flight poll
+// instead of waiting out its verb timeout.
 func (g Group) drainInflight(ctx context.Context, hook string) error {
-	for _, cf := range g {
+	errs := make([]error, len(g))
+	var wg sync.WaitGroup
+	for i, cf := range g {
 		hookAddr, err := cf.HookAddr(hook)
 		if err != nil {
 			return err
 		}
-		for {
-			inflight, err := cf.Remote.ReadMem(hookAddr+node.HookOffInflight, 8)
-			if err != nil {
-				return err
+		wg.Add(1)
+		go func(i int, cf *CodeFlow, hookAddr uint64) {
+			defer wg.Done()
+			rem := cf.remote(ctx)
+			for {
+				inflight, err := rem.ReadMem(hookAddr+node.HookOffInflight, 8)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if inflight == 0 {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					errs[i] = fmt.Errorf("%d requests still in flight on node %#x: %w", inflight, cf.NodeID, ctx.Err())
+					return
+				case <-time.After(5 * time.Microsecond):
+				}
 			}
-			if inflight == 0 {
-				break
-			}
-			select {
-			case <-ctx.Done():
-				return fmt.Errorf("%d requests still in flight on node %#x: %w", inflight, cf.NodeID, ctx.Err())
-			default:
-			}
-			time.Sleep(5 * time.Microsecond)
+		}(i, cf, hookAddr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -15,6 +16,7 @@ import (
 	"rdx/internal/native"
 	"rdx/internal/node"
 	"rdx/internal/rdma"
+	"rdx/internal/telemetry"
 	"rdx/internal/wasm"
 )
 
@@ -86,6 +88,16 @@ func (cp *ControlPlane) CreateCodeFlowQP(qp rdma.Verbs) (*CodeFlow, error) {
 	arch := native.Arch(magicArch >> 32)
 	nodeHash, _ := remote.ReadMem(node.CtrlBase+node.CtrlOffNodeHash, 8)
 
+	// Wire the issuer into the control plane's registry and tracer, labeled
+	// with the node's identity. Both QP and ReconnQP implement this; the
+	// instruments are registry-owned and shared across QP generations, so
+	// reconnects never reset or double-count.
+	if ins, ok := qp.(interface {
+		SetInstruments(*rdma.WireMetrics, *telemetry.TraceRecorder, string)
+	}); ok {
+		ins.SetInstruments(cp.wire, cp.Tracer, fmt.Sprintf("%#x", nodeHash))
+	}
+
 	gotRaw, err := remote.ReadBytes(node.GOTBase, node.GOTSize)
 	if err != nil {
 		qp.Close()
@@ -113,6 +125,13 @@ func (cp *ControlPlane) CreateCodeFlowQP(qp rdma.Verbs) (*CodeFlow, error) {
 // Close releases the handle's QP.
 func (cf *CodeFlow) Close() error { return cf.qp.Close() }
 
+// remote returns the handle's remote memory bound to ctx, so a whole
+// control-plane sequence (staging, publication) issues its verbs under one
+// deadline and trace ID.
+func (cf *CodeFlow) remote(ctx context.Context) *RemoteMemory {
+	return cf.Remote.WithContext(ctx)
+}
+
 // GOT returns the snapshot of the node's symbol table.
 func (cf *CodeFlow) GOT() map[string]uint64 {
 	out := make(map[string]uint64, len(cf.got))
@@ -133,8 +152,10 @@ func (cf *CodeFlow) HookAddr(hook string) (uint64, error) {
 
 // NextVersion allocates a cluster-unique-per-node version number with a
 // remote FETCH_ADD on the node's epoch counter.
-func (cf *CodeFlow) NextVersion() (uint64, error) {
-	prev, err := cf.Remote.FetchAddMem(node.CtrlBase+node.CtrlOffEpoch, 1)
+func (cf *CodeFlow) NextVersion() (uint64, error) { return cf.nextVersion(cf.Remote) }
+
+func (cf *CodeFlow) nextVersion(rem *RemoteMemory) (uint64, error) {
+	prev, err := rem.FetchAddMem(node.CtrlBase+node.CtrlOffEpoch, 1)
 	if err != nil {
 		return 0, err
 	}
@@ -144,20 +165,22 @@ func (cf *CodeFlow) NextVersion() (uint64, error) {
 // AllocCode reserves code-region space with a remote FETCH_ADD. Like the
 // local allocator, the region is a ring: exhaustion wraps the bump pointer
 // back to the base (remote CAS), reclaiming the oldest dead blobs.
-func (cf *CodeFlow) AllocCode(size int) (uint64, error) {
+func (cf *CodeFlow) AllocCode(size int) (uint64, error) { return cf.allocCode(cf.Remote, size) }
+
+func (cf *CodeFlow) allocCode(rem *RemoteMemory, size int) (uint64, error) {
 	sz := uint64((size + 7) &^ 7)
 	if sz > node.CodeSize/2 {
 		return 0, fmt.Errorf("core: blob of %d bytes exceeds half the code region", size)
 	}
 	for {
-		prev, err := cf.Remote.FetchAddMem(node.CtrlBase+node.CtrlOffCodeBrk, sz)
+		prev, err := rem.FetchAddMem(node.CtrlBase+node.CtrlOffCodeBrk, sz)
 		if err != nil {
 			return 0, err
 		}
 		if prev+sz <= node.CodeBase+node.CodeSize {
 			return prev, nil
 		}
-		if _, _, err := cf.Remote.CompareAndSwapMem(node.CtrlBase+node.CtrlOffCodeBrk, prev+sz, node.CodeBase); err != nil {
+		if _, _, err := rem.CompareAndSwapMem(node.CtrlBase+node.CtrlOffCodeBrk, prev+sz, node.CodeBase); err != nil {
 			return 0, err
 		}
 		// The wrap may reclaim space under previously deployed blobs:
@@ -171,8 +194,12 @@ func (cf *CodeFlow) AllocCode(size int) (uint64, error) {
 
 // AllocScratch reserves XState scratchpad space with a remote FETCH_ADD.
 func (cf *CodeFlow) AllocScratch(size int) (uint64, error) {
+	return cf.allocScratch(cf.Remote, size)
+}
+
+func (cf *CodeFlow) allocScratch(rem *RemoteMemory, size int) (uint64, error) {
 	sz := (uint64(size) + 63) &^ 63
-	prev, err := cf.Remote.FetchAddMem(node.CtrlBase+node.CtrlOffScratchBrk, sz)
+	prev, err := rem.FetchAddMem(node.CtrlBase+node.CtrlOffScratchBrk, sz)
 	if err != nil {
 		return 0, err
 	}
@@ -221,28 +248,32 @@ type ebpfMapSpec = ebpf.MapSpec
 // scratchpad, initialize the map header and slots remotely, and index it in
 // the Meta-XState array — all with one-sided verbs.
 func (cf *CodeFlow) DeployXState(spec ebpfMapSpec) (*XState, error) {
+	return cf.deployXState(cf.Remote, spec)
+}
+
+func (cf *CodeFlow) deployXState(rem *RemoteMemory, spec ebpfMapSpec) (*XState, error) {
 	size := maps.Size(spec)
-	addr, err := cf.AllocScratch(int(size))
+	addr, err := cf.allocScratch(rem, int(size))
 	if err != nil {
 		return nil, err
 	}
-	view, err := maps.Create(cf.Remote, addr, spec)
+	view, err := maps.Create(rem, addr, spec)
 	if err != nil {
 		return nil, err
 	}
 	// Publish in the Meta-XState index: FETCH_ADD the count, WRITE the
 	// entry, refresh the control-block mirror.
-	idx, err := cf.Remote.FetchAddMem(node.MetaBase, 1)
+	idx, err := rem.FetchAddMem(node.MetaBase, 1)
 	if err != nil {
 		return nil, err
 	}
 	if idx >= node.MetaEntries {
 		return nil, fmt.Errorf("core: remote Meta-XState full")
 	}
-	if err := cf.Remote.WriteMem(node.MetaBase+8+idx*8, 8, addr); err != nil {
+	if err := rem.WriteMem(node.MetaBase+8+idx*8, 8, addr); err != nil {
 		return nil, err
 	}
-	cf.Remote.WriteMem(node.CtrlBase+node.CtrlOffMetaCount, 8, idx+1)
+	rem.WriteMem(node.CtrlBase+node.CtrlOffMetaCount, 8, idx+1)
 	return &XState{Spec: spec, Addr: addr, View: view}, nil
 }
 
@@ -352,14 +383,18 @@ type QwordSwap struct {
 // qword swap. Readers polling the swapped word never observe the staged
 // writes before the commit lands.
 func (cf *CodeFlow) Tx(writes []TxWrite, swap QwordSwap) error {
+	return cf.txOn(cf.Remote, writes, swap)
+}
+
+func (cf *CodeFlow) txOn(rem *RemoteMemory, writes []TxWrite, swap QwordSwap) error {
 	for _, w := range writes {
 		if w.Bytes != nil {
-			if err := cf.Remote.WriteBytes(w.Addr, w.Bytes); err != nil {
+			if err := rem.WriteBytes(w.Addr, w.Bytes); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := cf.Remote.WriteMem(w.Addr, 8, w.Qword); err != nil {
+		if err := rem.WriteMem(w.Addr, 8, w.Qword); err != nil {
 			return err
 		}
 	}
@@ -367,7 +402,7 @@ func (cf *CodeFlow) Tx(writes []TxWrite, swap QwordSwap) error {
 		return nil
 	}
 	if swap.Old != 0 {
-		prev, ok, err := cf.Remote.CompareAndSwapMem(swap.Addr, swap.Old, swap.New)
+		prev, ok, err := rem.CompareAndSwapMem(swap.Addr, swap.Old, swap.New)
 		if err != nil {
 			return err
 		}
@@ -377,11 +412,11 @@ func (cf *CodeFlow) Tx(writes []TxWrite, swap QwordSwap) error {
 		return nil
 	}
 	for {
-		cur, err := cf.Remote.ReadMem(swap.Addr, 8)
+		cur, err := rem.ReadMem(swap.Addr, 8)
 		if err != nil {
 			return err
 		}
-		if _, ok, err := cf.Remote.CompareAndSwapMem(swap.Addr, cur, swap.New); err != nil {
+		if _, ok, err := rem.CompareAndSwapMem(swap.Addr, cur, swap.New); err != nil {
 			return err
 		} else if ok {
 			return nil
@@ -394,7 +429,11 @@ func (cf *CodeFlow) Tx(writes []TxWrite, swap QwordSwap) error {
 // empty — only the immediate (and the RNIC-side handler it triggers)
 // matters.
 func (cf *CodeFlow) CCEvent(addr uint64) error {
-	return cf.Remote.WriteImm(addr, node.DoorbellCCInvalidate, nil)
+	return cf.ccEventOn(cf.Remote, addr)
+}
+
+func (cf *CodeFlow) ccEventOn(rem *RemoteMemory, addr uint64) error {
+	return rem.WriteImm(addr, node.DoorbellCCInvalidate, nil)
 }
 
 // LockToken identifies a mutual-exclusion acquisition.
@@ -575,7 +614,7 @@ func (cf *CodeFlow) InjectExtension(e *ext.Extension, hook string) (Report, erro
 	t2 := time.Now()
 	extra := map[string]uint64{}
 	params := DeployParams{Kind: uint8(e.Kind)}
-	if err := cf.setupState(e, extra, &params); err != nil {
+	if err := cf.setupState(cf.Remote, e, extra, &params); err != nil {
 		return rep, err
 	}
 	rep.Alloc = time.Since(t2)
@@ -603,10 +642,11 @@ func (cf *CodeFlow) InjectExtension(e *ext.Extension, hook string) (Report, erro
 }
 
 // setupState provisions remote XState maps and wasm regions for one
-// deployment and records link symbols.
-func (cf *CodeFlow) setupState(e *ext.Extension, extra map[string]uint64, params *DeployParams) error {
+// deployment and records link symbols. All verbs issue on rem, so callers
+// holding a ctx-bound view get tracing and cancellation here too.
+func (cf *CodeFlow) setupState(rem *RemoteMemory, e *ext.Extension, extra map[string]uint64, params *DeployParams) error {
 	for _, spec := range e.MapSpecs() {
-		xs, err := cf.DeployXState(spec)
+		xs, err := cf.deployXState(rem, spec)
 		if err != nil {
 			return err
 		}
@@ -614,7 +654,7 @@ func (cf *CodeFlow) setupState(e *ext.Extension, extra map[string]uint64, params
 	}
 	memBytes, globals := e.WasmRegions()
 	if memBytes > 0 {
-		addr, err := cf.AllocScratch(memBytes)
+		addr, err := cf.allocScratch(rem, memBytes)
 		if err != nil {
 			return err
 		}
@@ -624,7 +664,7 @@ func (cf *CodeFlow) setupState(e *ext.Extension, extra map[string]uint64, params
 		params.MemBase = addr
 	}
 	if globals > 0 {
-		addr, err := cf.AllocScratch(8 * globals)
+		addr, err := cf.allocScratch(rem, 8*globals)
 		if err != nil {
 			return err
 		}
@@ -633,7 +673,7 @@ func (cf *CodeFlow) setupState(e *ext.Extension, extra map[string]uint64, params
 		for i, v := range inits {
 			binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
 		}
-		if err := cf.Remote.WriteBytes(addr, buf); err != nil {
+		if err := rem.WriteBytes(addr, buf); err != nil {
 			return err
 		}
 		extra[wasm.SymGlobals] = addr

@@ -19,6 +19,8 @@ import (
 	"rdx/internal/ext"
 	"rdx/internal/native"
 	"rdx/internal/pipeline"
+	"rdx/internal/rdma"
+	"rdx/internal/telemetry"
 )
 
 // ControlPlane is the remote control plane: validation, the
@@ -36,6 +38,19 @@ type ControlPlane struct {
 
 	policy   *AccessPolicy
 	auditLog []auditEntry
+
+	// Registry holds every instrument of this control plane's fleet: the
+	// scheduler's "pipeline.*" series and the wire layer's "rdma.qp.*"
+	// series, snapshot together by Registry.Snapshot / the rdxd /metrics
+	// endpoint.
+	Registry *telemetry.Registry
+	// Tracer records per-trace spans across layers (pipeline stages, wire
+	// verbs, endpoint service) in a bounded ring.
+	Tracer *telemetry.TraceRecorder
+	// wire is the fleet-shared wire instrument set handed to every QP the
+	// control plane binds; instruments live in the Registry, so per-node QP
+	// regenerations behind a ReconnQP keep accumulating into the same series.
+	wire *rdma.WireMetrics
 
 	// sched is the lazily created injection scheduler (see Scheduler).
 	schedOnce sync.Once
@@ -57,9 +72,13 @@ type RegistryStats struct {
 
 // NewControlPlane creates an empty control plane.
 func NewControlPlane() *ControlPlane {
+	reg := telemetry.NewRegistry()
 	return &ControlPlane{
 		verified: map[string]ext.Info{},
 		compiled: map[registryKey]*native.Binary{},
+		Registry: reg,
+		Tracer:   telemetry.NewTraceRecorder(0),
+		wire:     rdma.NewWireMetrics(reg, "rdma.qp"),
 	}
 }
 

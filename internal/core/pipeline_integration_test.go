@@ -9,6 +9,72 @@ import (
 	"rdx/internal/xabi"
 )
 
+// TestInjectTracedEndToEnd is the observability acceptance path: one Inject
+// must leave a complete trace — every pipeline stage from queue to publish,
+// the wire verbs the job issued, and (when the target endpoint shares the
+// recorder) the service-side spans — all under the job's single trace ID.
+func TestInjectTracedEndToEnd(t *testing.T) {
+	r := newRig(t, 2)
+	// Share the control plane's recorder with the served endpoints so the
+	// trace ID carried in the wire header stitches both sides together, as
+	// rdxd -http does in production.
+	for i, n := range r.nodes {
+		n.RNIC.SetInstruments(nil, r.cp.Tracer, nodeID(i))
+	}
+
+	targets := make([]pipeline.Target, len(r.cfs))
+	for i, cf := range r.cfs {
+		targets[i] = cf
+	}
+	res, err := r.cp.Scheduler().Inject(pipeline.Request{
+		Ext: constProg("traced", 7), Hook: "ingress", Targets: targets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == 0 {
+		t.Fatal("job has no trace ID")
+	}
+
+	evs := r.cp.Tracer.Trace(res.Trace)
+	byLayerName := map[string]int{}
+	for _, ev := range evs {
+		byLayerName[ev.Layer+"/"+ev.Name]++
+	}
+	// All six pipeline stages, once per job (link/write/publish: per node).
+	for _, stage := range []string{"queue", "validate", "jit"} {
+		if byLayerName["pipeline/"+stage] != 1 {
+			t.Errorf("pipeline stage %q spans = %d, want 1 (trace: %v)", stage, byLayerName["pipeline/"+stage], byLayerName)
+		}
+	}
+	for _, stage := range []string{"link", "write", "publish"} {
+		if byLayerName["pipeline/"+stage] != len(targets) {
+			t.Errorf("pipeline stage %q spans = %d, want %d", stage, byLayerName["pipeline/"+stage], len(targets))
+		}
+	}
+	// Staging writes one OpBatch chain per node; publish CASes the dispatch
+	// pointer and fires a doorbell. All must carry the job's trace ID on both
+	// the initiator ("wire") and the served ("endpoint") side.
+	for _, layer := range []string{"wire", "endpoint"} {
+		for _, verb := range []string{"batch", "cas", "write_imm"} {
+			if byLayerName[layer+"/"+verb] < len(targets) {
+				t.Errorf("%s %s spans = %d, want >= %d (trace: %v)",
+					layer, verb, byLayerName[layer+"/"+verb], len(targets), byLayerName)
+			}
+		}
+	}
+	// A second job gets a different trace ID and its spans don't bleed in.
+	res2, err := r.cp.Scheduler().Inject(pipeline.Request{
+		Ext: constProg("traced2", 8), Hook: "ingress", Targets: targets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace == res.Trace {
+		t.Fatal("two jobs shared a trace ID")
+	}
+}
+
 // TestPipelineFleetRolloutPartialFailure is the acceptance scenario: a
 // non-atomic fleet rollout through the control plane's scheduler completes
 // on every healthy node and reports the dead node's failure precisely —

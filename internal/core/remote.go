@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -29,6 +30,12 @@ func Retryable(err error) bool {
 type RemoteMemory struct {
 	qp  rdma.Verbs
 	mrs []rdma.MR // sorted by Addr
+
+	// ctx, when non-nil, bounds every verb this view issues and carries the
+	// operation's trace ID to the wire. The xabi.Memory interface has no ctx
+	// parameter (extension ABI accesses are context-free by design), so the
+	// binding lives on the view: WithContext returns a bound clone.
+	ctx context.Context
 }
 
 // NewRemoteMemory builds a remote memory over the MR table.
@@ -36,6 +43,23 @@ func NewRemoteMemory(qp rdma.Verbs, mrs []rdma.MR) *RemoteMemory {
 	sorted := append([]rdma.MR(nil), mrs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
 	return &RemoteMemory{qp: qp, mrs: sorted}
+}
+
+// WithContext returns a view issuing every verb under ctx — cancellation,
+// deadline, and trace ID included. The clone shares the QP and MR table;
+// the receiver is unchanged, so concurrent users of other views are
+// unaffected.
+func (m *RemoteMemory) WithContext(ctx context.Context) *RemoteMemory {
+	clone := *m
+	clone.ctx = ctx
+	return &clone
+}
+
+func (m *RemoteMemory) context() context.Context {
+	if m.ctx != nil {
+		return m.ctx
+	}
+	return context.Background()
 }
 
 // rkeyFor locates the MR covering [addr, addr+n).
@@ -55,7 +79,7 @@ func (m *RemoteMemory) ReadMem(addr uint64, size int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	b, err := m.qp.Read(rkey, addr, size)
+	b, err := m.qp.ReadCtx(m.context(), rkey, addr, size)
 	if err != nil {
 		return 0, err
 	}
@@ -76,7 +100,7 @@ func (m *RemoteMemory) WriteMem(addr uint64, size int, val uint64) error {
 	for i := 0; i < size; i++ {
 		b[i] = byte(val >> (8 * i))
 	}
-	return m.qp.Write(rkey, addr, b)
+	return m.qp.WriteCtx(m.context(), rkey, addr, b)
 }
 
 // ReadBytes implements xabi.Memory.
@@ -85,7 +109,7 @@ func (m *RemoteMemory) ReadBytes(addr uint64, n int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.qp.Read(rkey, addr, n)
+	return m.qp.ReadCtx(m.context(), rkey, addr, n)
 }
 
 // WriteBytes implements xabi.Memory.
@@ -94,7 +118,7 @@ func (m *RemoteMemory) WriteBytes(addr uint64, b []byte) error {
 	if err != nil {
 		return err
 	}
-	return m.qp.Write(rkey, addr, b)
+	return m.qp.WriteCtx(m.context(), rkey, addr, b)
 }
 
 // CompareAndSwapMem implements maps.AtomicMemory via the RDMA CAS verb.
@@ -103,7 +127,7 @@ func (m *RemoteMemory) CompareAndSwapMem(addr uint64, old, new uint64) (uint64, 
 	if err != nil {
 		return 0, false, err
 	}
-	prev, err := m.qp.CompareAndSwap(rkey, addr, old, new)
+	prev, err := m.qp.CompareAndSwapCtx(m.context(), rkey, addr, old, new)
 	if err != nil {
 		return 0, false, err
 	}
@@ -116,7 +140,7 @@ func (m *RemoteMemory) FetchAddMem(addr uint64, delta uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.qp.FetchAdd(rkey, addr, delta)
+	return m.qp.FetchAddCtx(m.context(), rkey, addr, delta)
 }
 
 // BatchWrite is one entry of a coalesced remote write chain. When HasImm is
@@ -162,7 +186,7 @@ func (m *RemoteMemory) WriteBatch(writes []BatchWrite) error {
 			}
 		}
 	}
-	return m.qp.WriteBatch(ops)
+	return m.qp.WriteBatchCtx(m.context(), ops)
 }
 
 // WriteImm performs a WRITE_WITH_IMM (the cc_event doorbell).
@@ -175,7 +199,7 @@ func (m *RemoteMemory) WriteImm(addr uint64, imm uint32, data []byte) error {
 	if err != nil {
 		return err
 	}
-	return m.qp.WriteImm(rkey, addr, imm, data)
+	return m.qp.WriteImmCtx(m.context(), rkey, addr, imm, data)
 }
 
 var _ xabi.Memory = (*RemoteMemory)(nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -17,8 +18,8 @@ import (
 func (cf *CodeFlow) NodeKey() string { return fmt.Sprintf("%#x", cf.NodeID) }
 
 // Stage implements pipeline.Target by staging without publishing.
-func (cf *CodeFlow) Stage(e *ext.Extension, hook string) (pipeline.Staged, error) {
-	return cf.StageExtension(e, hook)
+func (cf *CodeFlow) Stage(ctx context.Context, e *ext.Extension, hook string) (pipeline.Staged, error) {
+	return cf.StageExtension(ctx, e, hook)
 }
 
 // StagedDeploy is a prepared-but-unpublished deployment on one node: the
@@ -39,7 +40,10 @@ type StagedDeploy struct {
 // the registry), state setup, linking, remote allocation, then ONE OpBatch
 // chain carrying every blob segment plus the staged-record write, terminated
 // by a single doorbell WriteImm — the coalesced-doorbell injection path.
-func (cf *CodeFlow) StageExtension(e *ext.Extension, hook string) (*StagedDeploy, error) {
+// Every remote verb issues under ctx, so the whole staging sequence shares
+// one deadline and (when ctx carries one) one trace ID.
+func (cf *CodeFlow) StageExtension(ctx context.Context, e *ext.Extension, hook string) (*StagedDeploy, error) {
+	rem := cf.remote(ctx)
 	hookAddr, err := cf.HookAddr(hook)
 	if err != nil {
 		return nil, err
@@ -51,17 +55,17 @@ func (cf *CodeFlow) StageExtension(e *ext.Extension, hook string) (*StagedDeploy
 	}
 	extra := map[string]uint64{}
 	params := DeployParams{Kind: uint8(e.Kind)}
-	if err := cf.setupState(e, extra, &params); err != nil {
+	if err := cf.setupState(rem, e, extra, &params); err != nil {
 		return nil, err
 	}
 	if err := cf.LinkCode(bin, extra); err != nil {
 		return nil, err
 	}
-	version, err := cf.NextVersion()
+	version, err := cf.nextVersion(rem)
 	if err != nil {
 		return nil, err
 	}
-	blob, err := cf.AllocCode(node.BlobHdrSize + len(bin.Code))
+	blob, err := cf.allocCode(rem, node.BlobHdrSize+len(bin.Code))
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +80,7 @@ func (cf *CodeFlow) StageExtension(e *ext.Extension, hook string) (*StagedDeploy
 	// Blob payload and the crash-visible staged record travel as one chain;
 	// the trailing immediate exposes the staged slot to the node's CPU cache
 	// without a second doorbell verb.
-	if err := cf.Remote.WriteBatch([]BatchWrite{
+	if err := rem.WriteBatch([]BatchWrite{
 		{Addr: blob, Data: append(hdr, bin.Code...)},
 		{Addr: hookAddr + node.HookOffStaged, Data: stagedRec[:], Imm: node.DoorbellCCInvalidate, HasImm: true},
 	}); err != nil {
@@ -95,16 +99,17 @@ func (cf *CodeFlow) StageExtension(e *ext.Extension, hook string) (*StagedDeploy
 }
 
 // Publish implements pipeline.Staged: version write + dispatch CAS +
-// cc_event, the commit-only transaction.
-func (s *StagedDeploy) Publish() error {
+// cc_event, the commit-only transaction, issued under ctx.
+func (s *StagedDeploy) Publish(ctx context.Context) error {
 	cf := s.cf
-	if err := cf.Tx(
+	rem := cf.remote(ctx)
+	if err := cf.txOn(rem,
 		[]TxWrite{{Addr: s.hookAddr + node.HookOffVersion, Qword: s.version}},
 		QwordSwap{Addr: s.hookAddr + node.HookOffDispatch, New: s.blob},
 	); err != nil {
 		return err
 	}
-	cf.CCEvent(s.hookAddr + node.HookOffDispatch)
+	cf.ccEventOn(rem, s.hookAddr+node.HookOffDispatch)
 	cf.mu.Lock()
 	cf.history[s.hook] = append(cf.history[s.hook], Deployed{Blob: s.blob, Version: s.version, Name: s.name})
 	cf.mu.Unlock()
@@ -127,7 +132,9 @@ func (s *StagedDeploy) WriteDuration() time.Duration { return s.write }
 func (cp *ControlPlane) Scheduler() *pipeline.Scheduler {
 	cp.schedOnce.Do(func() {
 		cp.sched = pipeline.New(pipeline.Config{
-			Retries: 2,
+			Retries:  2,
+			Registry: cp.Registry,
+			Tracer:   cp.Tracer,
 			// Reconnectable transport failures (QP death, verb timeouts,
 			// lost atomic completions behind a ReconnQP) are retryable:
 			// staging is re-driveable end to end.

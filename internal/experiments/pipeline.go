@@ -72,21 +72,23 @@ func (r *fleetRig) close() {
 // where every sequential round trip is wall-clock waiting: the regime the
 // scheduler's in-flight batching and parallel fan-out are built for.
 func Pipeline(opts Options) (*telemetry.Table, error) {
-	tbl, _, err := pipelineRun(opts)
+	tbl, _, _, err := pipelineRun(opts)
 	return tbl, err
 }
 
 // PipelineWithStats runs Pipeline and also returns the scheduler's
-// per-stage span table (queue → validate → jit → link → write → publish).
+// per-stage span table (queue → validate → jit → link → write → publish)
+// plus the control plane's registry snapshot — per-opcode wire verb counts
+// and completion-latency percentiles for the whole rollout.
 func PipelineWithStats(opts Options) ([]*telemetry.Table, error) {
-	tbl, stats, err := pipelineRun(opts)
+	tbl, stats, reg, err := pipelineRun(opts)
 	if err != nil {
 		return nil, err
 	}
-	return []*telemetry.Table{tbl, stats}, nil
+	return []*telemetry.Table{tbl, stats, reg}, nil
 }
 
-func pipelineRun(opts Options) (*telemetry.Table, *telemetry.Table, error) {
+func pipelineRun(opts Options) (*telemetry.Table, *telemetry.Table, *telemetry.Table, error) {
 	nodes, reps := 8, 3
 	sizes := []int{1000, 20000}
 	if opts.Quick {
@@ -97,7 +99,7 @@ func pipelineRun(opts Options) (*telemetry.Table, *telemetry.Table, error) {
 	lat := &rdma.LatencyModel{Base: 500 * time.Microsecond, BytesPerSec: 3.125e9}
 	rig, err := newFleetRig("pipe", nodes, lat)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer rig.close()
 	sched := rig.cp.Scheduler()
@@ -120,12 +122,12 @@ func pipelineRun(opts Options) (*telemetry.Table, *telemetry.Table, error) {
 			eSeq := ext.FromEBPF(progen.MustGenerate(progen.Options{Size: size, Seed: seed, WithHelpers: true}))
 			seed++
 			if err := rig.cp.Precompile(eSeq, rig.cfs[0].Arch); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			t0 := time.Now()
 			for _, cf := range rig.cfs {
 				if _, err := cf.InjectExtension(eSeq, "ingress"); err != nil {
-					return nil, nil, fmt.Errorf("pipeline sequential size %d: %w", size, err)
+					return nil, nil, nil, fmt.Errorf("pipeline sequential size %d: %w", size, err)
 				}
 			}
 			seq += time.Since(t0)
@@ -133,20 +135,21 @@ func pipelineRun(opts Options) (*telemetry.Table, *telemetry.Table, error) {
 			ePipe := ext.FromEBPF(progen.MustGenerate(progen.Options{Size: size, Seed: seed, WithHelpers: true}))
 			seed++
 			if err := rig.cp.Precompile(ePipe, rig.cfs[0].Arch); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			t1 := time.Now()
 			res, err := sched.Inject(pipeline.Request{Ext: ePipe, Hook: "ingress", Targets: targets})
 			if err != nil {
-				return nil, nil, fmt.Errorf("pipeline batched size %d: %w", size, err)
+				return nil, nil, nil, fmt.Errorf("pipeline batched size %d: %w", size, err)
 			}
 			if ferr := res.FirstErr(); ferr != nil {
-				return nil, nil, fmt.Errorf("pipeline batched size %d: %w", size, ferr)
+				return nil, nil, nil, fmt.Errorf("pipeline batched size %d: %w", size, ferr)
 			}
 			pipe += time.Since(t1)
 		}
 		n := time.Duration(reps)
 		tbl.AddRowf(size, seq/n, pipe/n, fmt.Sprintf("%.1fx", float64(seq)/float64(pipe)))
 	}
-	return tbl, sched.Stats().Table(), nil
+	return tbl, sched.Stats().Table(),
+		rig.cp.Registry.Snapshot().Table("rollout registry: wire verbs + pipeline spans"), nil
 }

@@ -1,10 +1,12 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"rdx/internal/ext"
+	"rdx/internal/telemetry"
 )
 
 // Target is one node's injection surface, implemented by core.CodeFlow.
@@ -14,14 +16,18 @@ import (
 type Target interface {
 	// NodeKey identifies the node in outcomes and logs.
 	NodeKey() string
-	// Stage prepares extension e on hook without publishing it.
-	Stage(e *ext.Extension, hook string) (Staged, error)
+	// Stage prepares extension e on hook without publishing it. ctx bounds
+	// the work and carries the job's trace ID; implementations should
+	// thread it down to their verbs so the job's wire operations are
+	// correlated under one trace.
+	Stage(ctx context.Context, e *ext.Extension, hook string) (Staged, error)
 }
 
 // Staged is a prepared-but-unpublished deployment on one node.
 type Staged interface {
-	// Publish flips the staged blob live (CAS + doorbell).
-	Publish() error
+	// Publish flips the staged blob live (CAS + doorbell). ctx bounds the
+	// commit and carries the job's trace ID.
+	Publish(ctx context.Context) error
 	// Version is the node-local version the publish will install.
 	Version() uint64
 	// LinkDuration and WriteDuration split the staging cost for tracing.
@@ -65,6 +71,11 @@ type Outcome struct {
 // Result summarizes one completed job.
 type Result struct {
 	Outcomes []Outcome
+
+	// Trace is the job's trace ID: every pipeline stage span and every wire
+	// verb the job issued is recorded under it (when the scheduler has a
+	// tracer), so the whole injection can be dumped end to end.
+	Trace telemetry.TraceID
 	// Published reports whether at least one node's publish succeeded;
 	// false means an atomic job aborted, BeforePublish failed, or every
 	// per-node publish errored — in all of those no node serves the new

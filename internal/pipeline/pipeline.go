@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"rdx/internal/ext"
+	"rdx/internal/telemetry"
 )
 
 // Config shapes a Scheduler. The zero value is usable: defaults are filled
@@ -56,6 +57,17 @@ type Config struct {
 
 	// Transient classifies retryable errors; nil uses DefaultTransient.
 	Transient func(error) bool
+
+	// Registry supplies the scheduler's named instruments ("pipeline.*").
+	// Sharing one registry with the wire layer gives a single /metrics
+	// export covering both; nil creates a private registry (Stats still
+	// works, nothing is exported).
+	Registry *telemetry.Registry
+
+	// Tracer, if set, receives one "pipeline"-layer span per stage of every
+	// job, recorded under the job's trace ID (Result.Trace). The same ID
+	// rides the job's context into targets and down to the wire.
+	Tracer *telemetry.TraceRecorder
 }
 
 func (c *Config) fillDefaults() {
@@ -80,6 +92,9 @@ func (c *Config) fillDefaults() {
 	if c.Transient == nil {
 		c.Transient = DefaultTransient
 	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
 }
 
 // Scheduler is the asynchronous batched injection pipeline. All methods
@@ -93,7 +108,8 @@ type Scheduler struct {
 	prepMu   sync.Mutex
 	prepared map[string]*prepEntry // extension digest → single-flight prepare
 
-	m metrics
+	m  metrics
+	tr *telemetry.TraceRecorder // nil when tracing is off
 }
 
 type prepEntry struct {
@@ -109,7 +125,8 @@ func New(cfg Config) *Scheduler {
 		jobSem:   make(chan struct{}, cfg.Workers),
 		nodeSem:  make(chan struct{}, cfg.FanOut),
 		prepared: make(map[string]*prepEntry),
-		m:        newMetrics(),
+		m:        newMetrics(cfg.Registry),
+		tr:       cfg.Tracer,
 	}
 }
 
@@ -133,8 +150,14 @@ func (s *Scheduler) Inject(req Request) (*Result, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 
+	// One trace ID per job: it labels the pipeline-stage spans recorded
+	// here and rides ctx into every target, QP, and endpoint the job
+	// touches.
+	trace := telemetry.NextTraceID()
+	ctx = telemetry.WithTraceID(ctx, trace)
+
 	start := time.Now()
-	res := &Result{}
+	res := &Result{Trace: trace}
 
 	// Queue: wait for a job slot.
 	select {
@@ -146,6 +169,7 @@ func (s *Scheduler) Inject(req Request) (*Result, error) {
 	defer func() { <-s.jobSem }()
 	res.Queue = time.Since(start)
 	s.m.spanQueue.RecordDuration(res.Queue)
+	s.tr.Span(trace, "pipeline", "queue", "", start, 0, nil)
 	s.m.jobs.Inc()
 
 	// Prepare: validate + JIT once per extension digest.
@@ -171,7 +195,7 @@ func (s *Scheduler) Inject(req Request) (*Result, error) {
 			var st Staged
 			o.Attempts, o.Err = s.withRetry(ctx, func() error {
 				var err error
-				st, err = tgt.Stage(req.Ext, req.Hook)
+				st, err = tgt.Stage(ctx, req.Ext, req.Hook)
 				return err
 			})
 			if o.Err == nil {
@@ -179,6 +203,14 @@ func (s *Scheduler) Inject(req Request) (*Result, error) {
 				o.Version = st.Version()
 				s.m.spanLink.RecordDuration(st.LinkDuration())
 				s.m.spanWrite.RecordDuration(st.WriteDuration())
+				if s.tr != nil {
+					// Approximate sub-spans: link leads the node's staging
+					// work, the batched write follows it.
+					s.tr.Record(telemetry.TraceEvent{Trace: trace, Layer: "pipeline", Name: "link",
+						Node: o.Node, Start: nodeStart, Dur: st.LinkDuration()})
+					s.tr.Record(telemetry.TraceEvent{Trace: trace, Layer: "pipeline", Name: "write",
+						Node: o.Node, Start: nodeStart.Add(st.LinkDuration()), Dur: st.WriteDuration()})
+				}
 			}
 			o.Latency = time.Since(nodeStart)
 		}(i, tgt)
@@ -232,7 +264,7 @@ func (s *Scheduler) finishJob(ctx context.Context, req Request, res *Result, sta
 				defer func() { <-s.nodeSem }()
 				pubStart := time.Now()
 				o := &res.Outcomes[i]
-				attempts, err := s.withRetry(ctx, staged[i].Publish)
+				attempts, err := s.withRetry(ctx, func() error { return staged[i].Publish(ctx) })
 				o.Attempts += attempts - 1
 				if err != nil {
 					o.Err = err
@@ -241,6 +273,7 @@ func (s *Scheduler) finishJob(ctx context.Context, req Request, res *Result, sta
 				}
 				o.Latency += time.Since(pubStart)
 				s.m.spanPublish.RecordDuration(time.Since(pubStart))
+				s.tr.Span(res.Trace, "pipeline", "publish", o.Node, pubStart, 0, err)
 			}(i)
 		}
 		wg.Wait()
@@ -308,17 +341,20 @@ func (s *Scheduler) prepare(ctx context.Context, e *ext.Extension, targets []Tar
 	s.prepMu.Unlock()
 
 	s.m.prepareMisses.Inc()
+	trace := telemetry.TraceIDFrom(ctx)
 	if s.cfg.Validate != nil {
 		t0 := time.Now()
 		ent.err = s.cfg.Validate(e)
 		res.Validate = time.Since(t0)
 		s.m.spanValidate.RecordDuration(res.Validate)
+		s.tr.Span(trace, "pipeline", "validate", "", t0, 0, ent.err)
 	}
 	if ent.err == nil && s.cfg.Compile != nil {
 		t0 := time.Now()
 		ent.err = s.cfg.Compile(e, targets)
 		res.Compile = time.Since(t0)
 		s.m.spanCompile.RecordDuration(res.Compile)
+		s.tr.Span(trace, "pipeline", "jit", "", t0, 0, ent.err)
 	}
 	if ent.err != nil {
 		// Drop the entry: the failure may be environmental, and keeping

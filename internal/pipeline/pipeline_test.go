@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -38,7 +39,7 @@ type fakeTarget struct {
 
 func (f *fakeTarget) NodeKey() string { return f.key }
 
-func (f *fakeTarget) Stage(e *ext.Extension, hook string) (Staged, error) {
+func (f *fakeTarget) Stage(ctx context.Context, e *ext.Extension, hook string) (Staged, error) {
 	if f.stageDelay > 0 {
 		time.Sleep(f.stageDelay)
 	}
@@ -61,7 +62,7 @@ type fakeStaged struct {
 	ver uint64
 }
 
-func (s *fakeStaged) Publish() error {
+func (s *fakeStaged) Publish(context.Context) error {
 	if s.t.publishErr != nil {
 		return s.t.publishErr
 	}
@@ -258,7 +259,7 @@ func TestQueueAdmissionRejectsOnDeadline(t *testing.T) {
 type blockingTarget struct{ ch chan struct{} }
 
 func (b blockingTarget) NodeKey() string { return "blocker" }
-func (b blockingTarget) Stage(*ext.Extension, string) (Staged, error) {
+func (b blockingTarget) Stage(context.Context, *ext.Extension, string) (Staged, error) {
 	<-b.ch
 	return nil, errors.New("unblocked")
 }
@@ -382,6 +383,79 @@ func TestPublishBarrierHooks(t *testing.T) {
 	}
 	if tgt.published != 1 {
 		t.Error("publish did not run between barriers")
+	}
+}
+
+// TestStatsConcurrentWithInject hammers Stats() while jobs are in flight.
+// Run with -race: the point is that snapshotting registry instruments is
+// safe against concurrent recording, and that every reader observes
+// monotonic counters (never a torn or reset value).
+func TestStatsConcurrentWithInject(t *testing.T) {
+	s := New(Config{Workers: 4})
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastJobs uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				if st.Jobs < lastJobs {
+					t.Errorf("Jobs went backwards: %d -> %d", lastJobs, st.Jobs)
+					return
+				}
+				lastJobs = st.Jobs
+				_ = st.String() // exercises percentile reads under recording
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 10; i++ {
+				tgt := &fakeTarget{key: fmt.Sprintf("n%d", w)}
+				if _, err := s.Inject(Request{Ext: constExt(int32(100 + w*10 + i)), Hook: "h", Targets: targetsOf(tgt)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if st := s.Stats(); st.Jobs != 40 || st.NodesInjected != 40 {
+		t.Errorf("final stats = jobs %d nodes %d, want 40/40", st.Jobs, st.NodesInjected)
+	}
+}
+
+// TestInjectAllocatesDistinctTraceIDs pins the Result.Trace contract: every
+// job gets a non-zero, unique trace ID whether or not a tracer is attached.
+func TestInjectAllocatesDistinctTraceIDs(t *testing.T) {
+	s := New(Config{})
+	seen := map[uint64]bool{}
+	for i := 0; i < 3; i++ {
+		res, err := s.Inject(Request{Ext: constExt(int32(200 + i)), Hook: "h", Targets: targetsOf(&fakeTarget{key: "n"})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == 0 {
+			t.Fatal("job got a zero trace ID")
+		}
+		if seen[uint64(res.Trace)] {
+			t.Fatalf("trace ID %d reused", res.Trace)
+		}
+		seen[uint64(res.Trace)] = true
 	}
 }
 

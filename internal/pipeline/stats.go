@@ -9,7 +9,9 @@ import (
 )
 
 // metrics is the scheduler's live instrumentation: counters for volume and
-// one histogram per pipeline stage.
+// one histogram per pipeline stage. Instruments are drawn by name from a
+// telemetry.Registry ("pipeline.*"), so a process-wide registry exports the
+// scheduler's activity alongside the wire layer's with no extra wiring.
 type metrics struct {
 	jobs          *telemetry.Counter
 	jobsFailed    *telemetry.Counter
@@ -30,24 +32,24 @@ type metrics struct {
 	spanTotal    *telemetry.Histogram
 }
 
-func newMetrics() metrics {
+func newMetrics(reg *telemetry.Registry) metrics {
 	return metrics{
-		jobs:          telemetry.NewCounter(),
-		jobsFailed:    telemetry.NewCounter(),
-		rejected:      telemetry.NewCounter(),
-		nodesInjected: telemetry.NewCounter(),
-		nodesFailed:   telemetry.NewCounter(),
-		retries:       telemetry.NewCounter(),
-		prepareHits:   telemetry.NewCounter(),
-		prepareMisses: telemetry.NewCounter(),
-		spanQueue:     telemetry.NewHistogram(),
-		spanValidate:  telemetry.NewHistogram(),
-		spanCompile:   telemetry.NewHistogram(),
-		spanLink:      telemetry.NewHistogram(),
-		spanWrite:     telemetry.NewHistogram(),
-		spanStage:     telemetry.NewHistogram(),
-		spanPublish:   telemetry.NewHistogram(),
-		spanTotal:     telemetry.NewHistogram(),
+		jobs:          reg.Counter("pipeline.jobs"),
+		jobsFailed:    reg.Counter("pipeline.jobs_failed"),
+		rejected:      reg.Counter("pipeline.rejected"),
+		nodesInjected: reg.Counter("pipeline.nodes_injected"),
+		nodesFailed:   reg.Counter("pipeline.nodes_failed"),
+		retries:       reg.Counter("pipeline.retries"),
+		prepareHits:   reg.Counter("pipeline.prepare_hits"),
+		prepareMisses: reg.Counter("pipeline.prepare_misses"),
+		spanQueue:     reg.Histogram("pipeline.span.queue"),
+		spanValidate:  reg.Histogram("pipeline.span.validate"),
+		spanCompile:   reg.Histogram("pipeline.span.jit"),
+		spanLink:      reg.Histogram("pipeline.span.link"),
+		spanWrite:     reg.Histogram("pipeline.span.write"),
+		spanStage:     reg.Histogram("pipeline.span.stage_fanout"),
+		spanPublish:   reg.Histogram("pipeline.span.publish"),
+		spanTotal:     reg.Histogram("pipeline.span.total"),
 	}
 }
 

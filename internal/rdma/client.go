@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rdx/internal/mem"
+	"rdx/internal/telemetry"
 )
 
 // Completion is the result of an asynchronously posted verb, delivered on
@@ -25,13 +26,20 @@ type Completion struct {
 // Verbs is the initiator-side verb surface shared by a raw QP and the
 // fault-tolerant ReconnQP wrapper, so higher layers (core.RemoteMemory,
 // CodeFlow) run unchanged over either.
+//
+// The surface is context-first: every data verb takes a ctx that bounds the
+// wait for its completion and carries the operation's trace ID
+// (telemetry.WithTraceID) down to the wire, where it is stamped into the
+// request header for the target endpoint to correlate. Both implementations
+// also provide ctx-free convenience wrappers (Read, Write, ...) for callers
+// with no deadline or trace to propagate.
 type Verbs interface {
-	Read(rkey uint32, addr mem.Addr, n int) ([]byte, error)
-	Write(rkey uint32, addr mem.Addr, data []byte) error
-	WriteImm(rkey uint32, addr mem.Addr, imm uint32, data []byte) error
-	WriteBatch(ops []BatchOp) error
-	CompareAndSwap(rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error)
-	FetchAdd(rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error)
+	ReadCtx(ctx context.Context, rkey uint32, addr mem.Addr, n int) ([]byte, error)
+	WriteCtx(ctx context.Context, rkey uint32, addr mem.Addr, data []byte) error
+	WriteImmCtx(ctx context.Context, rkey uint32, addr mem.Addr, imm uint32, data []byte) error
+	WriteBatchCtx(ctx context.Context, ops []BatchOp) error
+	CompareAndSwapCtx(ctx context.Context, rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error)
+	FetchAddCtx(ctx context.Context, rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error)
 	QueryMRs() ([]MR, error)
 	Close() error
 }
@@ -52,9 +60,47 @@ type QP struct {
 	tmo atomic.Int64
 
 	pendMu  sync.Mutex
-	pending map[uint64]chan Completion
+	pending map[uint64]*pendingVerb
 	err     error // sticky transport error
 	done    chan struct{}
+
+	// instr is the optional observability binding (metrics + tracer +
+	// node label), swappable at runtime so ReconnQP can instrument each
+	// generation while verbs are in flight on others.
+	instr atomic.Pointer[qpInstr]
+}
+
+// pendingVerb is one posted-but-uncompleted verb: its completion channel
+// plus what the completion path needs to account for it (opcode, post time,
+// payload size, and originating trace).
+type pendingVerb struct {
+	ch    chan Completion
+	op    uint8
+	bytes int // payload bytes carried by the verb (data out, or READ length)
+	start time.Time
+	trace telemetry.TraceID
+}
+
+// qpInstr bundles a QP's observability hooks so they swap atomically.
+type qpInstr struct {
+	m    *WireMetrics
+	tr   *telemetry.TraceRecorder
+	node string
+}
+
+// SetInstruments attaches verb metrics and a trace recorder to the QP; node
+// labels this QP's trace events (conventionally the target node's ID). Any
+// argument may be nil. Safe to call concurrently with verbs in flight.
+func (qp *QP) SetInstruments(m *WireMetrics, tr *telemetry.TraceRecorder, node string) {
+	qp.instr.Store(&qpInstr{m: m, tr: tr, node: node})
+}
+
+// instruments returns the current observability binding (nil-safe fields).
+func (qp *QP) instruments() qpInstr {
+	if i := qp.instr.Load(); i != nil {
+		return *i
+	}
+	return qpInstr{}
 }
 
 // NewQP wraps an established connection to an endpoint.
@@ -62,7 +108,7 @@ func NewQP(conn net.Conn) *QP {
 	qp := &QP{
 		conn:    conn,
 		bw:      bufio.NewWriterSize(conn, 64<<10),
-		pending: make(map[uint64]chan Completion),
+		pending: make(map[uint64]*pendingVerb),
 		done:    make(chan struct{}),
 	}
 	go qp.readLoop()
@@ -110,7 +156,7 @@ func (qp *QP) readLoop() {
 			return
 		}
 		qp.pendMu.Lock()
-		ch, ok := qp.pending[resp.id]
+		pv, ok := qp.pending[resp.id]
 		delete(qp.pending, resp.id)
 		qp.pendMu.Unlock()
 		if !ok {
@@ -122,18 +168,39 @@ func (qp *QP) readLoop() {
 		if c.Err == nil && len(resp.data) == 8 {
 			c.OldVal = binary.BigEndian.Uint64(resp.data)
 		}
-		ch <- c
+		qp.completed(pv, len(resp.data), c.Err)
+		pv.ch <- c
+	}
+}
+
+// completed accounts one finished verb: per-opcode count, completion
+// latency, inbound payload, and a wire-layer trace span.
+func (qp *QP) completed(pv *pendingVerb, bytesIn int, err error) {
+	in := qp.instruments()
+	in.m.verbDone(pv.op, time.Since(pv.start).Nanoseconds(), bytesIn, err)
+	if in.tr != nil {
+		bytes := pv.bytes
+		if pv.op == OpRead {
+			bytes = bytesIn
+		}
+		in.tr.Span(pv.trace, "wire", OpName(pv.op), in.node, pv.start, bytes, err)
 	}
 }
 
 func (qp *QP) failAll(err error) {
 	qp.pendMu.Lock()
 	qp.err = err
-	for id, ch := range qp.pending {
-		ch <- Completion{ID: id, Err: err}
+	drained := make([]*pendingVerb, 0, len(qp.pending))
+	for id, pv := range qp.pending {
+		pv.ch <- Completion{ID: id, Err: err}
 		delete(qp.pending, id)
+		drained = append(drained, pv)
 	}
 	qp.pendMu.Unlock()
+	// Account the failures outside pendMu; the entries are already drained.
+	for _, pv := range drained {
+		qp.completed(pv, 0, err)
+	}
 }
 
 // post sends a request and returns its id plus a channel that will receive
@@ -144,7 +211,12 @@ func (qp *QP) failAll(err error) {
 // inserting in separate sections lost completions: a verb registered after
 // the failAll drain blocked its caller forever.
 func (qp *QP) post(q request) (uint64, <-chan Completion, error) {
-	ch := make(chan Completion, 1)
+	pv := &pendingVerb{
+		ch:    make(chan Completion, 1),
+		op:    q.op,
+		bytes: q.payloadBytes(),
+		trace: telemetry.TraceID(q.trace),
+	}
 
 	qp.sendMu.Lock()
 	qp.nextID++
@@ -157,10 +229,12 @@ func (qp *QP) post(q request) (uint64, <-chan Completion, error) {
 		qp.sendMu.Unlock()
 		return 0, nil, fmt.Errorf("%w: %w", ErrUnposted, err)
 	}
-	qp.pending[q.id] = ch
+	pv.start = time.Now()
+	qp.pending[q.id] = pv
 	qp.pendMu.Unlock()
 
-	err := writeFrame(qp.bw, q.encode())
+	frame := q.encode()
+	err := writeFrame(qp.bw, frame)
 	if err == nil {
 		err = qp.bw.Flush()
 	}
@@ -172,15 +246,36 @@ func (qp *QP) post(q request) (uint64, <-chan Completion, error) {
 		qp.pendMu.Unlock()
 		return 0, nil, err
 	}
-	return q.id, ch, nil
+	qp.instruments().m.sent(len(frame))
+	return q.id, pv.ch, nil
 }
 
-// abandon removes a pending verb whose caller stopped waiting; a completion
-// arriving later is dropped by readLoop as stale.
-func (qp *QP) abandon(id uint64) {
+// payloadBytes is the data volume a verb moves: outbound payload for writes
+// and batches, the requested length for READ.
+func (q *request) payloadBytes() int {
+	switch q.op {
+	case OpRead:
+		return int(q.len)
+	case OpBatch:
+		n := 0
+		for i := range q.subs {
+			n += len(q.subs[i].data)
+		}
+		return n
+	default:
+		return len(q.data)
+	}
+}
+
+// abandon removes a pending verb whose caller stopped waiting, returning the
+// entry if this call won the race against readLoop (nil otherwise); a
+// completion arriving later is dropped by readLoop as stale.
+func (qp *QP) abandon(id uint64) *pendingVerb {
 	qp.pendMu.Lock()
+	pv := qp.pending[id]
 	delete(qp.pending, id)
 	qp.pendMu.Unlock()
+	return pv
 }
 
 // wait blocks for the completion of posted verb id, bounded by ctx and the
@@ -201,8 +296,9 @@ func (qp *QP) wait(ctx context.Context, id uint64, ch <-chan Completion) (Comple
 	case <-timeout:
 	case <-ctx.Done():
 	}
-	qp.abandon(id)
+	pv := qp.abandon(id)
 	// The completion may have raced the deadline; prefer it if present.
+	// (readLoop accounts a raced completion itself — pv is nil then.)
 	select {
 	case c := <-ch:
 		return c, c.Err
@@ -212,6 +308,13 @@ func (qp *QP) wait(ctx context.Context, id uint64, ch <-chan Completion) (Comple
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		err = fmt.Errorf("%w: %w", ErrTimeout, ctxErr)
 	}
+	if pv != nil {
+		in := qp.instruments()
+		in.m.timedOut()
+		if in.tr != nil {
+			in.tr.Span(pv.trace, "wire", OpName(pv.op), in.node, pv.start, pv.bytes, err)
+		}
+	}
 	return Completion{ID: id, Err: err}, err
 }
 
@@ -220,8 +323,10 @@ func (qp *QP) call(q request) (Completion, error) {
 }
 
 // callCtx posts one verb and waits for its completion under ctx plus the
-// QP's default deadline.
+// QP's default deadline. The ctx's trace ID (if any) is stamped into the
+// request header so the target endpoint can correlate its service events.
 func (qp *QP) callCtx(ctx context.Context, q request) (Completion, error) {
+	q.trace = uint64(telemetry.TraceIDFrom(ctx))
 	id, ch, err := qp.post(q)
 	if err != nil {
 		return Completion{}, err
@@ -303,11 +408,11 @@ type BatchOp struct {
 // the sub-verbs in order, charges the latency model once for the coalesced
 // payload, and returns a single completion for the chain.
 func (qp *QP) PostBatch(ops []BatchOp) (<-chan Completion, error) {
-	_, ch, err := qp.postBatch(ops)
+	_, ch, err := qp.postBatch(context.Background(), ops)
 	return ch, err
 }
 
-func (qp *QP) postBatch(ops []BatchOp) (uint64, <-chan Completion, error) {
+func (qp *QP) postBatch(ctx context.Context, ops []BatchOp) (uint64, <-chan Completion, error) {
 	if len(ops) == 0 {
 		return 0, nil, fmt.Errorf("rdma: empty batch")
 	}
@@ -330,7 +435,7 @@ func (qp *QP) postBatch(ops []BatchOp) (uint64, <-chan Completion, error) {
 	if size > MaxFrame-64 {
 		return 0, nil, fmt.Errorf("rdma: batch payload %d exceeds frame budget; split first", size)
 	}
-	return qp.post(request{op: OpBatch, subs: subs})
+	return qp.post(request{op: OpBatch, trace: uint64(telemetry.TraceIDFrom(ctx)), subs: subs})
 }
 
 // WriteBatch coalesces ops into OpBatch frames of at most batchBudget
@@ -355,7 +460,7 @@ func (qp *QP) WriteBatchCtx(ctx context.Context, ops []BatchOp) error {
 		if end == start {
 			return nil
 		}
-		id, ch, err := qp.postBatch(ops[start:end])
+		id, ch, err := qp.postBatch(ctx, ops[start:end])
 		if err != nil {
 			return err
 		}
@@ -442,7 +547,12 @@ func (qp *QP) FetchAddCtx(ctx context.Context, rkey uint32, addr mem.Addr, delta
 // endpoint's doorbell handlers fire with imm. RDX uses this for
 // rdx_cc_event cacheline flushes.
 func (qp *QP) WriteImm(rkey uint32, addr mem.Addr, imm uint32, data []byte) error {
-	_, err := qp.call(request{op: OpWriteImm, rkey: rkey, addr: addr, imm: imm, data: data})
+	return qp.WriteImmCtx(context.Background(), rkey, addr, imm, data)
+}
+
+// WriteImmCtx is WriteImm bounded by ctx (in addition to the QP deadline).
+func (qp *QP) WriteImmCtx(ctx context.Context, rkey uint32, addr mem.Addr, imm uint32, data []byte) error {
+	_, err := qp.callCtx(ctx, request{op: OpWriteImm, rkey: rkey, addr: addr, imm: imm, data: data})
 	return err
 }
 

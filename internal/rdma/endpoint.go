@@ -8,11 +8,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rdx/internal/mem"
+	"rdx/internal/telemetry"
 )
 
 // Perm is a memory-region permission bitmask, mirroring ibv access flags.
@@ -61,8 +64,27 @@ type Endpoint struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
+	// instr is the optional observability binding; see SetInstruments.
+	instr atomic.Pointer[qpInstr]
+
 	// Logf, if set, receives protocol-level errors. Defaults to log.Printf.
 	Logf func(format string, args ...interface{})
+}
+
+// SetInstruments attaches served-verb metrics and a trace recorder to the
+// endpoint; node labels this endpoint's trace events (its node ID). Served
+// verbs carrying a wire trace ID are recorded as "endpoint"-layer spans, so
+// an initiator's trace shows both sides of each verb. Any argument may be
+// nil. Safe to call concurrently with connections being served.
+func (e *Endpoint) SetInstruments(m *WireMetrics, tr *telemetry.TraceRecorder, node string) {
+	e.instr.Store(&qpInstr{m: m, tr: tr, node: node})
+}
+
+func (e *Endpoint) instruments() qpInstr {
+	if i := e.instr.Load(); i != nil {
+		return *i
+	}
+	return qpInstr{}
 }
 
 type doorbellReg struct {
@@ -254,9 +276,25 @@ func (e *Endpoint) handle(q *request) response {
 	if q.op == OpRead {
 		size = int(q.len)
 	}
+	start := time.Now()
 	e.latency.Wait(size)
 	st, data := e.exec(q)
+	e.observe(q, st, len(q.data), len(data), size, start)
 	return response{id: q.id, status: st, data: data}
+}
+
+// observe accounts one served verb and, when the request carries a trace
+// ID, records the service span under the initiator's trace.
+func (e *Endpoint) observe(q *request, st uint8, in, out, traceBytes int, start time.Time) {
+	ins := e.instruments()
+	if ins.m == nil && ins.tr == nil {
+		return
+	}
+	err := statusErr(st)
+	ins.m.served(q.op, time.Since(start).Nanoseconds(), in, out, err)
+	if ins.tr != nil {
+		ins.tr.Span(telemetry.TraceID(q.trace), "endpoint", OpName(q.op), ins.node, start, traceBytes, err)
+	}
 }
 
 // handleBatch executes an OpBatch chain: the latency model is charged ONCE
@@ -268,6 +306,7 @@ func (e *Endpoint) handleBatch(q *request) response {
 	for i := range q.subs {
 		total += len(q.subs[i].data)
 	}
+	start := time.Now()
 	e.latency.Wait(total)
 	statuses := make([]byte, len(q.subs))
 	overall := StatusOK
@@ -282,6 +321,7 @@ func (e *Endpoint) handleBatch(q *request) response {
 			overall = st
 		}
 	}
+	e.observe(q, overall, total, len(statuses), total, start)
 	return response{id: q.id, status: overall, data: statuses}
 }
 
@@ -380,6 +420,7 @@ func (e *Endpoint) fireDoorbells(imm uint32, addr mem.Addr, data []byte) {
 			hit = d.addr-addr < n
 		}
 		if hit {
+			e.instruments().m.doorbellFired()
 			d.fn(imm, addr, data)
 		}
 	}
@@ -437,12 +478,26 @@ func decodeMRTable(b []byte) ([]MR, error) {
 }
 
 // LatencyModel injects per-operation fabric latency: a fixed base cost plus
-// a bandwidth term. Waits below a millisecond spin (OS sleep granularity is
-// far coarser than the microsecond scale being modeled); longer waits sleep.
+// a bandwidth term. Waits sleep for the bulk of the duration and spin only
+// a short tail (yielding to the scheduler each iteration), so microsecond
+// fidelity survives OS sleep granularity without burning a host core per
+// endpoint goroutine.
 type LatencyModel struct {
 	Base        time.Duration // per-operation cost (propagation + RNIC processing)
 	BytesPerSec float64       // link bandwidth; 0 disables the size term
+
+	// SpinTail bounds the busy-wait portion of Wait: the wait sleeps until
+	// SpinTail remains, then spins (with runtime.Gosched) to the deadline.
+	// Zero selects DefaultSpinTail; negative disables spinning entirely
+	// (pure sleep, coarser but cheapest — right for latency-insensitive
+	// tests and high-fan-out fleets).
+	SpinTail time.Duration
 }
+
+// DefaultSpinTail is the spin budget used when SpinTail is zero: long
+// enough to absorb typical timer overshoot, short enough that an endpoint
+// goroutine spends most of a modeled microsecond-scale wait parked.
+const DefaultSpinTail = 50 * time.Microsecond
 
 // DefaultLatency approximates a CX-4-class RNIC on a 25 Gb/s rack fabric:
 // ~1.8 µs per small verb, ~3.1 GB/s of payload bandwidth.
@@ -462,19 +517,29 @@ func (m *LatencyModel) Duration(n int) time.Duration {
 	return d
 }
 
-// Wait blocks for the modeled latency of an n-byte operation. Short waits
-// spin (OS sleep granularity would quantize microsecond verbs); bulk
-// transfers sleep so a simulated fabric doesn't burn host CPU.
+// Wait blocks for the modeled latency of an n-byte operation: sleep for all
+// but the spin tail, then yield-spin to the deadline. The old behavior —
+// hard-spinning every wait under 300µs — burned one host core per in-flight
+// verb and starved co-scheduled goroutines under -race; the Gosched in the
+// tail keeps the runtime scheduler fed even when every worker is waiting.
 func (m *LatencyModel) Wait(n int) {
 	d := m.Duration(n)
 	if d <= 0 {
 		return
 	}
-	if d >= 300*time.Microsecond {
+	end := time.Now().Add(d)
+	tail := m.SpinTail
+	if tail == 0 {
+		tail = DefaultSpinTail
+	}
+	if tail < 0 {
 		time.Sleep(d)
 		return
 	}
-	end := time.Now().Add(d)
+	if d > tail {
+		time.Sleep(d - tail)
+	}
 	for time.Now().Before(end) {
+		runtime.Gosched()
 	}
 }

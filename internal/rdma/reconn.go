@@ -1,6 +1,7 @@
 package rdma
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"rdx/internal/mem"
+	"rdx/internal/telemetry"
 )
 
 // ReconnConfig shapes a ReconnQP.
@@ -33,6 +35,19 @@ type ReconnConfig struct {
 
 	// Logf, if set, receives reconnect-path diagnostics.
 	Logf func(format string, args ...interface{})
+
+	// Metrics, if set, is installed on EVERY QP generation, so verb counts
+	// and latency histograms accumulate seamlessly across reconnects (the
+	// instruments are registry-owned; a fresh generation never resets
+	// them). The wrapper itself feeds the reconnects and replays counters.
+	Metrics *WireMetrics
+
+	// Tracer, if set, is installed on every QP generation so wire-level
+	// spans keep flowing after a redial.
+	Tracer *telemetry.TraceRecorder
+
+	// Node labels this connection's trace events (the target node's ID).
+	Node string
 }
 
 func (c *ReconnConfig) fillDefaults() {
@@ -121,6 +136,7 @@ func (r *ReconnQP) connectLocked() error {
 	}
 	qp := NewQP(conn)
 	qp.SetTimeout(r.cfg.VerbTimeout)
+	qp.SetInstruments(r.cfg.Metrics, r.cfg.Tracer, r.cfg.Node)
 	mrs, err := qp.QueryMRs()
 	if err != nil {
 		qp.Close()
@@ -158,6 +174,20 @@ func (r *ReconnQP) adoptLocked(name string, rkey uint32) uint32 {
 
 // Generation reports how many connections have been established; it starts
 // at 1 and grows by one per successful redial.
+// SetInstruments attaches wire metrics, a trace recorder, and a node label
+// to this connection — the live QP immediately, and every future generation
+// via the stored config — mirroring (*QP).SetInstruments so callers can
+// instrument either issuer uniformly after construction.
+func (r *ReconnQP) SetInstruments(m *WireMetrics, tr *telemetry.TraceRecorder, node string) {
+	r.mu.Lock()
+	r.cfg.Metrics, r.cfg.Tracer, r.cfg.Node = m, tr, node
+	qp := r.qp
+	r.mu.Unlock()
+	if qp != nil {
+		qp.SetInstruments(m, tr, node)
+	}
+}
+
 func (r *ReconnQP) Generation() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -176,6 +206,7 @@ func (r *ReconnQP) acquire() (*QP, uint64, error) {
 		if err := r.connectLocked(); err != nil {
 			return nil, 0, err
 		}
+		r.cfg.Metrics.reconnected()
 		r.cfg.Logf("rdma: reconnected (generation %d)", r.gen)
 	}
 	return r.qp, r.gen, nil
@@ -217,19 +248,32 @@ func (r *ReconnQP) resolver() func(uint32) uint32 {
 // do drives one verb with redial-and-replay. idempotent marks verbs safe to
 // replay even if a previous attempt executed remotely.
 func (r *ReconnQP) do(idempotent bool, op func(qp *QP, rkey func(uint32) uint32) error) error {
+	return r.doCtx(context.Background(), idempotent, op)
+}
+
+// doCtx is do bounded by ctx: a cancellation fires during the redial
+// backoff sleeps (the verb itself honors ctx through the QP wait path).
+func (r *ReconnQP) doCtx(ctx context.Context, idempotent bool, op func(qp *QP, rkey func(uint32) uint32) error) error {
 	backoff := r.cfg.RedialBackoff
 	for attempt := 0; ; attempt++ {
 		qp, gen, err := r.acquire()
 		if err == nil {
+			posted := false
 			err = op(qp, r.resolver())
 			if err == nil || !IsTransportErr(err) {
 				return err
 			}
+			posted = !errors.Is(err, ErrUnposted)
 			r.invalidate(gen, qp)
-			if !idempotent && !errors.Is(err, ErrUnposted) {
+			if !idempotent && posted {
 				// The verb reached the wire but its completion was lost:
 				// the atomic may or may not have executed. Never replay.
 				return fmt.Errorf("%w: %v", ErrUncertain, err)
+			}
+			// A verb that reached the wire and will run again on a fresh
+			// connection is a replay; refused posts are plain retries.
+			if posted && attempt < r.cfg.MaxRedials {
+				r.cfg.Metrics.replayed()
 			}
 		} else if errors.Is(err, ErrClosed) && r.isClosed() {
 			return err
@@ -238,7 +282,11 @@ func (r *ReconnQP) do(idempotent bool, op func(qp *QP, rkey func(uint32) uint32)
 			return err
 		}
 		r.cfg.Logf("rdma: transport failure (attempt %d/%d): %v", attempt+1, r.cfg.MaxRedials+1, err)
-		time.Sleep(backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %w", ErrTimeout, ctx.Err())
+		}
 		backoff *= 2
 	}
 }
@@ -249,66 +297,96 @@ func (r *ReconnQP) isClosed() bool {
 	return r.closed
 }
 
-// Read implements Verbs with transparent redial and replay.
-func (r *ReconnQP) Read(rkey uint32, addr mem.Addr, n int) ([]byte, error) {
+// ReadCtx implements Verbs with transparent redial and replay.
+func (r *ReconnQP) ReadCtx(ctx context.Context, rkey uint32, addr mem.Addr, n int) ([]byte, error) {
 	var out []byte
-	err := r.do(true, func(qp *QP, rk func(uint32) uint32) error {
+	err := r.doCtx(ctx, true, func(qp *QP, rk func(uint32) uint32) error {
 		var err error
-		out, err = qp.Read(rk(rkey), addr, n)
+		out, err = qp.ReadCtx(ctx, rk(rkey), addr, n)
 		return err
 	})
 	return out, err
 }
 
-// Write implements Verbs with transparent redial and replay.
+// Read is ReadCtx without a bounding context.
+func (r *ReconnQP) Read(rkey uint32, addr mem.Addr, n int) ([]byte, error) {
+	return r.ReadCtx(context.Background(), rkey, addr, n)
+}
+
+// WriteCtx implements Verbs with transparent redial and replay.
+func (r *ReconnQP) WriteCtx(ctx context.Context, rkey uint32, addr mem.Addr, data []byte) error {
+	return r.doCtx(ctx, true, func(qp *QP, rk func(uint32) uint32) error {
+		return qp.WriteCtx(ctx, rk(rkey), addr, data)
+	})
+}
+
+// Write is WriteCtx without a bounding context.
 func (r *ReconnQP) Write(rkey uint32, addr mem.Addr, data []byte) error {
-	return r.do(true, func(qp *QP, rk func(uint32) uint32) error {
-		return qp.Write(rk(rkey), addr, data)
-	})
+	return r.WriteCtx(context.Background(), rkey, addr, data)
 }
 
-// WriteImm implements Verbs with transparent redial and replay; a replay
+// WriteImmCtx implements Verbs with transparent redial and replay; a replay
 // re-fires the doorbell.
-func (r *ReconnQP) WriteImm(rkey uint32, addr mem.Addr, imm uint32, data []byte) error {
-	return r.do(true, func(qp *QP, rk func(uint32) uint32) error {
-		return qp.WriteImm(rk(rkey), addr, imm, data)
+func (r *ReconnQP) WriteImmCtx(ctx context.Context, rkey uint32, addr mem.Addr, imm uint32, data []byte) error {
+	return r.doCtx(ctx, true, func(qp *QP, rk func(uint32) uint32) error {
+		return qp.WriteImmCtx(ctx, rk(rkey), addr, imm, data)
 	})
 }
 
-// WriteBatch implements Verbs: on transport failure the WHOLE batch is
+// WriteImm is WriteImmCtx without a bounding context.
+func (r *ReconnQP) WriteImm(rkey uint32, addr mem.Addr, imm uint32, data []byte) error {
+	return r.WriteImmCtx(context.Background(), rkey, addr, imm, data)
+}
+
+// WriteBatchCtx implements Verbs: on transport failure the WHOLE batch is
 // replayed on the fresh connection (all sub-verbs are plain writes, so the
 // replay converges to the same memory image regardless of how far the dead
 // connection got).
-func (r *ReconnQP) WriteBatch(ops []BatchOp) error {
-	return r.do(true, func(qp *QP, rk func(uint32) uint32) error {
+func (r *ReconnQP) WriteBatchCtx(ctx context.Context, ops []BatchOp) error {
+	return r.doCtx(ctx, true, func(qp *QP, rk func(uint32) uint32) error {
 		translated := make([]BatchOp, len(ops))
 		for i, op := range ops {
 			op.RKey = rk(op.RKey)
 			translated[i] = op
 		}
-		return qp.WriteBatch(translated)
+		return qp.WriteBatchCtx(ctx, translated)
 	})
 }
 
-// CompareAndSwap implements Verbs. It is replayed only when provably
+// WriteBatch is WriteBatchCtx without a bounding context.
+func (r *ReconnQP) WriteBatch(ops []BatchOp) error {
+	return r.WriteBatchCtx(context.Background(), ops)
+}
+
+// CompareAndSwapCtx implements Verbs. It is replayed only when provably
 // unexecuted; a completion lost after posting surfaces as ErrUncertain.
-func (r *ReconnQP) CompareAndSwap(rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error) {
-	err = r.do(false, func(qp *QP, rk func(uint32) uint32) error {
+func (r *ReconnQP) CompareAndSwapCtx(ctx context.Context, rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error) {
+	err = r.doCtx(ctx, false, func(qp *QP, rk func(uint32) uint32) error {
 		var err error
-		prev, err = qp.CompareAndSwap(rk(rkey), addr, old, new)
+		prev, err = qp.CompareAndSwapCtx(ctx, rk(rkey), addr, old, new)
 		return err
 	})
 	return prev, err
 }
 
-// FetchAdd implements Verbs. Same replay rules as CompareAndSwap.
-func (r *ReconnQP) FetchAdd(rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error) {
-	err = r.do(false, func(qp *QP, rk func(uint32) uint32) error {
+// CompareAndSwap is CompareAndSwapCtx without a bounding context.
+func (r *ReconnQP) CompareAndSwap(rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error) {
+	return r.CompareAndSwapCtx(context.Background(), rkey, addr, old, new)
+}
+
+// FetchAddCtx implements Verbs. Same replay rules as CompareAndSwapCtx.
+func (r *ReconnQP) FetchAddCtx(ctx context.Context, rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error) {
+	err = r.doCtx(ctx, false, func(qp *QP, rk func(uint32) uint32) error {
 		var err error
-		prev, err = qp.FetchAdd(rk(rkey), addr, delta)
+		prev, err = qp.FetchAddCtx(ctx, rk(rkey), addr, delta)
 		return err
 	})
 	return prev, err
+}
+
+// FetchAdd is FetchAddCtx without a bounding context.
+func (r *ReconnQP) FetchAdd(rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error) {
+	return r.FetchAddCtx(context.Background(), rkey, addr, delta)
 }
 
 // QueryMRs implements Verbs. The returned table carries each region's

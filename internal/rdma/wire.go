@@ -12,9 +12,11 @@
 // Protocol. Every message is a frame: a 4-byte big-endian payload length
 // followed by the payload. Request payloads are
 //
-//	[1B opcode][8B request id][opcode-specific body]
+//	[1B opcode][8B request id][8B trace id][opcode-specific body]
 //
-// and responses are
+// (the trace id — zero when untraced — lets the target endpoint tag its
+// service-side events with the initiator's trace, so one injection can be
+// followed across machines) and responses are
 //
 //	[1B OpResp][8B request id][1B status][response body]
 //
@@ -145,10 +147,14 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// reqHdr is the fixed request header: opcode, request id, trace id.
+const reqHdr = 1 + 8 + 8
+
 // request is a decoded verb request.
 type request struct {
 	op    uint8
 	id    uint64
+	trace uint64 // originating trace id; 0 = untraced
 	rkey  uint32
 	addr  uint64
 	len   uint32 // OpRead
@@ -235,20 +241,21 @@ func (q *request) encode() []byte {
 	var b []byte
 	switch q.op {
 	case OpRead:
-		b = make([]byte, 0, 9+16)
+		b = make([]byte, 0, reqHdr+16)
 	case OpWrite, OpWriteImm:
-		b = make([]byte, 0, 9+20+len(q.data))
+		b = make([]byte, 0, reqHdr+20+len(q.data))
 	case OpBatch:
-		size := 9 + 2
+		size := reqHdr + 2
 		for i := range q.subs {
 			size += 21 + len(q.subs[i].data)
 		}
 		b = make([]byte, 0, size)
 	default:
-		b = make([]byte, 0, 9+28)
+		b = make([]byte, 0, reqHdr+28)
 	}
 	b = append(b, q.op)
 	b = binary.BigEndian.AppendUint64(b, q.id)
+	b = binary.BigEndian.AppendUint64(b, q.trace)
 	if q.op == OpBatch {
 		return q.encodeBatch(b)
 	}
@@ -273,12 +280,13 @@ func (q *request) encode() []byte {
 
 func decodeRequest(p []byte) (request, error) {
 	var q request
-	if len(p) < 9 {
+	if len(p) < reqHdr {
 		return q, fmt.Errorf("rdma: short request (%d bytes)", len(p))
 	}
 	q.op = p[0]
 	q.id = binary.BigEndian.Uint64(p[1:9])
-	body := p[9:]
+	q.trace = binary.BigEndian.Uint64(p[9:17])
+	body := p[reqHdr:]
 	if q.op == OpQueryMRs {
 		return q, nil
 	}

@@ -11,6 +11,7 @@ package telemetry
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -49,7 +50,7 @@ func bucketIndex(v int64) int {
 	if v < subSize {
 		return int(v) // exact buckets for tiny values
 	}
-	exp := 63 - leadingZeros64(uint64(v))
+	exp := 63 - bits.LeadingZeros64(uint64(v))
 	// Position of the subBits bits immediately below the leading bit.
 	sub := int((uint64(v) >> (uint(exp) - subBits)) & (subSize - 1))
 	idx := exp*subSize + sub
@@ -70,18 +71,6 @@ func bucketValue(i int) int64 {
 	lo := (int64(1) << uint(exp)) | (int64(sub) << uint(exp-subBits))
 	hi := lo + (int64(1) << uint(exp-subBits))
 	return (lo + hi) / 2
-}
-
-func leadingZeros64(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
 }
 
 // Record adds one observation. Negative values are clamped to zero.
@@ -147,7 +136,10 @@ func (h *Histogram) Max() int64 {
 }
 
 // Percentile returns the value at quantile p in [0,100], approximated to
-// bucket resolution. Returns 0 for an empty histogram.
+// bucket resolution. The result is clamped to [Min, Max]: a bucket midpoint
+// can overshoot the largest recorded value (or undershoot the smallest), and
+// an unclamped return printed summaries with p99 > max. Returns 0 for an
+// empty histogram.
 func (h *Histogram) Percentile(p float64) int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -168,10 +160,21 @@ func (h *Histogram) Percentile(p float64) int64 {
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= rank {
-			return bucketValue(i)
+			return h.clampLocked(bucketValue(i))
 		}
 	}
 	return h.max
+}
+
+// clampLocked bounds a bucket-midpoint estimate by the recorded extremes.
+func (h *Histogram) clampLocked(v int64) int64 {
+	if v > h.max {
+		return h.max
+	}
+	if v < h.min {
+		return h.min
+	}
+	return v
 }
 
 // Median is shorthand for Percentile(50).

@@ -128,6 +128,53 @@ func quickSort(s []int64) {
 	quickSort(s[l:])
 }
 
+func TestHistogramPercentileClampedToRecordedRange(t *testing.T) {
+	// Regression: a bucket midpoint can exceed the largest recorded value.
+	// 1<<20 sits exactly on a bucket's lower edge, so its midpoint is
+	// 1<<20 + 1<<(20-subBits-1) — an unclamped Percentile reported
+	// p99 > Max, an impossible summary.
+	h := NewHistogram()
+	h.Record(1 << 20)
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		if got, max := h.Percentile(p), h.Max(); got > max {
+			t.Errorf("p%v = %d > max %d", p, got, max)
+		}
+	}
+
+	// The symmetric undershoot: every recorded value sits on a bucket's
+	// upper edge, so the midpoint lands below Min.
+	lo := NewHistogram()
+	edge := int64(1<<20) + (1 << (20 - subBits)) - 1 // top of the first sub-bucket
+	lo.Record(edge)
+	for _, p := range []float64{1, 50, 99} {
+		if got, min := lo.Percentile(p), lo.Min(); got < min {
+			t.Errorf("p%v = %d < min %d", p, got, min)
+		}
+	}
+
+	// Mixed adversarial set: percentiles must stay inside [min, max].
+	m := NewHistogram()
+	for _, v := range []int64{1 << 10, 1 << 20, (1 << 30) + 1} {
+		m.Record(v)
+	}
+	for p := 0.0; p <= 100; p += 0.5 {
+		got := m.Percentile(p)
+		if got < m.Min() || got > m.Max() {
+			t.Fatalf("p%v = %d outside [%d, %d]", p, got, m.Min(), m.Max())
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Mix magnitudes so the bucket math (the part the hot path pays
+		// for) is exercised, not just the lock.
+		h.Record(int64(i)<<7 + 3)
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	a, b := NewHistogram(), NewHistogram()
 	a.Record(100)
