@@ -5,8 +5,8 @@
 //
 //	rdxbench [-quick] [experiment ...]
 //
-// Experiments: fig2a fig2b fig2c fig4a fig4b fig5 redis mesh pipeline all
-// (default: all). -quick shrinks sizes and durations.
+// Experiments: fig2a fig2b fig2c fig4a fig4b fig5 redis mesh pipeline cache
+// all (default: all). -quick shrinks sizes and durations.
 package main
 
 import (
@@ -33,6 +33,7 @@ var registry = []struct {
 	{"redis", "KV throughput under extension churn (§6)", single(experiments.Redis)},
 	{"mesh", "microservice completion under Wasm churn (§6)", single(experiments.Mesh)},
 	{"pipeline", "fleet rollout: sequential vs batched scheduler", experiments.PipelineWithStats},
+	{"cache", "artifact cache warm path + delta vs full injection", experiments.Cache},
 }
 
 // single adapts a one-table experiment to the registry signature.

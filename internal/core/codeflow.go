@@ -42,6 +42,18 @@ type CodeFlow struct {
 	// commit-only transaction (the paper's repeated-deploy fast path and
 	// the mechanism behind µs-scale rollback/hot-patching).
 	resident map[string]residentBlob
+	// slots double-buffers blobs per hook for delta injection (slots.go);
+	// dispatch shadows each hook's currently dispatched blob so a standby
+	// is never delta-overwritten while live on another hook.
+	slots    map[string]*hookSlots
+	dispatch map[string]uint64
+
+	// pubMu serializes publish transactions on this node: the dispatch CAS
+	// and the shadow bookkeeping (slots/dispatch/version map) must land in
+	// the same order, or a concurrent publish pair could leave the shadow
+	// believing a blob is dead while the node still dispatches it — and a
+	// later delta would overwrite live code.
+	pubMu sync.Mutex
 }
 
 type residentBlob struct {
@@ -54,6 +66,7 @@ type Deployed struct {
 	Blob    uint64
 	Version uint64
 	Name    string
+	Digest  string // content digest of the extension IR, "" when unknown
 }
 
 // CreateCodeFlow is rdx_create_codeflow: bind a handle to a remote node.
@@ -119,6 +132,8 @@ func (cp *ControlPlane) CreateCodeFlowQP(qp rdma.Verbs) (*CodeFlow, error) {
 		history:    map[string][]Deployed{},
 		resident:   map[string]residentBlob{},
 		codeHashes: map[uint64]string{},
+		slots:      map[string]*hookSlots{},
+		dispatch:   map[string]uint64{},
 	}, nil
 }
 
@@ -185,9 +200,11 @@ func (cf *CodeFlow) allocCode(rem *RemoteMemory, size int) (uint64, error) {
 		}
 		// The wrap may reclaim space under previously deployed blobs:
 		// forget them so the redeploy fast path never flips a hook to
-		// potentially overwritten code.
+		// potentially overwritten code, and drop the slot shadows so delta
+		// staging never diffs against a possibly-reclaimed standby.
 		cf.mu.Lock()
 		cf.resident = map[string]residentBlob{}
+		cf.slots = map[string]*hookSlots{}
 		cf.mu.Unlock()
 	}
 }
@@ -308,6 +325,10 @@ type DeployParams struct {
 	Kind     uint8
 	MemBase  uint64
 	GlobBase uint64
+	// Digest is the extension IR's content digest; when set, the publish
+	// is recorded in the resident index and the control plane's
+	// deployed-version map.
+	Digest string
 }
 
 // DeployProg is rdx_deploy_prog: push a fully linked binary into the node's
@@ -343,6 +364,8 @@ func (cf *CodeFlow) DeployProg(bin *native.Binary, hook string, p DeployParams) 
 	cf.codeHashes[blob] = hex.EncodeToString(codeSum[:])
 	cf.mu.Unlock()
 
+	cf.pubMu.Lock()
+	defer cf.pubMu.Unlock()
 	if err := cf.Tx(
 		[]TxWrite{
 			{Addr: hookAddr + node.HookOffStaged, Qword: blob},
@@ -355,10 +378,14 @@ func (cf *CodeFlow) DeployProg(bin *native.Binary, hook string, p DeployParams) 
 	// Expose the flipped pointer to a possibly-stale CPU cache.
 	cf.CCEvent(hookAddr + node.HookOffDispatch)
 
-	d := Deployed{Blob: blob, Version: version, Name: bin.Name}
-	cf.mu.Lock()
-	cf.history[hook] = append(cf.history[hook], d)
-	cf.mu.Unlock()
+	d := Deployed{Blob: blob, Version: version, Name: bin.Name, Digest: p.Digest}
+	cf.installPublished(hook, &slotImage{
+		blob:   blob,
+		cap:    (uint64(len(payload)) + 7) &^ 7,
+		image:  payload,
+		digest: p.Digest,
+		kind:   p.Kind,
+	}, d)
 	return d, nil
 }
 
@@ -534,6 +561,8 @@ func (cf *CodeFlow) Rollback(hook string) (Deployed, error) {
 	if err != nil {
 		return Deployed{}, err
 	}
+	cf.pubMu.Lock()
+	defer cf.pubMu.Unlock()
 	if err := cf.Tx(
 		[]TxWrite{{Addr: hookAddr + node.HookOffVersion, Qword: prev.Version}},
 		QwordSwap{Addr: hookAddr + node.HookOffDispatch, New: prev.Blob},
@@ -541,6 +570,13 @@ func (cf *CodeFlow) Rollback(hook string) (Deployed, error) {
 		return Deployed{}, err
 	}
 	cf.CCEvent(hookAddr + node.HookOffDispatch)
+	cf.mu.Lock()
+	cf.switchDispatch(hook, prev.Blob)
+	cf.mu.Unlock()
+	// Rolling back intentionally regresses the version: force the
+	// deployed-version map past its last-writer-wins guard.
+	cf.cp.recordDeployed(cf.NodeKey(), hook,
+		DeployedVersion{Digest: prev.Digest, Version: prev.Version, Blob: prev.Blob}, true)
 	return prev, nil
 }
 
@@ -573,10 +609,12 @@ func (cf *CodeFlow) InjectExtension(e *ext.Extension, hook string) (Report, erro
 			return rep, err
 		}
 		t0 := time.Now()
+		cf.pubMu.Lock()
 		if err := cf.Tx(
 			[]TxWrite{{Addr: hookAddr + node.HookOffVersion, Qword: version}},
 			QwordSwap{Addr: hookAddr + node.HookOffDispatch, New: res.blob},
 		); err != nil {
+			cf.pubMu.Unlock()
 			return rep, err
 		}
 		cf.CCEvent(hookAddr + node.HookOffDispatch)
@@ -586,16 +624,17 @@ func (cf *CodeFlow) InjectExtension(e *ext.Extension, hook string) (Report, erro
 		rep.Blob = res.blob
 		rep.Total = time.Since(start)
 		cf.mu.Lock()
-		cf.history[hook] = append(cf.history[hook], Deployed{Blob: res.blob, Version: version, Name: e.Name()})
+		cf.history[hook] = append(cf.history[hook], Deployed{Blob: res.blob, Version: version, Name: e.Name(), Digest: digest})
+		cf.switchDispatch(hook, res.blob)
 		cf.mu.Unlock()
+		cf.cp.recordDeployed(cf.NodeKey(), hook,
+			DeployedVersion{Digest: digest, Version: version, Blob: res.blob}, false)
+		cf.pubMu.Unlock()
 		return rep, nil
 	}
 
 	cp := cf.cp
-	cp.mu.Lock()
-	_, hit := cp.compiled[registryKey{digest, cf.Arch}]
-	cp.mu.Unlock()
-	rep.CacheHit = hit && !cp.DisableCache
+	rep.CacheHit = cp.compiledHit(digest, cf.Arch)
 
 	t0 := time.Now()
 	if _, err := cf.ValidateCode(e); err != nil {
@@ -613,7 +652,7 @@ func (cf *CodeFlow) InjectExtension(e *ext.Extension, hook string) (Report, erro
 	// XState + wasm region setup (remote allocations).
 	t2 := time.Now()
 	extra := map[string]uint64{}
-	params := DeployParams{Kind: uint8(e.Kind)}
+	params := DeployParams{Kind: uint8(e.Kind), Digest: digest}
 	if err := cf.setupState(cf.Remote, e, extra, &params); err != nil {
 		return rep, err
 	}
@@ -635,9 +674,8 @@ func (cf *CodeFlow) InjectExtension(e *ext.Extension, hook string) (Report, erro
 	rep.Version = d.Version
 	rep.Blob = d.Blob
 	rep.Total = time.Since(start)
-	cf.mu.Lock()
-	cf.resident[digest] = residentBlob{blob: d.Blob, kind: uint8(e.Kind)}
-	cf.mu.Unlock()
+	// DeployProg's installPublished recorded the resident index entry and
+	// the deployed-version map via params.Digest.
 	return rep, nil
 }
 

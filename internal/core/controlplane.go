@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"rdx/internal/artifact"
 	"rdx/internal/ext"
 	"rdx/internal/native"
 	"rdx/internal/pipeline"
@@ -26,15 +27,37 @@ import (
 // ControlPlane is the remote control plane: validation, the
 // compile-once/deploy-anywhere registry, and CodeFlow creation.
 type ControlPlane struct {
-	mu       sync.Mutex
-	verified map[string]ext.Info            // digest → validation facts
-	compiled map[registryKey]*native.Binary // (digest, arch) → instrumented binary
+	mu sync.Mutex
+
+	// artifacts is the content-addressed store behind ValidateCode and
+	// JITCompileCode: bounded LRUs of validation facts and compiled
+	// binaries with cross-job single-flight, so any number of concurrent
+	// jobs over one digest validate once and compile once per arch.
+	artifacts *artifact.Cache
 
 	// Stats counts registry effectiveness (ablation: disable the cache).
 	Stats RegistryStats
 	// DisableCache forces re-validation and re-compilation on every call
 	// (the "no registry" ablation).
 	DisableCache bool
+
+	// DisableDelta forces full-image staging even when a standby blob could
+	// absorb a page-granular delta (the "no delta" ablation).
+	DisableDelta bool
+	// DeltaPageSize is the delta granularity in bytes (default
+	// artifact.DefaultPageSize).
+	DeltaPageSize int
+	// DeltaMaxRatio is the fallback-to-full threshold: a delta whose bytes
+	// exceed this fraction of the full image is not worth the scatter
+	// chain, so the stage writes the full image instead. Default 0.5.
+	DeltaMaxRatio float64
+
+	// versions tracks, per (node, hook), the digest/version/blob the
+	// control plane most recently published there — the deployed-version
+	// map that delta staging diffs against and the race tests assert
+	// last-writer-wins on.
+	versMu   sync.Mutex
+	versions map[verKey]DeployedVersion
 
 	policy   *AccessPolicy
 	auditLog []auditEntry
@@ -57,9 +80,16 @@ type ControlPlane struct {
 	sched     *pipeline.Scheduler
 }
 
-type registryKey struct {
-	digest string
-	arch   native.Arch
+type verKey struct {
+	node string
+	hook string
+}
+
+// DeployedVersion is one entry of the control plane's deployed-version map.
+type DeployedVersion struct {
+	Digest  string
+	Version uint64
+	Blob    uint64
 }
 
 // RegistryStats counts cache behavior.
@@ -74,64 +104,130 @@ type RegistryStats struct {
 func NewControlPlane() *ControlPlane {
 	reg := telemetry.NewRegistry()
 	return &ControlPlane{
-		verified: map[string]ext.Info{},
-		compiled: map[registryKey]*native.Binary{},
-		Registry: reg,
-		Tracer:   telemetry.NewTraceRecorder(0),
-		wire:     rdma.NewWireMetrics(reg, "rdma.qp"),
+		artifacts: artifact.NewCache(artifact.Config{Registry: reg}),
+		versions:  map[verKey]DeployedVersion{},
+		Registry:  reg,
+		Tracer:    telemetry.NewTraceRecorder(0),
+		wire:      rdma.NewWireMetrics(reg, "rdma.qp"),
 	}
 }
 
-// ValidateCode is rdx_validate_code: run the extension's validator on the
-// control plane (not on any data-plane node), memoized by digest.
-func (cp *ControlPlane) ValidateCode(e *ext.Extension) (ext.Info, error) {
-	digest := e.Digest()
-	cp.mu.Lock()
-	if info, ok := cp.verified[digest]; ok && !cp.DisableCache {
-		cp.Stats.ValidateHits++
-		cp.mu.Unlock()
-		return info, nil
-	}
-	cp.Stats.ValidateMisses++
-	cp.mu.Unlock()
+// Artifacts exposes the content-addressed artifact store (test and
+// diagnostic surface; injection paths reach it through ValidateCode /
+// JITCompileCode).
+func (cp *ControlPlane) Artifacts() *artifact.Cache { return cp.artifacts }
 
-	info, err := e.Validate()
-	if err != nil {
-		return ext.Info{}, err
+// ValidateCode is rdx_validate_code: run the extension's validator on the
+// control plane (not on any data-plane node), memoized by digest in the
+// artifact store.
+func (cp *ControlPlane) ValidateCode(e *ext.Extension) (ext.Info, error) {
+	if cp.DisableCache {
+		cp.mu.Lock()
+		cp.Stats.ValidateMisses++
+		cp.mu.Unlock()
+		cp.artifacts.CountValidate()
+		return e.Validate()
 	}
+	info, hit, err := cp.artifacts.Validate(e.Digest(), e.Validate)
 	cp.mu.Lock()
-	cp.verified[digest] = info
+	if hit {
+		cp.Stats.ValidateHits++
+	} else {
+		cp.Stats.ValidateMisses++
+	}
 	cp.mu.Unlock()
-	return info, nil
+	return info, err
 }
 
 // JITCompileCode is rdx_JIT_compile_code: cross-architecture compilation on
 // the control plane, producing an instrumented relocatable binary. Results
-// are cached by (digest, arch); callers receive clones because linking
-// mutates code.
+// live in the artifact store keyed by (digest, arch); callers receive
+// clones because linking mutates code. Concurrent first-time compiles of
+// one key are single-flight: one build, shared result.
 func (cp *ControlPlane) JITCompileCode(e *ext.Extension, arch native.Arch) (*native.Binary, error) {
-	key := registryKey{e.Digest(), arch}
-	cp.mu.Lock()
-	if bin, ok := cp.compiled[key]; ok && !cp.DisableCache {
-		cp.Stats.CompileHits++
+	if cp.DisableCache {
+		cp.mu.Lock()
+		cp.Stats.CompileMisses++
 		cp.mu.Unlock()
-		return bin.Clone(), nil
+		// Validation gates compilation, as in the kernel pipeline.
+		if _, err := cp.ValidateCode(e); err != nil {
+			return nil, err
+		}
+		cp.artifacts.CountCompile()
+		return e.Compile(arch)
 	}
-	cp.Stats.CompileMisses++
-	cp.mu.Unlock()
-
-	// Validation gates compilation, as in the kernel pipeline.
-	if _, err := cp.ValidateCode(e); err != nil {
-		return nil, err
-	}
-	bin, err := e.Compile(arch)
+	art, hit, err := cp.artifacts.GetOrBuild(
+		artifact.Key{Digest: e.Digest(), Arch: arch},
+		func() (ext.Info, *native.Binary, error) {
+			info, err := cp.ValidateCode(e)
+			if err != nil {
+				return ext.Info{}, nil, err
+			}
+			bin, err := e.Compile(arch)
+			return info, bin, err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
 	cp.mu.Lock()
-	cp.compiled[key] = bin
+	if hit {
+		cp.Stats.CompileHits++
+	} else {
+		cp.Stats.CompileMisses++
+	}
 	cp.mu.Unlock()
-	return bin.Clone(), nil
+	return art.Binary(), nil
+}
+
+// compiledHit reports whether (digest, arch) is already resident, without
+// touching recency or stats (Report.CacheHit classification).
+func (cp *ControlPlane) compiledHit(digest string, arch native.Arch) bool {
+	if cp.DisableCache {
+		return false
+	}
+	_, ok := cp.artifacts.Peek(artifact.Key{Digest: digest, Arch: arch})
+	return ok
+}
+
+// DeployedVersion returns what the control plane last published on (node,
+// hook), if anything.
+func (cp *ControlPlane) DeployedVersion(nodeKey, hook string) (DeployedVersion, bool) {
+	cp.versMu.Lock()
+	defer cp.versMu.Unlock()
+	dv, ok := cp.versions[verKey{nodeKey, hook}]
+	return dv, ok
+}
+
+// recordDeployed updates the deployed-version map. Versions come from the
+// node's epoch FETCH_ADD, so they totally order publishes per node; the
+// guard makes concurrent publishes converge on the highest version —
+// last-writer-wins by epoch, regardless of the order their recordings race
+// in. force (rollback) overrides the guard: reverting to an older version
+// is the caller's explicit intent.
+func (cp *ControlPlane) recordDeployed(nodeKey, hook string, dv DeployedVersion, force bool) {
+	cp.versMu.Lock()
+	defer cp.versMu.Unlock()
+	k := verKey{nodeKey, hook}
+	if cur, ok := cp.versions[k]; ok && !force && cur.Version > dv.Version {
+		return
+	}
+	cp.versions[k] = dv
+}
+
+// deltaPageSize / deltaMaxRatio resolve the delta knobs with defaults.
+func (cp *ControlPlane) deltaPageSize() int {
+	if cp.DeltaPageSize > 0 {
+		return cp.DeltaPageSize
+	}
+	return artifact.DefaultPageSize
+}
+
+func (cp *ControlPlane) deltaMaxRatio() float64 {
+	if cp.DeltaMaxRatio > 0 {
+		return cp.DeltaMaxRatio
+	}
+	return 0.5
 }
 
 // Precompile validates and compiles for every architecture in Targets,

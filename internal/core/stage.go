@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"time"
 
+	"rdx/internal/artifact"
 	"rdx/internal/ext"
 	"rdx/internal/native"
 	"rdx/internal/node"
 	"rdx/internal/pipeline"
+	"rdx/internal/telemetry"
 )
 
 // NodeKey implements pipeline.Target.
@@ -23,25 +25,36 @@ func (cf *CodeFlow) Stage(ctx context.Context, e *ext.Extension, hook string) (p
 }
 
 // StagedDeploy is a prepared-but-unpublished deployment on one node: the
-// blob is fully written and recorded on the hook's staged slot, but no
-// dispatch pointer references it yet. Publish is the commit-only half.
+// blob is fully written (in full, or as a page delta into a claimed
+// standby) and recorded on the hook's staged slot, but no dispatch pointer
+// references it yet. Publish is the commit-only half.
 type StagedDeploy struct {
 	cf       *CodeFlow
 	hook     string
 	name     string
+	digest   string
 	hookAddr uint64
 	blob     uint64
 	version  uint64
+	slot     *slotImage
+	delta    bool // staged as a page delta rather than a full image
 	link     time.Duration
 	write    time.Duration
 }
 
 // StageExtension runs everything except publication for one node: JIT (via
-// the registry), state setup, linking, remote allocation, then ONE OpBatch
-// chain carrying every blob segment plus the staged-record write, terminated
-// by a single doorbell WriteImm — the coalesced-doorbell injection path.
-// Every remote verb issues under ctx, so the whole staging sequence shares
-// one deadline and (when ctx carries one) one trace ID.
+// the artifact store), state setup, linking, remote allocation, then ONE
+// OpBatch chain carrying the blob bytes plus the staged-record write,
+// terminated by a single doorbell WriteImm — the coalesced-doorbell
+// injection path. When the hook has a standby blob of known contents (the
+// previously displaced version), the stage diffs the new image against it
+// at page granularity and scatter-writes only the changed runs into that
+// blob — delta injection. The delta never targets the dispatched blob, so
+// a connection killed mid-delta cannot tear the live version; if the delta
+// exceeds the control plane's DeltaMaxRatio it degrades to a full write of
+// the claimed slot. Every remote verb issues under ctx, so the whole
+// staging sequence shares one deadline and (when ctx carries one) one
+// trace ID.
 func (cf *CodeFlow) StageExtension(ctx context.Context, e *ext.Extension, hook string) (*StagedDeploy, error) {
 	rem := cf.remote(ctx)
 	hookAddr, err := cf.HookAddr(hook)
@@ -54,7 +67,7 @@ func (cf *CodeFlow) StageExtension(ctx context.Context, e *ext.Extension, hook s
 		return nil, err
 	}
 	extra := map[string]uint64{}
-	params := DeployParams{Kind: uint8(e.Kind)}
+	params := DeployParams{Kind: uint8(e.Kind), Digest: e.Digest()}
 	if err := cf.setupState(rem, e, extra, &params); err != nil {
 		return nil, err
 	}
@@ -65,44 +78,123 @@ func (cf *CodeFlow) StageExtension(ctx context.Context, e *ext.Extension, hook s
 	if err != nil {
 		return nil, err
 	}
-	blob, err := cf.allocCode(rem, node.BlobHdrSize+len(bin.Code))
-	if err != nil {
-		return nil, err
-	}
 	link := time.Since(linkStart)
 
 	writeStart := time.Now()
 	hdr := node.EncodeBlobHeader(bin.Arch, node.BlobParams{
 		Kind: params.Kind, Version: version, MemBase: params.MemBase, GlobBase: params.GlobBase,
 	}, len(bin.Code))
+	payload := append(hdr, bin.Code...)
+
+	sd := &StagedDeploy{
+		cf: cf, hook: hook, name: e.Name(), digest: e.Digest(),
+		hookAddr: hookAddr, version: version, link: link,
+	}
+	slot := cf.claimStandby(hook, len(payload))
+	if slot != nil {
+		if err := cf.stageIntoSlot(ctx, rem, sd, slot, payload); err != nil {
+			return nil, err
+		}
+	} else {
+		blob, err := cf.allocCode(rem, len(payload))
+		if err != nil {
+			return nil, err
+		}
+		fresh := &slotImage{
+			blob: blob, cap: (uint64(len(payload)) + 7) &^ 7,
+			digest: e.Digest(), kind: params.Kind,
+		}
+		if err := cf.stageFull(rem, sd, fresh, payload); err != nil {
+			return nil, err
+		}
+	}
+	sd.slot.kind = params.Kind
+	sd.write = time.Since(writeStart)
+
+	codeSum := sha256.Sum256(bin.Code)
+	cf.mu.Lock()
+	cf.codeHashes[sd.blob] = hex.EncodeToString(codeSum[:])
+	cf.mu.Unlock()
+	return sd, nil
+}
+
+// stageIntoSlot writes payload into a claimed standby blob, as a scatter
+// chain of changed-page runs when the delta pays for itself, else as a
+// full rewrite. The slot's shadow image is nil while writes are in flight:
+// a transport failure partway leaves the slot marked torn, so a later
+// claim falls back to a full rewrite instead of trusting stale bytes.
+func (cf *CodeFlow) stageIntoSlot(ctx context.Context, rem *RemoteMemory, sd *StagedDeploy, slot *slotImage, payload []byte) error {
+	cp := cf.cp
+	d := artifact.Compute(slot.image, payload, cp.deltaPageSize())
+	if d.Ratio() > cp.deltaMaxRatio() {
+		// The diff wouldn't pay for itself (or the slot is torn): full
+		// rewrite of the claimed blob, no fresh ring allocation needed.
+		cp.Registry.Counter("artifact.delta.fallback").Inc()
+		return cf.stageFull(rem, sd, slot, payload)
+	}
+	cp.Registry.Counter("artifact.delta.count").Inc()
+	deltaStart := time.Now()
+	writes := make([]BatchWrite, 0, len(d.Runs)+1)
+	for _, run := range d.Runs {
+		writes = append(writes, BatchWrite{Addr: slot.blob + uint64(run.Off), Data: run.Data})
+	}
 	var stagedRec [8]byte
-	binary.LittleEndian.PutUint64(stagedRec[:], blob)
+	binary.LittleEndian.PutUint64(stagedRec[:], slot.blob)
+	writes = append(writes, BatchWrite{
+		Addr: sd.hookAddr + node.HookOffStaged, Data: stagedRec[:],
+		Imm: node.DoorbellCCInvalidate, HasImm: true,
+	})
+	slot.image = nil
+	err := rem.WriteBatch(writes)
+	cp.Tracer.Span(telemetry.TraceIDFrom(ctx), "pipeline", "delta",
+		cf.NodeKey(), deltaStart, d.Bytes(), err)
+	if err != nil {
+		return err
+	}
+	slot.image = payload
+	slot.digest = sd.digest
+	cp.Registry.Counter("artifact.delta.bytes_written").Add(uint64(d.Bytes()))
+	cp.Registry.Counter("artifact.delta.bytes_saved").Add(uint64(len(payload) - d.Bytes()))
+	sd.blob = slot.blob
+	sd.slot = slot
+	sd.delta = true
+	return nil
+}
+
+// stageFull writes the complete image plus the staged record as one chain
+// into slot's blob (freshly allocated or a claimed standby).
+func (cf *CodeFlow) stageFull(rem *RemoteMemory, sd *StagedDeploy, slot *slotImage, payload []byte) error {
+	var stagedRec [8]byte
+	binary.LittleEndian.PutUint64(stagedRec[:], slot.blob)
+	slot.image = nil
 	// Blob payload and the crash-visible staged record travel as one chain;
 	// the trailing immediate exposes the staged slot to the node's CPU cache
 	// without a second doorbell verb.
 	if err := rem.WriteBatch([]BatchWrite{
-		{Addr: blob, Data: append(hdr, bin.Code...)},
-		{Addr: hookAddr + node.HookOffStaged, Data: stagedRec[:], Imm: node.DoorbellCCInvalidate, HasImm: true},
+		{Addr: slot.blob, Data: payload},
+		{Addr: sd.hookAddr + node.HookOffStaged, Data: stagedRec[:], Imm: node.DoorbellCCInvalidate, HasImm: true},
 	}); err != nil {
-		return nil, err
+		return err
 	}
-	write := time.Since(writeStart)
-
-	codeSum := sha256.Sum256(bin.Code)
-	cf.mu.Lock()
-	cf.codeHashes[blob] = hex.EncodeToString(codeSum[:])
-	cf.mu.Unlock()
-	return &StagedDeploy{
-		cf: cf, hook: hook, name: e.Name(), hookAddr: hookAddr,
-		blob: blob, version: version, link: link, write: write,
-	}, nil
+	slot.image = payload
+	slot.digest = sd.digest
+	sd.blob = slot.blob
+	sd.slot = slot
+	return nil
 }
 
 // Publish implements pipeline.Staged: version write + dispatch CAS +
-// cc_event, the commit-only transaction, issued under ctx.
+// cc_event, the commit-only transaction, issued under ctx. On success the
+// slot bookkeeping flips: the published blob becomes the hook's active,
+// the displaced active becomes the standby (the next delta target), and
+// the control plane's deployed-version map records the new version.
 func (s *StagedDeploy) Publish(ctx context.Context) error {
 	cf := s.cf
 	rem := cf.remote(ctx)
+	// pubMu keeps the commit CAS and the shadow bookkeeping in the same
+	// order across concurrent publishes (see CodeFlow.pubMu).
+	cf.pubMu.Lock()
+	defer cf.pubMu.Unlock()
 	if err := cf.txOn(rem,
 		[]TxWrite{{Addr: s.hookAddr + node.HookOffVersion, Qword: s.version}},
 		QwordSwap{Addr: s.hookAddr + node.HookOffDispatch, New: s.blob},
@@ -110,9 +202,8 @@ func (s *StagedDeploy) Publish(ctx context.Context) error {
 		return err
 	}
 	cf.ccEventOn(rem, s.hookAddr+node.HookOffDispatch)
-	cf.mu.Lock()
-	cf.history[s.hook] = append(cf.history[s.hook], Deployed{Blob: s.blob, Version: s.version, Name: s.name})
-	cf.mu.Unlock()
+	cf.installPublished(s.hook, s.slot,
+		Deployed{Blob: s.blob, Version: s.version, Name: s.name, Digest: s.digest})
 	return nil
 }
 

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rdx/internal/ebpf"
+	"rdx/internal/ext"
+	"rdx/internal/pipeline"
+	"rdx/internal/rdma"
+	"rdx/internal/telemetry"
+)
+
+// patchProg builds version v of a synthetic "service filter": a long run of
+// filler instructions shared by every version plus a version-specific
+// verdict. Successive versions JIT to images differing only near the tail,
+// so they model the realistic update pattern delta injection targets — a
+// small patch to a large deployed extension.
+func patchProg(filler int, v int32) *ext.Extension {
+	insns := make([]ebpf.Instruction, 0, filler+2)
+	for i := 0; i < filler; i++ {
+		insns = append(insns, ebpf.Mov64Imm(ebpf.R1, int32(i)))
+	}
+	insns = append(insns, ebpf.Mov64Imm(ebpf.R0, v), ebpf.Exit())
+	return ext.FromEBPF(ebpf.NewProgram(fmt.Sprintf("patch-v%d", v), ebpf.ProgTypeSocketFilter, insns))
+}
+
+// Cache exercises the content-addressed artifact store end to end and
+// returns two tables: the warm-cache path (repeat injections of one digest
+// skip validate/JIT entirely) and delta-vs-full injection (page-granular
+// updates write a fraction of the wire bytes). It also enforces the
+// invariants, failing loudly if the cache recompiled or the delta path
+// failed to save bytes — so a bench smoke doubles as a regression check.
+func Cache(opts Options) ([]*telemetry.Table, error) {
+	nodes, warmJobs, updates, filler := 8, 5, 6, 2048
+	if opts.Quick {
+		nodes, warmJobs, updates, filler = 4, 2, 4, 512
+	}
+
+	// ---- Phase 1: cold vs warm injection of one digest across the fleet.
+	rig, err := newFleetRig("cache", nodes, rdma.NoLatency())
+	if err != nil {
+		return nil, err
+	}
+	defer rig.close()
+	sched := rig.cp.Scheduler()
+	targets := make([]pipeline.Target, len(rig.cfs))
+	for i, cf := range rig.cfs {
+		targets[i] = cf
+	}
+	reg := rig.cp.Registry
+
+	e := patchProg(filler, 1)
+	inject := func(x *ext.Extension) (time.Duration, error) {
+		t0 := time.Now()
+		res, err := sched.Inject(pipeline.Request{Ext: x, Hook: "ingress", Targets: targets})
+		if err != nil {
+			return 0, err
+		}
+		if ferr := res.FirstErr(); ferr != nil {
+			return 0, ferr
+		}
+		return time.Since(t0), nil
+	}
+
+	cold, err := inject(e)
+	if err != nil {
+		return nil, fmt.Errorf("cache cold inject: %w", err)
+	}
+	compilesAfterCold := reg.Counter("artifact.compile.invocations").Value()
+
+	var warm time.Duration
+	for i := 0; i < warmJobs; i++ {
+		d, err := inject(e)
+		if err != nil {
+			return nil, fmt.Errorf("cache warm inject %d: %w", i, err)
+		}
+		warm += d
+	}
+	warm /= time.Duration(warmJobs)
+	hits := reg.Counter("artifact.cache.hit").Value()
+	compiles := reg.Counter("artifact.compile.invocations").Value()
+	validates := reg.Counter("artifact.validate.invocations").Value()
+	if hits == 0 {
+		return nil, fmt.Errorf("cache: %d warm jobs produced zero cache hits", warmJobs)
+	}
+	if compiles != compilesAfterCold {
+		return nil, fmt.Errorf("cache: warm jobs recompiled (%d -> %d invocations)", compilesAfterCold, compiles)
+	}
+
+	warmTbl := telemetry.NewTable(
+		fmt.Sprintf("cache — %d-node fleet, one digest: cold vs warm injection", nodes),
+		"phase", "jobs", "avg latency", "compile runs", "validate runs", "cache hits")
+	warmTbl.AddRowf("cold", 1, cold, compilesAfterCold, validates, 0)
+	warmTbl.AddRowf(fmt.Sprintf("warm x%d", warmJobs), warmJobs, warm, compiles-compilesAfterCold, 0, hits)
+
+	// ---- Phase 2: rolling updates, delta injection vs full rewrites.
+	// Two identical fleets; one has delta staging disabled. Both receive
+	// the same seeding pair plus `updates` small patches; the wire-byte
+	// delta over the update phase is the figure of merit.
+	type modeResult struct {
+		bytesOut  uint64
+		saved     uint64
+		fallbacks uint64
+		deltas    uint64
+		avg       time.Duration
+	}
+	run := func(prefix string, disable bool) (modeResult, error) {
+		var mr modeResult
+		frig, err := newFleetRig(prefix, nodes, rdma.NoLatency())
+		if err != nil {
+			return mr, err
+		}
+		defer frig.close()
+		frig.cp.DisableDelta = disable
+		fsched := frig.cp.Scheduler()
+		ftargets := make([]pipeline.Target, len(frig.cfs))
+		for i, cf := range frig.cfs {
+			ftargets[i] = cf
+		}
+		do := func(v int32) error {
+			t0 := time.Now()
+			res, err := fsched.Inject(pipeline.Request{Ext: patchProg(filler, v), Hook: "ingress", Targets: ftargets})
+			if err != nil {
+				return err
+			}
+			if ferr := res.FirstErr(); ferr != nil {
+				return ferr
+			}
+			mr.avg += time.Since(t0)
+			return nil
+		}
+		// Seed both slot buffers so every update has a standby to diff.
+		if err := do(1); err != nil {
+			return mr, err
+		}
+		if err := do(2); err != nil {
+			return mr, err
+		}
+		mr.avg = 0
+		freg := frig.cp.Registry
+		base := freg.Counter("rdma.qp.bytes_out").Value()
+		for v := int32(3); v < int32(3+updates); v++ {
+			if err := do(v); err != nil {
+				return mr, fmt.Errorf("update v%d: %w", v, err)
+			}
+		}
+		mr.avg /= time.Duration(updates)
+		mr.bytesOut = freg.Counter("rdma.qp.bytes_out").Value() - base
+		mr.saved = freg.Counter("artifact.delta.bytes_saved").Value()
+		mr.fallbacks = freg.Counter("artifact.delta.fallback").Value()
+		mr.deltas = freg.Counter("artifact.delta.count").Value()
+		return mr, nil
+	}
+
+	delta, err := run("cache-dlt", false)
+	if err != nil {
+		return nil, fmt.Errorf("cache delta fleet: %w", err)
+	}
+	full, err := run("cache-ful", true)
+	if err != nil {
+		return nil, fmt.Errorf("cache full-rewrite fleet: %w", err)
+	}
+	if delta.saved == 0 {
+		return nil, fmt.Errorf("cache: delta fleet saved zero bytes over %d updates", updates)
+	}
+	if delta.bytesOut >= full.bytesOut {
+		return nil, fmt.Errorf("cache: delta updates wrote %d wire bytes, full rewrites %d — delta saved nothing",
+			delta.bytesOut, full.bytesOut)
+	}
+
+	deltaTbl := telemetry.NewTable(
+		fmt.Sprintf("delta — %d rolling updates across %d nodes: page delta vs full rewrite", updates, nodes),
+		"mode", "wire bytes out", "delta writes", "fallbacks", "bytes saved", "avg update")
+	deltaTbl.AddRowf("delta", delta.bytesOut, delta.deltas, delta.fallbacks, delta.saved, delta.avg)
+	deltaTbl.AddRowf("full", full.bytesOut, full.deltas, full.fallbacks, full.saved, full.avg)
+	return []*telemetry.Table{warmTbl, deltaTbl}, nil
+}

@@ -82,6 +82,19 @@ func TestRedisQuick(t *testing.T) {
 	t.Logf("\n%s", tbl)
 }
 
+func TestCacheQuick(t *testing.T) {
+	tbls, err := Cache(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbls) != 2 {
+		t.Fatalf("tables = %d, want warm + delta", len(tbls))
+	}
+	for _, tbl := range tbls {
+		t.Logf("\n%s", tbl)
+	}
+}
+
 func TestMeshQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster experiment")

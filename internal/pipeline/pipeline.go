@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rdx/internal/artifact"
 	"rdx/internal/ext"
 	"rdx/internal/telemetry"
 )
@@ -57,6 +58,13 @@ type Config struct {
 
 	// Transient classifies retryable errors; nil uses DefaultTransient.
 	Transient func(error) bool
+
+	// PrepareCap bounds the per-digest prepare memo: completed digests
+	// beyond the cap evict least-recently-injected. An evicted digest
+	// re-runs Validate/Compile on its next job — cheap when those route
+	// into the control plane's artifact cache, a deliberate re-prepare
+	// when they don't. 0 means DefaultPrepareCap.
+	PrepareCap int
 
 	// Registry supplies the scheduler's named instruments ("pipeline.*").
 	// Sharing one registry with the wire layer gives a single /metrics
@@ -95,7 +103,13 @@ func (c *Config) fillDefaults() {
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
+	if c.PrepareCap <= 0 {
+		c.PrepareCap = DefaultPrepareCap
+	}
 }
+
+// DefaultPrepareCap is the prepare-memo bound when Config.PrepareCap is 0.
+const DefaultPrepareCap = 256
 
 // Scheduler is the asynchronous batched injection pipeline. All methods
 // are safe for concurrent use; the scheduler owns no long-lived goroutines,
@@ -105,8 +119,14 @@ type Scheduler struct {
 	jobSem  chan struct{} // work-queue admission
 	nodeSem chan struct{} // global per-node fan-out bound
 
+	// prepMu guards both prepare structures: inflight single-flights
+	// concurrent preparations of one digest, prepDone memoizes completed
+	// digests in a bounded LRU (PR 1's memo grew without bound; a
+	// long-lived scheduler serving many distinct extensions no longer
+	// does).
 	prepMu   sync.Mutex
-	prepared map[string]*prepEntry // extension digest → single-flight prepare
+	inflight map[string]*prepEntry
+	prepDone *artifact.LRU[string, struct{}]
 
 	m  metrics
 	tr *telemetry.TraceRecorder // nil when tracing is off
@@ -124,7 +144,8 @@ func New(cfg Config) *Scheduler {
 		cfg:      cfg,
 		jobSem:   make(chan struct{}, cfg.Workers),
 		nodeSem:  make(chan struct{}, cfg.FanOut),
-		prepared: make(map[string]*prepEntry),
+		inflight: make(map[string]*prepEntry),
+		prepDone: artifact.NewLRU[string, struct{}](cfg.PrepareCap, nil),
 		m:        newMetrics(cfg.Registry),
 		tr:       cfg.Tracer,
 	}
@@ -316,15 +337,21 @@ type JobDone struct {
 }
 
 // prepare runs Validate and Compile once per extension digest. Concurrent
-// jobs for the same digest share one flight; failures are not cached, so a
-// later job retries preparation.
+// jobs for the same digest share one flight; completed digests memoize in
+// a bounded LRU; failures are not cached, so a later job retries
+// preparation.
 func (s *Scheduler) prepare(ctx context.Context, e *ext.Extension, targets []Target, res *Result) error {
 	if s.cfg.Validate == nil && s.cfg.Compile == nil {
 		return nil
 	}
 	digest := e.Digest()
 	s.prepMu.Lock()
-	if ent, ok := s.prepared[digest]; ok {
+	if _, ok := s.prepDone.Get(digest); ok {
+		s.prepMu.Unlock()
+		s.m.prepareHits.Inc()
+		return nil
+	}
+	if ent, ok := s.inflight[digest]; ok {
 		s.prepMu.Unlock()
 		select {
 		case <-ent.done:
@@ -337,7 +364,7 @@ func (s *Scheduler) prepare(ctx context.Context, e *ext.Extension, targets []Tar
 		}
 	}
 	ent := &prepEntry{done: make(chan struct{})}
-	s.prepared[digest] = ent
+	s.inflight[digest] = ent
 	s.prepMu.Unlock()
 
 	s.m.prepareMisses.Inc()
@@ -356,16 +383,26 @@ func (s *Scheduler) prepare(ctx context.Context, e *ext.Extension, targets []Tar
 		s.m.spanCompile.RecordDuration(res.Compile)
 		s.tr.Span(trace, "pipeline", "jit", "", t0, 0, ent.err)
 	}
+	s.prepMu.Lock()
+	delete(s.inflight, digest)
+	if ent.err == nil {
+		s.prepDone.Put(digest, struct{}{})
+	}
+	s.prepMu.Unlock()
 	if ent.err != nil {
-		// Drop the entry: the failure may be environmental, and keeping
-		// it would poison every future job for this extension.
-		s.prepMu.Lock()
-		delete(s.prepared, digest)
-		s.prepMu.Unlock()
+		// The failure may be environmental; memoizing it would poison
+		// every future job for this extension.
 		ent.err = fmt.Errorf("pipeline: prepare: %w", ent.err)
 	}
 	close(ent.done)
 	return ent.err
+}
+
+// preparedLen reports the memoized-digest count (test surface).
+func (s *Scheduler) preparedLen() int {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	return s.prepDone.Len()
 }
 
 // Stats returns a snapshot of the scheduler's counters and per-stage spans.

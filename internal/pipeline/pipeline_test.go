@@ -320,6 +320,45 @@ func TestPrepareFailureNotCached(t *testing.T) {
 	}
 }
 
+// TestPrepareMemoBounded pins the PrepareCap contract: the per-digest memo
+// is an LRU, so a long-lived scheduler churning through unique digests
+// holds at most PrepareCap of them, and an evicted digest re-prepares on
+// its next job (cheaply — the artifact cache still holds the compiled
+// binary; only the memo entry is gone).
+func TestPrepareMemoBounded(t *testing.T) {
+	var compiles atomic.Int32
+	s := New(Config{
+		PrepareCap: 2,
+		Compile:    func(*ext.Extension, []Target) error { compiles.Add(1); return nil },
+	})
+	inject := func(v int32) {
+		t.Helper()
+		if _, err := s.Inject(Request{Ext: constExt(v), Hook: "h", Targets: targetsOf(&fakeTarget{key: "n"})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inject(30)
+	inject(31)
+	inject(32) // evicts digest 30 from the memo
+	if got := s.preparedLen(); got != 2 {
+		t.Fatalf("memo holds %d digests, want PrepareCap=2", got)
+	}
+	if compiles.Load() != 3 {
+		t.Fatalf("compile ran %d times for three digests", compiles.Load())
+	}
+	inject(30) // evicted: must re-prepare
+	if compiles.Load() != 4 {
+		t.Fatalf("evicted digest did not re-prepare: %d compiles", compiles.Load())
+	}
+	inject(32) // still memoized: no extra compile
+	if compiles.Load() != 4 {
+		t.Fatalf("memoized digest recompiled: %d compiles", compiles.Load())
+	}
+	if got := s.preparedLen(); got != 2 {
+		t.Fatalf("memo grew past its cap: %d", got)
+	}
+}
+
 // TestPublishedReflectsPublishOutcomes pins the Result.Published contract:
 // true requires at least one per-node publish to succeed — a job whose
 // every publish failed must not report itself as live anywhere.

@@ -1,0 +1,22 @@
+package telemetry
+
+import "sync/atomic"
+
+// Gauge is a point-in-time level that can move both ways — cache residency,
+// queue depth, gate state. Counters answer "how many ever"; a Gauge answers
+// "how many right now". All methods are lock-free atomics.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a zeroed gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGaugeBasics(t *testing.T) {
+	g := NewGauge()
+	if g.Value() != 0 {
+		t.Fatal("fresh gauge not zero")
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("value = %d after Set(42)", g.Value())
+	}
+	g.Add(-12)
+	if g.Value() != 30 {
+		t.Fatalf("value = %d after Add(-12)", g.Value())
+	}
+	g.Set(5) // Set overwrites, never accumulates
+	if g.Value() != 5 {
+		t.Fatalf("value = %d after Set(5)", g.Value())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	g := NewGauge()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("balanced adds left %d", g.Value())
+	}
+}
+
+func TestRegistryGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pool.size")
+	if g2 := r.Gauge("pool.size"); g2 != g {
+		t.Fatal("Gauge() minted a second instrument for the same name")
+	}
+	g.Set(7)
+
+	snap := r.Snapshot()
+	if snap.Gauges["pool.size"] != 7 {
+		t.Fatalf("snapshot gauges = %v", snap.Gauges)
+	}
+	if tbl := snap.Table("reg").String(); !strings.Contains(tbl, "pool.size") {
+		t.Errorf("Table() omits gauges:\n%s", tbl)
+	}
+
+	// Gauges marshal with the snapshot; registries without gauges omit the
+	// field entirely so existing consumers see unchanged JSON.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"gauges"`) {
+		t.Errorf("snapshot JSON missing gauges: %s", b)
+	}
+	empty, err := json.Marshal(NewRegistry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(empty), `"gauges"`) {
+		t.Errorf("gauge-free snapshot still emits the field: %s", empty)
+	}
+}

@@ -23,6 +23,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	histograms map[string]*Histogram
 	meters     map[string]*Meter
+	gauges     map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -31,6 +32,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		histograms: make(map[string]*Histogram),
 		meters:     make(map[string]*Meter),
+		gauges:     make(map[string]*Gauge),
 	}
 }
 
@@ -70,6 +72,18 @@ func (r *Registry) Meter(name string) *Meter {
 	return m
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = NewGauge()
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // HistogramSummary is the exported shape of one histogram: counts plus the
 // percentile ladder, in nanoseconds (the recording convention).
 type HistogramSummary struct {
@@ -95,6 +109,7 @@ type RegistrySnapshot struct {
 	Counters   map[string]uint64           `json:"counters"`
 	Histograms map[string]HistogramSummary `json:"histograms"`
 	Meters     map[string]MeterSummary     `json:"meters"`
+	Gauges     map[string]int64            `json:"gauges,omitempty"`
 }
 
 // Snapshot reads every registered instrument. Counters are read atomically
@@ -114,6 +129,10 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	for k, v := range r.meters {
 		meters[k] = v
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
 	r.mu.Unlock()
 
 	snap := RegistrySnapshot{
@@ -121,6 +140,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		Counters:   make(map[string]uint64, len(counters)),
 		Histograms: make(map[string]HistogramSummary, len(hists)),
 		Meters:     make(map[string]MeterSummary, len(meters)),
+		Gauges:     make(map[string]int64, len(gauges)),
 	}
 	for name, c := range counters {
 		snap.Counters[name] = c.Value()
@@ -138,6 +158,9 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	}
 	for name, m := range meters {
 		snap.Meters[name] = MeterSummary{Count: m.Count(), Rate: m.Rate()}
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
 	}
 	return snap
 }
@@ -171,6 +194,14 @@ func (s RegistrySnapshot) Table(title string) *Table {
 	sort.Strings(cnames)
 	for _, name := range cnames {
 		t.AddRowf(name, s.Counters[name], "", "", "", "")
+	}
+	gnames := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		t.AddRowf(name, s.Gauges[name], "", "", "", "")
 	}
 	return t
 }
