@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -47,6 +48,12 @@ type CodeFlow struct {
 	// is never delta-overwritten while live on another hook.
 	slots    map[string]*hookSlots
 	dispatch map[string]uint64
+	// wrapEpoch counts code-ring wraps (allocCode). A stage records the
+	// epoch when it claims or allocates blob space and re-checks it before
+	// trusting the address again: a wrap in between means fresh
+	// allocations may already overlap that range, so the write must not be
+	// trusted and the publish must not dispatch it.
+	wrapEpoch uint64
 
 	// pubMu serializes publish transactions on this node: the dispatch CAS
 	// and the shadow bookkeeping (slots/dispatch/version map) must land in
@@ -67,6 +74,11 @@ type Deployed struct {
 	Version uint64
 	Name    string
 	Digest  string // content digest of the extension IR, "" when unknown
+	// Reclaimed marks a version whose blob space was reclaimed — claimed
+	// as a delta-staging target, or invalidated by a code-ring wrap. Its
+	// bytes are gone from the node, so the entry can no longer be
+	// re-dispatched; Rollback refuses it with a cause.
+	Reclaimed bool
 }
 
 // CreateCodeFlow is rdx_create_codeflow: bind a handle to a remote node.
@@ -177,34 +189,73 @@ func (cf *CodeFlow) nextVersion(rem *RemoteMemory) (uint64, error) {
 	return prev + 1, nil
 }
 
+// ErrRingWrapped reports that the code ring wrapped between a stage's
+// allocation (or standby claim) and the moment the blob address was about
+// to be trusted — written into or dispatched. Post-wrap allocations may
+// overlap the old range, so the stage must be re-driven from a fresh
+// allocation; the error is classified retryable (Retryable) so the
+// scheduler does exactly that.
+var ErrRingWrapped = errors.New("core: code ring wrapped during staging")
+
+// wrappedSince reports whether the code ring wrapped after epoch was
+// observed — i.e. whether blob addresses reserved back then may since have
+// been handed out again.
+func (cf *CodeFlow) wrappedSince(epoch uint64) bool {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	return cf.wrapEpoch != epoch
+}
+
 // AllocCode reserves code-region space with a remote FETCH_ADD. Like the
 // local allocator, the region is a ring: exhaustion wraps the bump pointer
 // back to the base (remote CAS), reclaiming the oldest dead blobs.
-func (cf *CodeFlow) AllocCode(size int) (uint64, error) { return cf.allocCode(cf.Remote, size) }
+func (cf *CodeFlow) AllocCode(size int) (uint64, error) {
+	addr, _, err := cf.allocCode(cf.Remote, size)
+	return addr, err
+}
 
-func (cf *CodeFlow) allocCode(rem *RemoteMemory, size int) (uint64, error) {
+// allocCode returns the reserved address plus the wrap epoch sampled
+// before the reservation: if cf.wrapEpoch still equals it later, no wrap
+// has reclaimed the address in between. Sampling before the FETCH_ADD is
+// deliberately conservative — a wrap racing the reservation shows up as an
+// epoch change even when the address is actually post-wrap and fine,
+// costing at worst a spurious retry.
+func (cf *CodeFlow) allocCode(rem *RemoteMemory, size int) (uint64, uint64, error) {
 	sz := uint64((size + 7) &^ 7)
 	if sz > node.CodeSize/2 {
-		return 0, fmt.Errorf("core: blob of %d bytes exceeds half the code region", size)
+		return 0, 0, fmt.Errorf("core: blob of %d bytes exceeds half the code region", size)
 	}
 	for {
+		cf.mu.Lock()
+		epoch := cf.wrapEpoch
+		cf.mu.Unlock()
 		prev, err := rem.FetchAddMem(node.CtrlBase+node.CtrlOffCodeBrk, sz)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if prev+sz <= node.CodeBase+node.CodeSize {
-			return prev, nil
+			return prev, epoch, nil
 		}
 		if _, _, err := rem.CompareAndSwapMem(node.CtrlBase+node.CtrlOffCodeBrk, prev+sz, node.CodeBase); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		// The wrap may reclaim space under previously deployed blobs:
 		// forget them so the redeploy fast path never flips a hook to
-		// potentially overwritten code, and drop the slot shadows so delta
-		// staging never diffs against a possibly-reclaimed standby.
+		// potentially overwritten code, drop the slot shadows so delta
+		// staging never diffs against a possibly-reclaimed standby,
+		// tombstone history so rollback never re-dispatches a reclaimed
+		// address, and bump the epoch so in-flight stages that claimed or
+		// allocated before the wrap fail instead of publishing into the
+		// reclaimed range.
 		cf.mu.Lock()
 		cf.resident = map[string]residentBlob{}
 		cf.slots = map[string]*hookSlots{}
+		for _, hist := range cf.history {
+			for i := range hist {
+				hist[i].Reclaimed = true
+			}
+		}
+		cf.wrapEpoch++
 		cf.mu.Unlock()
 	}
 }
@@ -344,11 +395,25 @@ func (cf *CodeFlow) DeployProg(bin *native.Binary, hook string, p DeployParams) 
 	if err != nil {
 		return Deployed{}, err
 	}
+	// A concurrent stage can wrap the code ring between this deploy's
+	// allocation and its publish, reclaiming the blob's range; the whole
+	// sequence is re-driveable, so retry from a fresh (post-wrap)
+	// allocation rather than surfacing the transient.
+	var d Deployed
+	for attempt := 0; ; attempt++ {
+		d, err = cf.deployProgOnce(bin, hook, hookAddr, p)
+		if err == nil || !errors.Is(err, ErrRingWrapped) || attempt >= 2 {
+			return d, err
+		}
+	}
+}
+
+func (cf *CodeFlow) deployProgOnce(bin *native.Binary, hook string, hookAddr uint64, p DeployParams) (Deployed, error) {
 	version, err := cf.NextVersion()
 	if err != nil {
 		return Deployed{}, err
 	}
-	blob, err := cf.AllocCode(node.BlobHdrSize + len(bin.Code))
+	blob, epoch, err := cf.allocCode(cf.Remote, node.BlobHdrSize+len(bin.Code))
 	if err != nil {
 		return Deployed{}, err
 	}
@@ -359,13 +424,15 @@ func (cf *CodeFlow) DeployProg(bin *native.Binary, hook string, p DeployParams) 
 	if err := cf.Remote.WriteBytes(blob, payload); err != nil {
 		return Deployed{}, err
 	}
-	codeSum := sha256.Sum256(bin.Code)
-	cf.mu.Lock()
-	cf.codeHashes[blob] = hex.EncodeToString(codeSum[:])
-	cf.mu.Unlock()
 
 	cf.pubMu.Lock()
 	defer cf.pubMu.Unlock()
+	// The blob write was a remote round trip: if the ring wrapped under
+	// it, the address may already belong to a fresh allocation, and the
+	// CAS below would dispatch someone else's bytes.
+	if cf.wrappedSince(epoch) {
+		return Deployed{}, fmt.Errorf("core: deploy of %q on %q: %w", bin.Name, hook, ErrRingWrapped)
+	}
 	if err := cf.Tx(
 		[]TxWrite{
 			{Addr: hookAddr + node.HookOffStaged, Qword: blob},
@@ -377,6 +444,11 @@ func (cf *CodeFlow) DeployProg(bin *native.Binary, hook string, p DeployParams) 
 	}
 	// Expose the flipped pointer to a possibly-stale CPU cache.
 	cf.CCEvent(hookAddr + node.HookOffDispatch)
+
+	codeSum := sha256.Sum256(bin.Code)
+	cf.mu.Lock()
+	cf.codeHashes[blob] = hex.EncodeToString(codeSum[:])
+	cf.mu.Unlock()
 
 	d := Deployed{Blob: blob, Version: version, Name: bin.Name, Digest: p.Digest}
 	cf.installPublished(hook, &slotImage{
@@ -547,6 +619,16 @@ func (cf *CodeFlow) History(hook string) []Deployed {
 // version with a commit-only transaction — no validation, compilation, or
 // code movement, just a pointer flip in microseconds.
 func (cf *CodeFlow) Rollback(hook string) (Deployed, error) {
+	hookAddr, err := cf.HookAddr(hook)
+	if err != nil {
+		return Deployed{}, err
+	}
+	// pubMu is held from the history snapshot through the dispatch CAS:
+	// claimStandby also takes pubMu, so the previous version's blob cannot
+	// be claimed — and delta-overwritten — between this read and the
+	// pointer flip.
+	cf.pubMu.Lock()
+	defer cf.pubMu.Unlock()
 	cf.mu.Lock()
 	h := cf.history[hook]
 	if len(h) < 2 {
@@ -554,15 +636,18 @@ func (cf *CodeFlow) Rollback(hook string) (Deployed, error) {
 		return Deployed{}, fmt.Errorf("core: no prior version to roll back to on %q", hook)
 	}
 	prev := h[len(h)-2]
+	if prev.Reclaimed {
+		// The blob's bytes are gone (claimed as a delta target, or the
+		// ring wrapped past it): flipping the pointer back would dispatch
+		// whatever overwrote them. Leave history intact and tell the
+		// caller why; recovering the old version needs a full redeploy.
+		cf.mu.Unlock()
+		return Deployed{}, fmt.Errorf("core: cannot roll back %q to version %d (%s): its blob was reclaimed for delta staging; redeploy it instead",
+			hook, prev.Version, prev.Name)
+	}
 	cf.history[hook] = h[:len(h)-1]
 	cf.mu.Unlock()
 
-	hookAddr, err := cf.HookAddr(hook)
-	if err != nil {
-		return Deployed{}, err
-	}
-	cf.pubMu.Lock()
-	defer cf.pubMu.Unlock()
 	if err := cf.Tx(
 		[]TxWrite{{Addr: hookAddr + node.HookOffVersion, Qword: prev.Version}},
 		QwordSwap{Addr: hookAddr + node.HookOffDispatch, New: prev.Blob},
@@ -596,41 +681,10 @@ func (cf *CodeFlow) InjectExtension(e *ext.Extension, hook string) (Report, erro
 	cf.cp.audit(cf.NodeID, "inject", hook, e.Name())
 
 	digest := e.Digest()
-	cf.mu.Lock()
-	res, isResident := cf.resident[digest]
-	cf.mu.Unlock()
-	if isResident && !cf.cp.DisableCache {
-		hookAddr, err := cf.HookAddr(hook)
-		if err != nil {
+	if !cf.cp.DisableCache {
+		if handled, err := cf.tryResidentInject(e, hook, digest, start, &rep); handled {
 			return rep, err
 		}
-		version, err := cf.NextVersion()
-		if err != nil {
-			return rep, err
-		}
-		t0 := time.Now()
-		cf.pubMu.Lock()
-		if err := cf.Tx(
-			[]TxWrite{{Addr: hookAddr + node.HookOffVersion, Qword: version}},
-			QwordSwap{Addr: hookAddr + node.HookOffDispatch, New: res.blob},
-		); err != nil {
-			cf.pubMu.Unlock()
-			return rep, err
-		}
-		cf.CCEvent(hookAddr + node.HookOffDispatch)
-		rep.Commit = time.Since(t0)
-		rep.CacheHit = true
-		rep.Version = version
-		rep.Blob = res.blob
-		rep.Total = time.Since(start)
-		cf.mu.Lock()
-		cf.history[hook] = append(cf.history[hook], Deployed{Blob: res.blob, Version: version, Name: e.Name(), Digest: digest})
-		cf.switchDispatch(hook, res.blob)
-		cf.mu.Unlock()
-		cf.cp.recordDeployed(cf.NodeKey(), hook,
-			DeployedVersion{Digest: digest, Version: version, Blob: res.blob}, false)
-		cf.pubMu.Unlock()
-		return rep, nil
 	}
 
 	cp := cf.cp
@@ -677,6 +731,61 @@ func (cf *CodeFlow) InjectExtension(e *ext.Extension, hook string) (Report, erro
 	// DeployProg's installPublished recorded the resident index entry and
 	// the deployed-version map via params.Digest.
 	return rep, nil
+}
+
+// tryResidentInject attempts the repeat-deployment fast path: if the
+// extension's digest is already resident in the node's code region, the
+// inject reduces to a commit-only transaction. The resident lookup and the
+// dispatch CAS happen under ONE pubMu hold: claimStandby also takes pubMu
+// and purges the resident index before releasing it, so a blob observed
+// here cannot be claimed — and delta-overwritten — before the CAS
+// dispatches it. Returns handled=false when the digest is not resident (or
+// a concurrent ring wrap invalidated the index mid-path) and the caller
+// must run the full pipeline.
+func (cf *CodeFlow) tryResidentInject(e *ext.Extension, hook string, digest string, start time.Time, rep *Report) (handled bool, err error) {
+	cf.pubMu.Lock()
+	defer cf.pubMu.Unlock()
+	cf.mu.Lock()
+	res, isResident := cf.resident[digest]
+	epoch := cf.wrapEpoch
+	cf.mu.Unlock()
+	if !isResident {
+		return false, nil
+	}
+	hookAddr, err := cf.HookAddr(hook)
+	if err != nil {
+		return true, err
+	}
+	version, err := cf.NextVersion()
+	if err != nil {
+		return true, err
+	}
+	// The version FETCH_ADD was a remote round trip; a concurrent stage
+	// may have wrapped the code ring under it, reclaiming res.blob. The
+	// wrap cleared the resident index, so fall back to the full pipeline.
+	if cf.wrappedSince(epoch) {
+		return false, nil
+	}
+	t0 := time.Now()
+	if err := cf.Tx(
+		[]TxWrite{{Addr: hookAddr + node.HookOffVersion, Qword: version}},
+		QwordSwap{Addr: hookAddr + node.HookOffDispatch, New: res.blob},
+	); err != nil {
+		return true, err
+	}
+	cf.CCEvent(hookAddr + node.HookOffDispatch)
+	rep.Commit = time.Since(t0)
+	rep.CacheHit = true
+	rep.Version = version
+	rep.Blob = res.blob
+	rep.Total = time.Since(start)
+	cf.mu.Lock()
+	cf.history[hook] = append(cf.history[hook], Deployed{Blob: res.blob, Version: version, Name: e.Name(), Digest: digest})
+	cf.switchDispatch(hook, res.blob)
+	cf.mu.Unlock()
+	cf.cp.recordDeployed(cf.NodeKey(), hook,
+		DeployedVersion{Digest: digest, Version: version, Blob: res.blob}, false)
+	return true, nil
 }
 
 // setupState provisions remote XState maps and wasm regions for one

@@ -16,9 +16,12 @@ import (
 // re-driveable end to end — staging writes are idempotent, a duplicated
 // FETCH_ADD only burns ring space, and publish CASes re-read the slot — so
 // even ErrUncertain is safe to retry at this layer. Remote status errors
-// (bounds, access) are deterministic and are not retryable.
+// (bounds, access) are deterministic and are not retryable. A code-ring
+// wrap racing a stage (ErrRingWrapped) is transient for the same reason:
+// re-driving the stage allocates fresh, post-wrap ring space.
 func Retryable(err error) bool {
-	return rdma.IsTransportErr(err) || errors.Is(err, rdma.ErrUncertain)
+	return rdma.IsTransportErr(err) || errors.Is(err, rdma.ErrUncertain) ||
+		errors.Is(err, ErrRingWrapped)
 }
 
 // RemoteMemory adapts a verb issuer (a raw *rdma.QP or a reconnecting

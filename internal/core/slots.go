@@ -30,30 +30,46 @@ type hookSlots struct {
 // no hook on this node currently dispatches its blob — a blob published on
 // hook A can also be live on hook B via the resident fast path, and
 // overwriting it there would tear B. Claiming purges every local record
-// (resident entries, history, code hashes) that could republish the blob
-// as its old contents. Returns nil when no reusable slot exists; the
-// caller then allocates fresh ring space.
-func (cf *CodeFlow) claimStandby(hook string, need int) *slotImage {
+// (resident entries, code hashes) that could republish the blob as its old
+// contents, and tombstones its history entries so rollback refuses them
+// with a cause instead of re-dispatching overwritten bytes. Returns nil
+// when no reusable slot exists; the caller then allocates fresh ring
+// space. The second return is the wrap epoch observed at claim time: if
+// cf.wrapEpoch has moved past it by publish time, the claimed address
+// range may have been reclaimed by a post-wrap allocation (see
+// wrappedSince).
+func (cf *CodeFlow) claimStandby(hook string, need int) (*slotImage, uint64) {
 	if cf.cp.DisableDelta {
-		return nil
+		return nil, 0
 	}
+	// Lock order is pubMu then mu, matching every publish path. Holding
+	// pubMu makes the claim atomic with respect to the commit-only
+	// dispatches (resident fast path, rollback): either they re-read their
+	// target blob under pubMu after this claim purged it — and miss — or
+	// they CAS first and the dispatch check below sees the blob live and
+	// skips it. Without this, a dispatcher could snapshot the blob's
+	// address, lose the race to a claim, and flip the hook onto code the
+	// delta scatter is concurrently rewriting.
+	cf.pubMu.Lock()
+	defer cf.pubMu.Unlock()
 	cf.mu.Lock()
 	defer cf.mu.Unlock()
+	epoch := cf.wrapEpoch
 	hs := cf.slots[hook]
 	if hs == nil || hs.standby == nil {
-		return nil
+		return nil, epoch
 	}
 	s := hs.standby
 	for _, live := range cf.dispatch {
 		if live == s.blob {
-			return nil // live elsewhere; leave it as standby and try later
+			return nil, epoch // live elsewhere; leave it as standby and try later
 		}
 	}
 	if s.cap < uint64(need) {
 		// Too small for the new image: drop it so the next publish
 		// installs a bigger standby.
 		hs.standby = nil
-		return nil
+		return nil, epoch
 	}
 	hs.standby = nil
 	for dig, rb := range cf.resident {
@@ -61,17 +77,25 @@ func (cf *CodeFlow) claimStandby(hook string, need int) *slotImage {
 			delete(cf.resident, dig)
 		}
 	}
-	for h, hist := range cf.history {
-		kept := hist[:0]
-		for _, d := range hist {
-			if d.Blob != s.blob {
-				kept = append(kept, d)
+	// Tombstone rather than delete: the claimed blob may sit in other
+	// hooks' rollback stacks (published there via the resident fast path).
+	// Keeping the entries, marked Reclaimed, preserves stack depth and
+	// lets Rollback report why a version is gone instead of silently
+	// skipping it or failing with "no prior version".
+	reclaimed := 0
+	for _, hist := range cf.history {
+		for i := range hist {
+			if hist[i].Blob == s.blob && !hist[i].Reclaimed {
+				hist[i].Reclaimed = true
+				reclaimed++
 			}
 		}
-		cf.history[h] = kept
+	}
+	if reclaimed > 0 {
+		cf.cp.Registry.Counter("core.history.reclaimed").Add(uint64(reclaimed))
 	}
 	delete(cf.codeHashes, s.blob)
-	return s
+	return s, epoch
 }
 
 // installPublished records one successful publish: history, the dispatch

@@ -38,6 +38,10 @@ type StagedDeploy struct {
 	version  uint64
 	slot     *slotImage
 	delta    bool // staged as a page delta rather than a full image
+	// epoch is the code-ring wrap epoch at claim/allocation time; the
+	// write and publish steps re-check it (wrappedSince) so a wrap racing
+	// the stage fails it retryably instead of touching reclaimed space.
+	epoch uint64
 	link     time.Duration
 	write    time.Duration
 }
@@ -90,16 +94,18 @@ func (cf *CodeFlow) StageExtension(ctx context.Context, e *ext.Extension, hook s
 		cf: cf, hook: hook, name: e.Name(), digest: e.Digest(),
 		hookAddr: hookAddr, version: version, link: link,
 	}
-	slot := cf.claimStandby(hook, len(payload))
+	slot, epoch := cf.claimStandby(hook, len(payload))
+	sd.epoch = epoch
 	if slot != nil {
 		if err := cf.stageIntoSlot(ctx, rem, sd, slot, payload); err != nil {
 			return nil, err
 		}
 	} else {
-		blob, err := cf.allocCode(rem, len(payload))
+		blob, allocEpoch, err := cf.allocCode(rem, len(payload))
 		if err != nil {
 			return nil, err
 		}
+		sd.epoch = allocEpoch
 		fresh := &slotImage{
 			blob: blob, cap: (uint64(len(payload)) + 7) &^ 7,
 			digest: e.Digest(), kind: params.Kind,
@@ -125,6 +131,13 @@ func (cf *CodeFlow) StageExtension(ctx context.Context, e *ext.Extension, hook s
 // claim falls back to a full rewrite instead of trusting stale bytes.
 func (cf *CodeFlow) stageIntoSlot(ctx context.Context, rem *RemoteMemory, sd *StagedDeploy, slot *slotImage, payload []byte) error {
 	cp := cf.cp
+	// A ring wrap after the claim means fresh allocations may already
+	// overlap the claimed blob: writing there could corrupt them. The
+	// check narrows the race window; the post-write check below closes
+	// this stage's publish path for wraps that land mid-flight.
+	if cf.wrappedSince(sd.epoch) {
+		return fmt.Errorf("core: delta stage of %q on %q: %w", sd.name, sd.hook, ErrRingWrapped)
+	}
 	d := artifact.Compute(slot.image, payload, cp.deltaPageSize())
 	if d.Ratio() > cp.deltaMaxRatio() {
 		// The diff wouldn't pay for itself (or the slot is torn): full
@@ -151,6 +164,13 @@ func (cf *CodeFlow) stageIntoSlot(ctx context.Context, rem *RemoteMemory, sd *St
 	if err != nil {
 		return err
 	}
+	// The scatter was a remote round trip: if the ring wrapped under it,
+	// the blob's range may since have been handed out again, so neither
+	// the write nor the shadow image can be trusted. slot.image stays nil
+	// (torn marker) and the stage fails retryably.
+	if cf.wrappedSince(sd.epoch) {
+		return fmt.Errorf("core: delta stage of %q on %q: %w", sd.name, sd.hook, ErrRingWrapped)
+	}
 	slot.image = payload
 	slot.digest = sd.digest
 	cp.Registry.Counter("artifact.delta.bytes_written").Add(uint64(d.Bytes()))
@@ -164,6 +184,9 @@ func (cf *CodeFlow) stageIntoSlot(ctx context.Context, rem *RemoteMemory, sd *St
 // stageFull writes the complete image plus the staged record as one chain
 // into slot's blob (freshly allocated or a claimed standby).
 func (cf *CodeFlow) stageFull(rem *RemoteMemory, sd *StagedDeploy, slot *slotImage, payload []byte) error {
+	if cf.wrappedSince(sd.epoch) {
+		return fmt.Errorf("core: stage of %q on %q: %w", sd.name, sd.hook, ErrRingWrapped)
+	}
 	var stagedRec [8]byte
 	binary.LittleEndian.PutUint64(stagedRec[:], slot.blob)
 	slot.image = nil
@@ -175,6 +198,10 @@ func (cf *CodeFlow) stageFull(rem *RemoteMemory, sd *StagedDeploy, slot *slotIma
 		{Addr: sd.hookAddr + node.HookOffStaged, Data: stagedRec[:], Imm: node.DoorbellCCInvalidate, HasImm: true},
 	}); err != nil {
 		return err
+	}
+	// As in stageIntoSlot: a wrap during the write invalidates the blob.
+	if cf.wrappedSince(sd.epoch) {
+		return fmt.Errorf("core: stage of %q on %q: %w", sd.name, sd.hook, ErrRingWrapped)
 	}
 	slot.image = payload
 	slot.digest = sd.digest
@@ -195,6 +222,13 @@ func (s *StagedDeploy) Publish(ctx context.Context) error {
 	// order across concurrent publishes (see CodeFlow.pubMu).
 	cf.pubMu.Lock()
 	defer cf.pubMu.Unlock()
+	// A ring wrap since this stage claimed/allocated its blob may have
+	// handed the address range to a fresh allocation: the CAS would point
+	// the hook at someone else's (or garbage) code. Fail retryably — a
+	// re-driven stage allocates post-wrap space.
+	if cf.wrappedSince(s.epoch) {
+		return fmt.Errorf("core: publish of %q on %q: %w", s.name, s.hook, ErrRingWrapped)
+	}
 	if err := cf.txOn(rem,
 		[]TxWrite{{Addr: s.hookAddr + node.HookOffVersion, Qword: s.version}},
 		QwordSwap{Addr: s.hookAddr + node.HookOffDispatch, New: s.blob},
