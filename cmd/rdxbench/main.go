@@ -6,7 +6,7 @@
 //	rdxbench [-quick] [experiment ...]
 //
 // Experiments: fig2a fig2b fig2c fig4a fig4b fig5 redis mesh pipeline cache
-// all (default: all). -quick shrinks sizes and durations.
+// ha all (default: all). -quick shrinks sizes and durations.
 package main
 
 import (
@@ -34,6 +34,7 @@ var registry = []struct {
 	{"mesh", "microservice completion under Wasm churn (§6)", single(experiments.Mesh)},
 	{"pipeline", "fleet rollout: sequential vs batched scheduler", experiments.PipelineWithStats},
 	{"cache", "artifact cache warm path + delta vs full injection", experiments.Cache},
+	{"ha", "control-plane failover: fencing, journal replay, re-drive", single(experiments.HA)},
 }
 
 // single adapts a one-table experiment to the registry signature.

@@ -12,6 +12,8 @@
 //	rdxctl bench   -node host:7700 -hook ingress -n 50 -synthetic 1300
 //	rdxctl apply   -plan plan.rdx -nodes edge-1=host1:7700,edge-2=host2:7700
 //	rdxctl broadcast -nodes edge-1=host1:7700,edge-2=host2:7700 -hook ingress -synthetic 1300 -trace 1
+//	rdxctl stats   -ha -standby host:7800
+//	rdxctl failover -standby host:7800 -nodes edge-1=host1:7700,... -lease-id 2
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"rdx/internal/controlha"
 	"rdx/internal/core"
 	"rdx/internal/ebpf/progen"
 	"rdx/internal/ext"
@@ -50,6 +53,8 @@ commands:
   apply    execute a declarative orchestration plan across nodes
   broadcast  deploy to a fleet through the injection scheduler
              (-trace 1 dumps the job's end-to-end trace afterwards)
+  failover promote this controller: steal the HA lease on a standby host,
+           replay the replicated deployment journal, and re-attach the fleet
 `)
 	os.Exit(2)
 }
@@ -73,9 +78,21 @@ func main() {
 		timeout   = fs.Duration("timeout", 2*time.Second, "per-verb deadline (0 disables)")
 		httpAddr  = fs.String("http", "", "stats: scrape a node's observability endpoint instead of its RNIC")
 		traceSpec = fs.Bool("trace", false, "broadcast/stats: dump per-trace spans")
+		ha        = fs.Bool("ha", false, "stats: read the HA witness and journal ring from -standby")
+		standby   = fs.String("standby", "", "HA standby host address (stats -ha, failover)")
+		leaseID   = fs.Uint64("lease-id", 2, "controller ID to stamp into the HA lease (failover)")
+		leaseTTL  = fs.Duration("ttl", 2*time.Second, "HA lease TTL (failover)")
 	)
 	fs.Parse(os.Args[2:])
 
+	if cmd == "stats" && *ha {
+		runHAStats(*standby, *timeout)
+		return
+	}
+	if cmd == "failover" {
+		runFailover(*standby, *nodeList, *leaseID, *leaseTTL, *timeout)
+		return
+	}
 	if cmd == "apply" {
 		runApply(*planFile, *nodeList, *reconnect, *timeout)
 		return
@@ -156,7 +173,7 @@ func runHTTPStats(addr string, withTrace bool) {
 	if err := fetchJSON(base+"/metrics", &snap); err != nil {
 		log.Fatalf("rdxctl: stats: %v", err)
 	}
-	fmt.Println(snap.Table("node metrics ("+addr+")").String())
+	fmt.Println(snap.Table("node metrics (" + addr + ")").String())
 	if withTrace {
 		var evs []telemetry.TraceEvent
 		if err := fetchJSON(base+"/trace", &evs); err != nil {
@@ -334,6 +351,106 @@ func runBroadcast(nodeList, hook string, e *ext.Extension, atomic, reconnect boo
 	}
 }
 
+// runHAStats reads a standby host's witness word and journal ring with
+// one-sided verbs and prints the lease, ring, and replayed journal state.
+func runHAStats(standbyAddr string, timeout time.Duration) {
+	if standbyAddr == "" {
+		log.Fatal("rdxctl: stats -ha requires -standby")
+	}
+	qp, err := dialVerbs(standbyAddr, false, timeout)
+	if err != nil {
+		log.Fatalf("rdxctl: dial standby %s: %v", standbyAddr, err)
+	}
+	st, err := controlha.Inspect(qp)
+	if err != nil {
+		log.Fatalf("rdxctl: ha stats: %v", err)
+	}
+	leaseState := "vacant"
+	if st.Owner != 0 {
+		leaseState = fmt.Sprintf("held by %#x", st.Owner)
+		if !st.Expiry.IsZero() && time.Now().After(st.Expiry) {
+			leaseState += " (expired)"
+		} else if !st.Expiry.IsZero() {
+			leaseState += fmt.Sprintf(" (expires in %s)", telemetry.FormatDuration(time.Until(st.Expiry)))
+		}
+	}
+	fmt.Printf("lease: %s, fencing epoch %d\n", leaseState, st.Epoch)
+	fmt.Printf("ring:  tail=%d hwm=%d cap=%d epoch=%d\n", st.RingTail, st.RingHwm, st.RingCap, st.RingEpoch)
+	if st.ReplayErr != nil {
+		fmt.Printf("journal: unreplayable: %v\n", st.ReplayErr)
+		return
+	}
+	fmt.Printf("journal: %d entries, last seq %d, last fence %d\n",
+		st.State.Entries, st.State.LastSeq, st.State.LastFence)
+	var keys []controlha.Key
+	for k := range st.State.Versions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Node != keys[j].Node {
+			return keys[i].Node < keys[j].Node
+		}
+		return keys[i].Hook < keys[j].Hook
+	})
+	for _, k := range keys {
+		dv := st.State.Versions[k]
+		fmt.Printf("  node=%#x hook=%s version=%d digest=%.12s blob=%#x\n",
+			k.Node, k.Hook, dv.Version, dv.Digest, dv.Blob)
+	}
+	for _, in := range st.State.Open {
+		fmt.Printf("  OPEN intent: node=%#x hook=%s name=%s version=%d (staged, never published)\n",
+			in.Node, in.Hook, in.Name, in.Version)
+	}
+}
+
+// runFailover promotes this rdxctl invocation to fleet leader: steal the
+// lease on the standby (fencing the previous controller out of every
+// dispatch CAS), fetch and replay the replicated journal, and re-attach
+// CodeFlows to the listed nodes so the reconstructed deployment state maps
+// onto live fleet members.
+func runFailover(standbyAddr, nodeList string, id uint64, ttl, timeout time.Duration) {
+	if standbyAddr == "" {
+		log.Fatal("rdxctl: failover requires -standby")
+	}
+	qp, err := dialVerbs(standbyAddr, false, timeout)
+	if err != nil {
+		log.Fatalf("rdxctl: dial standby %s: %v", standbyAddr, err)
+	}
+	cp := core.NewControlPlane()
+	flows := map[string]*core.CodeFlow{}
+	if nodeList != "" {
+		for _, pair := range strings.Split(nodeList, ",") {
+			name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				log.Fatalf("rdxctl: bad -nodes entry %q (want name=addr)", pair)
+			}
+			nqp, err := dialVerbs(addr, true, timeout)
+			if err != nil {
+				log.Fatalf("rdxctl: dial %s (%s): %v", addr, name, err)
+			}
+			cf, err := cp.CreateCodeFlowQP(nqp)
+			if err != nil {
+				log.Fatalf("rdxctl: codeflow %s: %v", name, err)
+			}
+			defer cf.Close()
+			flows[name] = cf
+		}
+	}
+	ldr, state, err := controlha.TakeOverRemote(cp, qp, id, ttl, flows)
+	if err != nil {
+		log.Fatalf("rdxctl: failover: %v", err)
+	}
+	fmt.Printf("failover complete: controller %#x leads at fencing epoch %d\n", id, ldr.Lease.Epoch())
+	fmt.Printf("replayed %d journal entries (last seq %d): %d deployments across the fleet\n",
+		state.Entries, state.LastSeq, len(state.Versions))
+	for _, in := range state.Open {
+		fmt.Printf("  interrupted: node=%#x hook=%s name=%s version=%d — re-drive with deploy/broadcast\n",
+			in.Node, in.Hook, in.Name, in.Version)
+	}
+	ldr.Lease.StartRenewal()
+	fmt.Println(cp.Registry.Snapshot().Table("failover wire registry").String())
+}
+
 func runApply(planFile, nodeList string, reconnect bool, timeout time.Duration) {
 	if planFile == "" || nodeList == "" {
 		log.Fatal("rdxctl: apply requires -plan and -nodes")
@@ -373,6 +490,9 @@ func runApply(planFile, nodeList string, reconnect bool, timeout time.Duration) 
 		fmt.Printf("line %d: %v hook=%s nodes=%v took=%s versions=%v %s\n",
 			sr.Step.Line, stepName(sr.Step.Kind), sr.Step.Hook, sr.Step.Nodes,
 			telemetry.FormatDuration(sr.Took), sr.Versions, status)
+		for _, info := range sr.Info {
+			fmt.Printf("  %s\n", info)
+		}
 	}
 	if err != nil {
 		log.Fatalf("rdxctl: %v", err)
@@ -388,6 +508,8 @@ func stepName(k orchestrator.StepKind) string {
 		return "limit"
 	case orchestrator.StepRollback:
 		return "rollback"
+	case orchestrator.StepStatus:
+		return "status"
 	default:
 		return "step"
 	}

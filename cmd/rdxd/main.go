@@ -16,6 +16,16 @@
 //	GET /metrics        registry snapshot (per-opcode verb counts, bytes,
 //	                    service-latency percentiles) as JSON
 //	GET /trace[?id=N]   buffered endpoint trace spans (all, or one trace ID)
+//
+// With -standby, rdxd serves a control-plane HA host instead of a data
+// plane: an arena exposing the leader-election witness MR and the journal
+// replication ring MR (see internal/controlha). Leaders attach with
+// rdxctl failover / controlha.AttachLeader; the standby itself runs no
+// election logic — leadership is decided by CAS in its own memory.
+//
+// On SIGINT/SIGTERM rdxd shuts down gracefully: it stops accepting QPs,
+// drains in-flight endpoint frames (bounded by -drain), flushes a final
+// telemetry snapshot to stderr, and exits.
 package main
 
 import (
@@ -29,7 +39,9 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"rdx/internal/controlha"
 	"rdx/internal/kvstore"
 	"rdx/internal/native"
 	"rdx/internal/node"
@@ -39,16 +51,24 @@ import (
 
 func main() {
 	var (
-		id     = flag.String("id", "node0", "node identifier")
-		listen = flag.String("listen", ":7700", "RNIC listen address (TCP)")
-		kvAddr = flag.String("kv", "", "optional KV application listen address")
-		hooks  = flag.String("hooks", "ingress,kv", "comma-separated hook names")
-		cores  = flag.Int("cores", 4, "simulated CPU cores")
+		id       = flag.String("id", "node0", "node identifier")
+		listen   = flag.String("listen", ":7700", "RNIC listen address (TCP)")
+		kvAddr   = flag.String("kv", "", "optional KV application listen address")
+		hooks    = flag.String("hooks", "ingress,kv", "comma-separated hook names")
+		cores    = flag.Int("cores", 4, "simulated CPU cores")
 		arch     = flag.String("arch", "x64", "native architecture (x64|a64)")
 		kvHook   = flag.String("kv-hook", "kv", "hook the KV app routes commands through ('' disables)")
 		httpAddr = flag.String("http", "", "optional observability listen address (/metrics, /trace)")
+		standby  = flag.Bool("standby", false, "serve a control-plane HA host (witness + journal ring) instead of a node")
+		ringCap  = flag.Uint64("ring-cap", 0, "standby journal ring capacity in bytes (0 = default)")
+		drain    = flag.Duration("drain", 2*time.Second, "shutdown grace for in-flight endpoint frames")
 	)
 	flag.Parse()
+
+	if *standby {
+		runStandby(*id, *listen, *ringCap, *drain)
+		return
+	}
 
 	targetArch, err := native.ParseArch(*arch)
 	if err != nil {
@@ -130,7 +150,62 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Fprintln(os.Stderr, "rdxd: shutting down")
+	s := <-sig
+	log.Printf("rdxd: %v: stopping accept, draining in-flight frames (grace %s)", s, *drain)
+	l.Close()            // no new QPs
+	n.RNIC.Drain(*drain) // in-flight verbs get their replies
+	fmt.Fprintln(os.Stderr, "rdxd: final telemetry snapshot:")
+	reg.WriteJSON(os.Stderr)
+	fmt.Fprintln(os.Stderr)
 	n.Close()
+	log.Printf("rdxd: shutdown complete")
+}
+
+// runStandby serves a controlha.Host: the witness and journal-ring MRs that
+// back leader election and journal replication. The process is purely
+// passive memory — controllers mutate it with one-sided verbs.
+func runStandby(id, listen string, ringCap uint64, drain time.Duration) {
+	h, err := controlha.NewHost(ringCap)
+	if err != nil {
+		log.Fatalf("rdxd: standby: %v", err)
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatalf("rdxd: %v", err)
+	}
+	log.Printf("rdxd: HA standby %s serving witness+ring (cap %d bytes) on %s",
+		id, h.RingCap(), l.Addr())
+	go func() {
+		if err := h.Serve(l); err != nil {
+			log.Printf("rdxd: standby serve: %v", err)
+		}
+	}()
+
+	// Pump the replication ring into the local journal copy so a promotion
+	// never depends on the ring still holding the whole history.
+	stopPump := make(chan struct{})
+	go func() {
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopPump:
+				return
+			case <-t.C:
+				if _, err := h.Pump(); err != nil {
+					log.Printf("rdxd: standby pump: %v", err)
+				}
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("rdxd: %v: standby draining (grace %s, %d journal bytes pumped)", s, drain, h.Consumed())
+	close(stopPump)
+	l.Close()
+	h.Endpoint().Drain(drain)
+	h.Close()
+	log.Printf("rdxd: shutdown complete")
 }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"time"
 
@@ -61,6 +62,11 @@ type App struct {
 	serviceCost time.Duration
 	rng         *rand.Rand
 	rngMu       sync.Mutex
+
+	// listeners retains each node's fabric listener so RestartNode can
+	// close and re-open the same name, modelling an endpoint restart.
+	lisMu     sync.Mutex
+	listeners []net.Listener
 }
 
 // NewApp builds an app with a layered service DAG: services/3 layers (min
@@ -101,6 +107,7 @@ func NewApp(name string, opts Options) (*App, error) {
 			return nil, err
 		}
 		go n.Serve(l)
+		app.listeners = append(app.listeners, l)
 		app.Services = append(app.Services, &Service{Node: n, Agent: agent.New(n)})
 	}
 	app.buildChains(opts.Services)
@@ -153,6 +160,58 @@ func (a *App) ConnectControlPlane(cp *core.ControlPlane) error {
 	}
 	return nil
 }
+
+// ConnectControlPlaneReconn binds a CodeFlow to every service node over a
+// reconnecting QP: the control-plane transport survives endpoint restarts
+// (RestartNode) mid-rollout, replaying idempotent verbs on the re-dialed
+// connection. timeout bounds each verb (zero keeps the ReconnQP default).
+func (a *App) ConnectControlPlaneReconn(cp *core.ControlPlane, timeout time.Duration) error {
+	for _, s := range a.Services {
+		id := s.Node.ID
+		qp, err := rdma.NewReconnQP(rdma.ReconnConfig{
+			Dial:        func() (net.Conn, error) { return a.fabric.Dial(id) },
+			VerbTimeout: timeout,
+			Logf:        func(string, ...interface{}) {},
+		})
+		if err != nil {
+			return err
+		}
+		cf, err := cp.CreateCodeFlowQP(qp)
+		if err != nil {
+			return err
+		}
+		s.CF = cf
+	}
+	return nil
+}
+
+// RestartNode models an endpoint restart of service i: the fabric listener
+// closes, every control-plane QP into the node is severed, and the same
+// endpoint immediately re-listens under the same name with its MR table
+// intact. In-process request traffic (ExecHook) is unaffected — only the
+// control plane's QPs flap, which is exactly the fault a ReconnQP-backed
+// rollout must ride out.
+func (a *App) RestartNode(i int) error {
+	s := a.Services[i]
+	a.lisMu.Lock()
+	old := a.listeners[i]
+	a.lisMu.Unlock()
+	old.Close()
+	s.Node.RNIC.CloseConns()
+	l, err := a.fabric.Listen(s.Node.ID)
+	if err != nil {
+		return err
+	}
+	a.lisMu.Lock()
+	a.listeners[i] = l
+	a.lisMu.Unlock()
+	go s.Node.Serve(l)
+	return nil
+}
+
+// Fabric exposes the app's private fabric so HA components (a standby
+// controller host, a witness) can live on the same network as the nodes.
+func (a *App) Fabric() *rdma.Fabric { return a.fabric }
 
 // Group returns the collective CodeFlow over all services.
 func (a *App) Group() core.Group {

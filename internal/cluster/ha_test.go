@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rdx/internal/core"
+	"rdx/internal/ext"
+	"rdx/internal/rdma"
+)
+
+// TestConsistencyWindowBoundedAcrossReconnect is the Fig 2b consistency
+// experiment run on a faulty fabric: the control plane rides ReconnQPs,
+// and one node's endpoint restarts in the middle of the rollout, severing
+// that node's control QP mid-broadcast. The ReconnQP re-dials and replays,
+// the rollout completes, and the inconsistency window — the span during
+// which requests observed mixed generations — stays bounded by the rollout
+// span, restart included. Without the reconnect layer the broadcast would
+// fail and the fleet would stay split indefinitely.
+func TestConsistencyWindowBoundedAcrossReconnect(t *testing.T) {
+	app, err := NewApp("fig2b-ha", Options{
+		Services:    5,
+		Latency:     rdma.NoLatency(),
+		ServiceCost: 5 * time.Microsecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(app.Close)
+	cp := core.NewControlPlane()
+	if err := app.ConnectControlPlaneReconn(cp, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline generation on every node.
+	if _, err := app.RDXRollout(GenerationExt(ext.KindEBPF, 1, 10), false); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := app.StartTraffic(400)
+
+	// Restart a mid-chain node's endpoint while the gen-2 rollout runs.
+	restarted := make(chan error, 1)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		restarted <- app.RestartNode(2)
+	}()
+
+	rolloutStart := time.Now()
+	if _, err := app.RDXRollout(GenerationExt(ext.KindEBPF, 2, 10), false); err != nil {
+		t.Fatalf("rollout across restart: %v", err)
+	}
+	rolloutSpan := time.Since(rolloutStart)
+	if err := <-restarted; err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+
+	// Post-rollout soak: any mixed request here would mean the window is
+	// NOT bounded by the rollout.
+	time.Sleep(60 * time.Millisecond)
+	tr.Stop()
+
+	if tr.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if win := tr.MixedWindow(); win > rolloutSpan+20*time.Millisecond {
+		t.Errorf("inconsistency window %v exceeds rollout span %v", win, rolloutSpan)
+	}
+
+	// Every service — including the restarted one — converged on gen 2.
+	for i := 0; i < 20; i++ {
+		res := app.DoRequest(context.Background(), uint64(1000+i))
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Mixed {
+			t.Errorf("mixed request after rollout completed: %v", res.Verdicts)
+		}
+		for _, v := range res.Verdicts {
+			if v != 102 {
+				t.Errorf("post-rollout verdicts = %v, want all 102", res.Verdicts)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package controlha
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzJournalReplay feeds arbitrary byte streams to Replay. The contract
+// under attack: corrupted, truncated, or reordered journals must produce a
+// typed error (ErrCorrupt / ErrTruncated / ErrBadSequence) — never a panic
+// — and any stream that does replay must replay deterministically.
+func FuzzJournalReplay(f *testing.F) {
+	valid := sampleJournal().Bytes()
+	f.Add([]byte{})
+	f.Add([]byte("not a journal at all"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])           // truncated mid-entry
+	f.Add(append([]byte{0xff}, valid...)) // misaligned prefix
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0x80
+	f.Add(corrupt)
+	// Two entries swapped: decodes cleanly, fails the sequence check.
+	entries := sampleJournal().Entries()
+	entries[0], entries[1] = entries[1], entries[0]
+	var swapped []byte
+	for i := range entries {
+		swapped = append(swapped, entries[i].Encode()...)
+	}
+	f.Add(swapped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s1, err1 := Replay(data)
+		s2, err2 := Replay(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if !errors.Is(err1, ErrCorrupt) && !errors.Is(err1, ErrTruncated) && !errors.Is(err1, ErrBadSequence) {
+				t.Fatalf("untyped replay error: %v", err1)
+			}
+			return
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("replay diverged on identical input:\n%+v\n%+v", s1, s2)
+		}
+		if s1.Entries > 0 && s1.LastSeq == 0 {
+			t.Fatalf("replayed %d entries with lastSeq 0", s1.Entries)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package controlha
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"rdx/internal/mem"
+	"rdx/internal/rdma"
+)
+
+// Arena layout of a standby host: the witness region first (8-aligned,
+// padded to 64), then the replication ring (header + data).
+const hostWitnessBase = 0
+const hostRingBase = 64
+
+// Host is the standby-owned memory a leader replicates into: one arena
+// behind one endpoint, exposing the witness MR (lease word + fencing
+// epoch) and the journal ring MR. The standby itself touches this memory
+// only with local reads (Pump) — all mutation arrives as one-sided verbs
+// from whichever controller currently leads, so the host doubles as the
+// election witness: no standby-side logic can disagree with the CAS
+// outcomes in its own arena.
+type Host struct {
+	arena   *mem.Arena
+	ep      *rdma.Endpoint
+	ringCap uint64
+
+	mu       sync.Mutex
+	consumed uint64
+	journal  []byte
+}
+
+// NewHost creates a standby host with a journal ring of ringCap data bytes
+// (DefaultRingCap if zero) and registers the witness and ring MRs.
+func NewHost(ringCap uint64) (*Host, error) {
+	if ringCap == 0 {
+		ringCap = DefaultRingCap
+	}
+	arena := mem.NewArena(int(hostRingBase + RingHdrSize + ringCap))
+	ep := rdma.NewEndpoint(arena, nil)
+	if _, err := ep.RegisterMR(WitnessMRName, hostWitnessBase, WitnessSize, rdma.PermAll); err != nil {
+		return nil, err
+	}
+	if _, err := ep.RegisterMR(RingMRName, hostRingBase, RingHdrSize+ringCap, rdma.PermAll); err != nil {
+		return nil, err
+	}
+	if err := arena.WriteQword(hostRingBase+ringOffMagic, RingMagic); err != nil {
+		return nil, err
+	}
+	if err := arena.WriteQword(hostRingBase+ringOffCap, ringCap); err != nil {
+		return nil, err
+	}
+	return &Host{arena: arena, ep: ep, ringCap: ringCap}, nil
+}
+
+// Endpoint exposes the host's RNIC (for Serve / instrument wiring).
+func (h *Host) Endpoint() *rdma.Endpoint { return h.ep }
+
+// Serve accepts controller connections on l (blocking, like rdma.Endpoint.Serve).
+func (h *Host) Serve(l net.Listener) error { return h.ep.Serve(l) }
+
+// Close tears down the host's endpoint.
+func (h *Host) Close() { h.ep.Close() }
+
+// WitnessBase and RingBase return the arena addresses of the two MRs, as
+// remote controllers will see them in the MR table.
+func (h *Host) WitnessBase() uint64 { return hostWitnessBase }
+func (h *Host) RingBase() uint64    { return hostRingBase }
+
+// RingCap returns the ring's data capacity in bytes.
+func (h *Host) RingCap() uint64 { return h.ringCap }
+
+// Pump consumes newly committed ring bytes into the host's local journal
+// copy, returning how many bytes it advanced. Only bytes at or below the
+// CAS-committed high-watermark are trusted; a gap larger than the ring's
+// capacity means the oldest unconsumed bytes were overwritten before this
+// standby read them — ErrRingOverrun, unrecoverable without a full
+// journal transfer.
+func (h *Host) Pump() (uint64, error) {
+	hwm, err := h.arena.ReadQword(hostRingBase + ringOffHwm)
+	if err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if hwm <= h.consumed {
+		return 0, nil
+	}
+	n := hwm - h.consumed
+	if n > h.ringCap {
+		return 0, fmt.Errorf("%w: %d committed bytes beyond consumption, capacity %d",
+			ErrRingOverrun, n, h.ringCap)
+	}
+	pos := h.consumed % h.ringCap
+	first := n
+	if pos+n > h.ringCap {
+		first = h.ringCap - pos
+	}
+	chunk, err := h.arena.Read(hostRingBase+RingHdrSize+pos, int(first))
+	if err != nil {
+		return 0, err
+	}
+	h.journal = append(h.journal, chunk...)
+	if first < n {
+		rest, err := h.arena.Read(hostRingBase+RingHdrSize, int(n-first))
+		if err != nil {
+			return 0, err
+		}
+		h.journal = append(h.journal, rest...)
+	}
+	h.consumed = hwm
+	return n, nil
+}
+
+// JournalBytes snapshots the pumped journal copy.
+func (h *Host) JournalBytes() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]byte(nil), h.journal...)
+}
+
+// Consumed returns how many replicated bytes this standby has pumped.
+func (h *Host) Consumed() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.consumed
+}

@@ -256,7 +256,11 @@ func (cf *CodeFlow) allocCode(rem *RemoteMemory, size int) (uint64, uint64, erro
 			}
 		}
 		cf.wrapEpoch++
+		wrapped := cf.wrapEpoch
 		cf.mu.Unlock()
+		if j := cf.cp.journal(); j != nil {
+			j.JournalReclaim(cf.NodeKey(), wrapped)
+		}
 	}
 }
 
@@ -432,6 +436,11 @@ func (cf *CodeFlow) deployProgOnce(bin *native.Binary, hook string, hookAddr uin
 	// CAS below would dispatch someone else's bytes.
 	if cf.wrappedSince(epoch) {
 		return Deployed{}, fmt.Errorf("core: deploy of %q on %q: %w", bin.Name, hook, ErrRingWrapped)
+	}
+	// Leadership fence: a deposed controller must not flip the dispatch
+	// pointer, no matter how far the stage got (see FenceCheck).
+	if err := cf.cp.checkFence(); err != nil {
+		return Deployed{}, fmt.Errorf("core: deploy of %q on %q: %w", bin.Name, hook, err)
 	}
 	if err := cf.Tx(
 		[]TxWrite{
@@ -629,6 +638,11 @@ func (cf *CodeFlow) Rollback(hook string) (Deployed, error) {
 	// pointer flip.
 	cf.pubMu.Lock()
 	defer cf.pubMu.Unlock()
+	// Check the fence before touching the rollback stack: a deposed
+	// controller must neither flip the pointer nor mutate its bookkeeping.
+	if err := cf.cp.checkFence(); err != nil {
+		return Deployed{}, fmt.Errorf("core: rollback of %q: %w", hook, err)
+	}
 	cf.mu.Lock()
 	h := cf.history[hook]
 	if len(h) < 2 {
@@ -662,6 +676,9 @@ func (cf *CodeFlow) Rollback(hook string) (Deployed, error) {
 	// deployed-version map past its last-writer-wins guard.
 	cf.cp.recordDeployed(cf.NodeKey(), hook,
 		DeployedVersion{Digest: prev.Digest, Version: prev.Version, Blob: prev.Blob}, true)
+	if j := cf.cp.journal(); j != nil {
+		j.JournalRollback(cf.NodeKey(), hook, prev)
+	}
 	return prev, nil
 }
 
@@ -766,6 +783,11 @@ func (cf *CodeFlow) tryResidentInject(e *ext.Extension, hook string, digest stri
 	if cf.wrappedSince(epoch) {
 		return false, nil
 	}
+	// Commit-only path or not, the fast-path CAS is still a dispatch flip:
+	// a deposed controller fails here instead of republishing stale code.
+	if err := cf.cp.checkFence(); err != nil {
+		return true, fmt.Errorf("core: inject of %q on %q: %w", e.Name(), hook, err)
+	}
 	t0 := time.Now()
 	if err := cf.Tx(
 		[]TxWrite{{Addr: hookAddr + node.HookOffVersion, Qword: version}},
@@ -785,6 +807,10 @@ func (cf *CodeFlow) tryResidentInject(e *ext.Extension, hook string, digest stri
 	cf.mu.Unlock()
 	cf.cp.recordDeployed(cf.NodeKey(), hook,
 		DeployedVersion{Digest: digest, Version: version, Blob: res.blob}, false)
+	if j := cf.cp.journal(); j != nil {
+		j.JournalPublish(cf.NodeKey(), hook,
+			Deployed{Blob: res.blob, Version: version, Name: e.Name(), Digest: digest})
+	}
 	return true, nil
 }
 

@@ -78,6 +78,11 @@ type ControlPlane struct {
 	// sched is the lazily created injection scheduler (see Scheduler).
 	schedOnce sync.Once
 	sched     *pipeline.Scheduler
+
+	// ha holds the replication hooks (ha.go): the leadership fence checked
+	// before every dispatch CAS and the deployment-journal sink. Both are
+	// nil on a standalone controller.
+	ha haState
 }
 
 type verKey struct {
@@ -102,14 +107,7 @@ type RegistryStats struct {
 
 // NewControlPlane creates an empty control plane.
 func NewControlPlane() *ControlPlane {
-	reg := telemetry.NewRegistry()
-	return &ControlPlane{
-		artifacts: artifact.NewCache(artifact.Config{Registry: reg}),
-		versions:  map[verKey]DeployedVersion{},
-		Registry:  reg,
-		Tracer:    telemetry.NewTraceRecorder(0),
-		wire:      rdma.NewWireMetrics(reg, "rdma.qp"),
-	}
+	return NewControlPlaneWith(nil, nil)
 }
 
 // Artifacts exposes the content-addressed artifact store (test and
@@ -136,6 +134,13 @@ func (cp *ControlPlane) ValidateCode(e *ext.Extension) (ext.Info, error) {
 		cp.Stats.ValidateMisses++
 	}
 	cp.mu.Unlock()
+	// Only actual validator runs are journaled: replaying a hit would make
+	// the standby's replayed intent log diverge from the work done.
+	if !hit && err == nil {
+		if j := cp.journal(); j != nil {
+			j.JournalValidate(e.Digest())
+		}
+	}
 	return info, err
 }
 
@@ -177,6 +182,11 @@ func (cp *ControlPlane) JITCompileCode(e *ext.Extension, arch native.Arch) (*nat
 		cp.Stats.CompileMisses++
 	}
 	cp.mu.Unlock()
+	if !hit {
+		if j := cp.journal(); j != nil {
+			j.JournalCompile(e.Digest(), arch)
+		}
+	}
 	return art.Binary(), nil
 }
 

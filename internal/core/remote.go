@@ -18,7 +18,9 @@ import (
 // even ErrUncertain is safe to retry at this layer. Remote status errors
 // (bounds, access) are deterministic and are not retryable. A code-ring
 // wrap racing a stage (ErrRingWrapped) is transient for the same reason:
-// re-driving the stage allocates fresh, post-wrap ring space.
+// re-driving the stage allocates fresh, post-wrap ring space. ErrFenced is
+// deliberately NOT retryable: a deposed controller stays deposed until a
+// new lease is acquired, so re-driving the publish would only spin.
 func Retryable(err error) bool {
 	return rdma.IsTransportErr(err) || errors.Is(err, rdma.ErrUncertain) ||
 		errors.Is(err, ErrRingWrapped)

@@ -55,6 +55,15 @@ func (cf *CodeFlow) claimStandby(hook string, need int) (*slotImage, uint64) {
 	cf.mu.Lock()
 	defer cf.mu.Unlock()
 	epoch := cf.wrapEpoch
+	// A fenced (deposed) controller must not scatter-write into a standby:
+	// the new leader may have re-published that blob, making it live again.
+	// Returning no slot sends the stage to a fresh ring allocation — the
+	// bump allocator never reuses space before a wrap, so the deposed
+	// leader's writes land in memory nothing dispatches, and its publish is
+	// refused by the fence check before the CAS anyway.
+	if cf.cp.checkFence() != nil {
+		return nil, epoch
+	}
 	hs := cf.slots[hook]
 	if hs == nil || hs.standby == nil {
 		return nil, epoch
@@ -95,6 +104,9 @@ func (cf *CodeFlow) claimStandby(hook string, need int) (*slotImage, uint64) {
 		cf.cp.Registry.Counter("core.history.reclaimed").Add(uint64(reclaimed))
 	}
 	delete(cf.codeHashes, s.blob)
+	if j := cf.cp.journal(); j != nil {
+		j.JournalClaim(cf.NodeKey(), s.blob)
+	}
 	return s, epoch
 }
 
@@ -123,6 +135,9 @@ func (cf *CodeFlow) installPublished(hook string, slot *slotImage, d Deployed) {
 	cf.mu.Unlock()
 	cf.cp.recordDeployed(cf.NodeKey(), hook,
 		DeployedVersion{Digest: d.Digest, Version: d.Version, Blob: d.Blob}, false)
+	if j := cf.cp.journal(); j != nil {
+		j.JournalPublish(cf.NodeKey(), hook, d)
+	}
 }
 
 // switchDispatch records a commit-only pointer flip (resident fast path,

@@ -42,8 +42,8 @@ type StagedDeploy struct {
 	// write and publish steps re-check it (wrappedSince) so a wrap racing
 	// the stage fails it retryably instead of touching reclaimed space.
 	epoch uint64
-	link     time.Duration
-	write    time.Duration
+	link  time.Duration
+	write time.Duration
 }
 
 // StageExtension runs everything except publication for one node: JIT (via
@@ -121,6 +121,9 @@ func (cf *CodeFlow) StageExtension(ctx context.Context, e *ext.Extension, hook s
 	cf.mu.Lock()
 	cf.codeHashes[sd.blob] = hex.EncodeToString(codeSum[:])
 	cf.mu.Unlock()
+	if j := cf.cp.journal(); j != nil {
+		j.JournalStage(cf.NodeKey(), hook, sd.name, sd.digest, sd.version, sd.blob)
+	}
 	return sd, nil
 }
 
@@ -228,6 +231,12 @@ func (s *StagedDeploy) Publish(ctx context.Context) error {
 	// re-driven stage allocates post-wrap space.
 	if cf.wrappedSince(s.epoch) {
 		return fmt.Errorf("core: publish of %q on %q: %w", s.name, s.hook, ErrRingWrapped)
+	}
+	// Leadership fence: checked after the wrap guard and immediately before
+	// the commit CAS, so a controller deposed mid-broadcast cannot flip the
+	// hook pointer (ErrFenced is permanent — the scheduler won't retry it).
+	if err := cf.cp.checkFence(); err != nil {
+		return fmt.Errorf("core: publish of %q on %q: %w", s.name, s.hook, err)
 	}
 	if err := cf.txOn(rem,
 		[]TxWrite{{Addr: s.hookAddr + node.HookOffVersion, Qword: s.version}},

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rdx/internal/artifact"
+	"rdx/internal/cluster"
+	"rdx/internal/controlha"
+	"rdx/internal/core"
+	"rdx/internal/ext"
+	"rdx/internal/node"
+	"rdx/internal/pipeline"
+	"rdx/internal/rdma"
+	"rdx/internal/telemetry"
+	"rdx/internal/xabi"
+)
+
+// HA is the control-plane failover experiment: a fleet rides one leader,
+// the leader is deposed at the worst possible moment — the publish barrier
+// of an atomic Group broadcast, after every blob is staged but before any
+// hook pointer flips — and a standby takes over by stealing the CAS lease,
+// replaying the replicated deployment journal, and re-driving the
+// interrupted job. The experiment is self-checking:
+//
+//   - the deposed leader must not flip a single hook pointer: every publish
+//     it attempts after deposal fails with core.ErrFenced (typed), and the
+//     fleet still serves the old generation afterward;
+//   - journal replay must hand the successor the interrupted intents (one
+//     staged-but-unpublished deployment per node);
+//   - after the successor re-drives the broadcast, every node converges to
+//     exactly the new generation with zero torn blobs (each hook executes
+//     end to end and returns the new verdict);
+//   - the shared artifact cache makes the re-drive free of recompiles:
+//     artifact.compile.invocations is flat across the failover.
+//
+// Takeover latency lands in the controlha.takeover.latency histogram.
+func HA(opts Options) (*telemetry.Table, error) {
+	nodes, filler := 4, 6000
+	if opts.Quick {
+		nodes, filler = 3, 3000
+	}
+	const hook = "ingress"
+	ttl := time.Second
+
+	fab := rdma.NewFabric()
+
+	// The standby host: passive memory serving the witness and ring MRs.
+	host, err := controlha.NewHost(0)
+	if err != nil {
+		return nil, err
+	}
+	defer host.Close()
+	hl, err := fab.Listen("ha-standby")
+	if err != nil {
+		return nil, err
+	}
+	go host.Serve(hl)
+
+	// Shared registry + artifact cache: what failover hands the successor.
+	reg := telemetry.NewRegistry()
+	arts := artifact.NewCache(artifact.Config{Registry: reg})
+
+	// The fleet, bound to the first leader.
+	cp1 := core.NewControlPlaneWith(arts, reg)
+	var fleet []*node.Node
+	var g1 core.Group
+	for i := 0; i < nodes; i++ {
+		id := fmt.Sprintf("ha-node-%d", i)
+		n, err := node.New(node.Config{
+			ID: id, Hooks: []string{hook}, Cores: 2, Latency: rdma.NoLatency(), Seed: int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		l, err := fab.Listen(id)
+		if err != nil {
+			return nil, err
+		}
+		go n.Serve(l)
+		conn, err := fab.Dial(id)
+		if err != nil {
+			return nil, err
+		}
+		cf, err := cp1.CreateCodeFlow(conn)
+		if err != nil {
+			return nil, err
+		}
+		defer cf.Close()
+		fleet = append(fleet, n)
+		g1 = append(g1, cf)
+	}
+
+	dialQP := func(id string) (rdma.Verbs, error) {
+		conn, err := fab.Dial(id)
+		if err != nil {
+			return nil, err
+		}
+		return rdma.NewQP(conn), nil
+	}
+
+	wqp, err := dialQP("ha-standby")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := controlha.AttachLeader(cp1, wqp, 1, ttl); err != nil {
+		return nil, fmt.Errorf("ha: attach leader: %w", err)
+	}
+
+	tbl := telemetry.NewTable(
+		fmt.Sprintf("HA — leader deposed at the publish barrier of a %d-node broadcast", nodes),
+		"phase", "latency", "outcome")
+
+	// Generation 1: a clean broadcast under the first leader, fully
+	// journaled and replicated.
+	gen1 := cluster.GenerationExt(ext.KindEBPF, 1, filler)
+	rep1, err := g1.Broadcast(gen1, core.BroadcastOptions{Hook: hook})
+	if err != nil {
+		return nil, fmt.Errorf("ha: gen-1 broadcast: %w", err)
+	}
+	tbl.AddRowf("gen-1 broadcast (leader 1)", rep1.Total, fmt.Sprintf("%d nodes published", nodes))
+
+	// The successor: a fresh control plane sharing the artifact cache, with
+	// its own CodeFlows to the same fleet (keyed by NodeKey for replay).
+	cp2 := core.NewControlPlaneWith(arts, reg)
+	flows2 := map[string]*core.CodeFlow{}
+	var g2 core.Group
+	for i := 0; i < nodes; i++ {
+		conn, err := fab.Dial(fmt.Sprintf("ha-node-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		cf, err := cp2.CreateCodeFlow(conn)
+		if err != nil {
+			return nil, err
+		}
+		defer cf.Close()
+		flows2[cf.NodeKey()] = cf
+		g2 = append(g2, cf)
+	}
+
+	// Generation 2, interrupted: the broadcast runs as an atomic scheduler
+	// job (exactly what Group.Broadcast submits); at the publish barrier —
+	// every blob staged, no pointer flipped — the standby steals the lease
+	// and replays the journal. The old leader then proceeds, unaware it is
+	// deposed, into the publish fan-out.
+	gen2 := cluster.GenerationExt(ext.KindEBPF, 2, filler)
+	var (
+		ldr2        *controlha.Leader
+		replayed    *controlha.State
+		takeoverErr error
+	)
+	targets := make([]pipeline.Target, len(g1))
+	for i, cf := range g1 {
+		targets[i] = cf
+	}
+	res, err := cp1.Scheduler().Inject(pipeline.Request{
+		Ext: gen2, Hook: hook, Targets: targets, Atomic: true,
+		BeforePublish: func() error {
+			hqp, err := dialQP("ha-standby")
+			if err != nil {
+				takeoverErr = err
+				return nil
+			}
+			ldr2, replayed, takeoverErr = controlha.TakeOver(cp2, host, hqp, 2, ttl, flows2)
+			return nil // leader 1 carries on, fenced but oblivious
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ha: interrupted broadcast submit: %w", err)
+	}
+	if takeoverErr != nil {
+		return nil, fmt.Errorf("ha: takeover: %w", takeoverErr)
+	}
+
+	// Self-check: every publish the deposed leader attempted must have been
+	// rejected by the fencing epoch, with the typed error.
+	fenced := 0
+	for _, o := range res.Outcomes {
+		if o.Err != nil && errors.Is(o.Err, core.ErrFenced) {
+			fenced++
+		}
+	}
+	if fenced == 0 {
+		return nil, fmt.Errorf("ha: deposed leader's publishes not fenced: %+v", res.Outcomes)
+	}
+	// And no hook pointer flipped: the fleet still serves generation 1.
+	if err := verifyGeneration(fleet, hook, 101); err != nil {
+		return nil, fmt.Errorf("ha: deposed leader flipped a pointer: %w", err)
+	}
+	tbl.AddRowf("gen-2 publish by deposed leader", time.Duration(0),
+		fmt.Sprintf("%d/%d fenced (ErrFenced), fleet still on gen 1", fenced, nodes))
+
+	// Self-check: replay reconstructed the interrupted intents — one staged,
+	// unpublished gen-2 deployment per node.
+	if len(replayed.Open) != nodes {
+		return nil, fmt.Errorf("ha: replay found %d open intents, want %d", len(replayed.Open), nodes)
+	}
+	takeoverLat := time.Duration(reg.Histogram("controlha.takeover.latency").Median())
+	tbl.AddRowf("standby takeover (steal+replay)", takeoverLat,
+		fmt.Sprintf("%d journal entries, %d interrupted intents", replayed.Entries, len(replayed.Open)))
+
+	// A straggling direct publish from the deposed leader must also be
+	// rejected (the regression the fencing epoch exists for).
+	if _, err := g1[0].InjectExtension(gen2, hook); !errors.Is(err, core.ErrFenced) {
+		return nil, fmt.Errorf("ha: late publish by deposed leader not fenced: %v", err)
+	}
+
+	// The successor re-drives the interrupted broadcast. The shared artifact
+	// cache already holds gen-2 compiled, so this costs zero recompiles.
+	compilesBefore := reg.Counter("artifact.compile.invocations").Value()
+	rep2, err := g2.Broadcast(gen2, core.BroadcastOptions{Hook: hook})
+	if err != nil {
+		return nil, fmt.Errorf("ha: re-driven broadcast: %w", err)
+	}
+	compilesAfter := reg.Counter("artifact.compile.invocations").Value()
+	if compilesAfter != compilesBefore {
+		return nil, fmt.Errorf("ha: re-drive recompiled: %d -> %d invocations", compilesBefore, compilesAfter)
+	}
+	tbl.AddRowf("gen-2 re-drive (leader 2)", rep2.Total,
+		fmt.Sprintf("published, compile invocations flat at %d", compilesAfter))
+
+	// Convergence: every node serves exactly generation 2, end to end — a
+	// torn or half-published blob cannot execute to the new verdict.
+	if err := verifyGeneration(fleet, hook, 102); err != nil {
+		return nil, fmt.Errorf("ha: fleet did not converge: %w", err)
+	}
+	tbl.AddRowf("convergence check", time.Duration(0),
+		fmt.Sprintf("%d/%d nodes on gen 2, zero torn blobs", nodes, nodes))
+
+	_ = ldr2
+	return tbl, nil
+}
+
+// verifyGeneration executes every node's hook and requires the generation
+// verdict (100+gen) from each — proving the dispatched blob is whole.
+func verifyGeneration(fleet []*node.Node, hook string, verdict uint64) error {
+	for _, n := range fleet {
+		res, err := n.ExecHook(hook, make([]byte, xabi.CtxSize), nil)
+		if err != nil {
+			return fmt.Errorf("node %s: %w", n.ID, err)
+		}
+		if res.Verdict != verdict {
+			return fmt.Errorf("node %s: verdict %d, want %d", n.ID, res.Verdict, verdict)
+		}
+	}
+	return nil
+}

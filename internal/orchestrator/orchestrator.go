@@ -22,6 +22,7 @@
 package orchestrator
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -75,6 +76,7 @@ const (
 	StepLimit
 	StepRollback
 	StepDetachLimit
+	StepStatus
 )
 
 // Step is one executable statement.
@@ -226,6 +228,24 @@ func (p *Plan) parseStatement(f []string, line int) error {
 		p.Steps = append(p.Steps, step)
 		return nil
 
+	case "status":
+		// status [on <nodes|*>] — print what the control plane believes is
+		// deployed where: the same deployed-version map a journal replay
+		// reconstructs, so a status after failover is an HA smoke check.
+		step := Step{Kind: StepStatus, Line: line}
+		if len(f) > 1 {
+			if f[1] != "on" || len(f) < 3 {
+				return fmt.Errorf("status [on <nodes|*>]")
+			}
+			for _, n := range f[2:] {
+				if n != "*" {
+					step.Nodes = append(step.Nodes, n)
+				}
+			}
+		}
+		p.Steps = append(p.Steps, step)
+		return nil
+
 	default:
 		return fmt.Errorf("unknown statement %q", f[0])
 	}
@@ -286,7 +306,11 @@ type StepResult struct {
 	Step     Step
 	Took     time.Duration
 	Versions []uint64
-	Err      error
+	// Info carries human-readable output lines (the status statement's
+	// deployed-version report).
+	Info []string
+	// Err, when non-nil, is a *StepError carrying the statement's line.
+	Err error
 }
 
 // Result aggregates a plan execution.
@@ -295,19 +319,40 @@ type Result struct {
 	Took  time.Duration
 }
 
-// Execute runs the plan in order, stopping at the first failing step.
+// StepError is one failed statement, tagged with its plan line. Execute
+// aggregates them with errors.Join, so errors.As recovers each line and
+// errors.Is still matches the underlying causes (core.ErrFenced, ...).
+type StepError struct {
+	Line int
+	Kind StepKind
+	Err  error
+}
+
+func (e *StepError) Error() string { return fmt.Sprintf("line %d: %v", e.Line, e.Err) }
+func (e *StepError) Unwrap() error { return e.Err }
+
+// Execute runs every statement in order. A failing statement no longer
+// aborts the plan: it is recorded (as a *StepError with its line number)
+// and execution continues, so one bad node or hook doesn't strand the
+// rest of a fleet-wide rollout half-applied with no report of what else
+// would have happened. The aggregate error joins every step failure.
 func (o *Orchestrator) Execute(plan *Plan) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
+	var errs []error
 	for _, step := range plan.Steps {
 		sr := o.executeStep(plan, step)
-		res.Steps = append(res.Steps, sr)
 		if sr.Err != nil {
-			res.Took = time.Since(start)
-			return res, fmt.Errorf("orchestrator: line %d: %w", step.Line, sr.Err)
+			sr.Err = &StepError{Line: step.Line, Kind: step.Kind, Err: sr.Err}
+			errs = append(errs, sr.Err)
 		}
+		res.Steps = append(res.Steps, sr)
 	}
 	res.Took = time.Since(start)
+	if len(errs) > 0 {
+		return res, fmt.Errorf("orchestrator: %d of %d statements failed: %w",
+			len(errs), len(plan.Steps), errors.Join(errs...))
+	}
 	return res, nil
 }
 
@@ -377,6 +422,35 @@ func (o *Orchestrator) executeStep(plan *Plan, step Step) (sr StepResult) {
 				sr.Err = err
 				return sr
 			}
+		}
+		return sr
+
+	case StepStatus:
+		names := step.Nodes
+		if len(names) == 0 {
+			names = o.Nodes()
+		}
+		deployed := o.cp.DeployedVersions()
+		for _, name := range names {
+			cf, ok := o.flows[name]
+			if !ok {
+				sr.Err = fmt.Errorf("unknown node %q", name)
+				return sr
+			}
+			key := cf.NodeKey()
+			var lines []string
+			for k, dv := range deployed {
+				if k.Node != key {
+					continue
+				}
+				lines = append(lines, fmt.Sprintf("%s %s: version=%d digest=%.12s blob=%#x",
+					name, k.Hook, dv.Version, dv.Digest, dv.Blob))
+			}
+			sort.Strings(lines)
+			if len(lines) == 0 {
+				lines = []string{fmt.Sprintf("%s: nothing deployed", name)}
+			}
+			sr.Info = append(sr.Info, lines...)
 		}
 		return sr
 	}

@@ -2,6 +2,7 @@ package orchestrator
 
 import (
 	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 
@@ -165,8 +166,8 @@ deploy e to ingress on ghost
 	}
 }
 
-func TestExecuteStopsOnFailure(t *testing.T) {
-	o, _ := newOrch(t, "n1")
+func TestExecuteContinuesPastFailure(t *testing.T) {
+	o, nodes := newOrch(t, "n1")
 	plan, _ := Parse(`
 extension e udf "len >= 0"
 deploy e to nosuchhook on n1
@@ -176,8 +177,58 @@ deploy e to ingress on n1
 	if err == nil {
 		t.Fatal("plan with bad hook succeeded")
 	}
-	if len(res.Steps) != 1 {
-		t.Errorf("executed %d steps before failing, want 1", len(res.Steps))
+	// Both statements ran: the bad hook failed, the good one still deployed.
+	if len(res.Steps) != 2 {
+		t.Fatalf("executed %d steps, want 2 (continue past failure)", len(res.Steps))
+	}
+	if res.Steps[0].Err == nil || res.Steps[1].Err != nil {
+		t.Errorf("step errs = [%v, %v], want [fail, ok]", res.Steps[0].Err, res.Steps[1].Err)
+	}
+	// The aggregate error carries the failing statement's line number.
+	var se *StepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v does not unwrap to *StepError", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("StepError.Line = %d, want 3", se.Line)
+	}
+	if !strings.Contains(err.Error(), "1 of 2 statements failed") {
+		t.Errorf("aggregate error %q missing failure tally", err)
+	}
+	// The surviving deploy is live on the node.
+	if _, err := nodes["n1"].ExecHook("ingress", make([]byte, xabi.CtxSize), nil); err != nil {
+		t.Errorf("deploy after failed statement should have run: %v", err)
+	}
+}
+
+func TestExecuteStatusStatement(t *testing.T) {
+	o, _ := newOrch(t, "n1", "n2")
+	plan, err := Parse(`
+extension e udf "len >= 0"
+deploy e to ingress on n1
+status on *
+status on n2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 {
+		t.Fatalf("executed %d steps, want 3", len(res.Steps))
+	}
+	all := strings.Join(res.Steps[1].Info, "\n")
+	if !strings.Contains(all, "n1 ingress: version=1") {
+		t.Errorf("status on * missing n1 deployment:\n%s", all)
+	}
+	if !strings.Contains(all, "n2: nothing deployed") {
+		t.Errorf("status on * missing empty n2:\n%s", all)
+	}
+	only2 := strings.Join(res.Steps[2].Info, "\n")
+	if strings.Contains(only2, "n1") {
+		t.Errorf("status on n2 leaked n1 rows:\n%s", only2)
 	}
 }
 

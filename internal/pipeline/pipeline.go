@@ -274,6 +274,15 @@ func (s *Scheduler) finishJob(ctx context.Context, req Request, res *Result, sta
 		}
 		var wg sync.WaitGroup
 		var pubOK atomic.Int64
+		// For atomic jobs, the first permanently failed publish (a fenced
+		// controller, a deterministic remote fault — anything retries can't
+		// fix) aborts the publishes that haven't started: a half-published
+		// atomic rollout is exactly what Atomic exists to avoid, and a
+		// deposed leader discovering the fence on node 1 should not keep
+		// hammering nodes 2..N with CASes that will each be refused.
+		// The aborted outcomes wrap the triggering error so callers can
+		// errors.Is the real cause (e.g. core.ErrFenced) on any outcome.
+		var abort atomic.Pointer[error]
 		for i := range staged {
 			if staged[i] == nil {
 				continue
@@ -285,10 +294,18 @@ func (s *Scheduler) finishJob(ctx context.Context, req Request, res *Result, sta
 				defer func() { <-s.nodeSem }()
 				pubStart := time.Now()
 				o := &res.Outcomes[i]
+				if cause := abort.Load(); req.Atomic && cause != nil {
+					o.Err = fmt.Errorf("pipeline: publish on %s aborted, atomic job already failed permanently: %w", o.Node, *cause)
+					o.Latency += time.Since(pubStart)
+					return
+				}
 				attempts, err := s.withRetry(ctx, func() error { return staged[i].Publish(ctx) })
 				o.Attempts += attempts - 1
 				if err != nil {
 					o.Err = err
+					if req.Atomic && !s.cfg.Transient(err) {
+						abort.CompareAndSwap(nil, &err)
+					}
 				} else {
 					pubOK.Add(1)
 				}

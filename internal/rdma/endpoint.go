@@ -203,6 +203,57 @@ func (e *Endpoint) Close() {
 	e.wg.Wait()
 }
 
+// Drain shuts the endpoint down gracefully: stop accepting new QPs, let
+// in-flight frames finish for up to grace, then force-close whatever is
+// left. Unlike Close, a request mid-service gets its reply written before
+// the connection drops — peers observe a clean teardown (EOF after a
+// complete frame) instead of ErrInjected-like truncation noise. Each
+// handler's frame loop re-checks the closed channel between frames, so a
+// drained connection exits after at most one more request.
+func (e *Endpoint) Drain(grace time.Duration) {
+	e.closeMu.Do(func() {
+		close(e.closed)
+		// A handler blocked in readFrame holds no request: unblock it by
+		// expiring the read rather than severing the transport, so a frame
+		// already being serviced still gets its reply flushed.
+		e.connMu.Lock()
+		for c := range e.conns {
+			c.SetReadDeadline(time.Now().Add(grace))
+		}
+		e.connMu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace + 100*time.Millisecond):
+		// Stragglers (a handler stuck mid-write, a deadline that didn't
+		// take): fall back to the hard teardown.
+		e.connMu.Lock()
+		for c := range e.conns {
+			c.Close()
+		}
+		e.connMu.Unlock()
+		<-done
+	}
+}
+
+// CloseConns severs every active QP connection without stopping the
+// endpoint: the listener keeps accepting, so clients behind a ReconnQP
+// re-dial into the same (still-registered) MR table. This models a
+// transport flap — the restart half of the reconnect story — as opposed
+// to Close, which is the death of the node.
+func (e *Endpoint) CloseConns() {
+	e.connMu.Lock()
+	for c := range e.conns {
+		c.Close()
+	}
+	e.connMu.Unlock()
+}
+
 // ServeConn services one QP until the peer disconnects. Requests execute
 // strictly in order (RDMA per-QP ordering).
 func (e *Endpoint) ServeConn(conn net.Conn) {
