@@ -13,6 +13,7 @@
 //	rdxctl apply   -plan plan.rdx -nodes edge-1=host1:7700,edge-2=host2:7700
 //	rdxctl broadcast -nodes edge-1=host1:7700,edge-2=host2:7700 -hook ingress -synthetic 1300 -trace 1
 //	rdxctl stats   -ha -standby host:7800
+//	rdxctl stats   -shards 8 -standby host:7800
 //	rdxctl failover -standby host:7800 -nodes edge-1=host1:7700,... -lease-id 2
 package main
 
@@ -36,6 +37,7 @@ import (
 	"rdx/internal/orchestrator"
 	"rdx/internal/pipeline"
 	"rdx/internal/rdma"
+	"rdx/internal/shard"
 	"rdx/internal/telemetry"
 	"rdx/internal/udf"
 )
@@ -47,7 +49,9 @@ commands:
   info     show a node's architecture, hooks, GOT, and XState index
   deploy   validate, compile, link, and deploy an extension to a hook
   stats    read a hook's data-plane counters and the wire-verb registry;
-           with -http, scrape a node's /metrics (and /trace with -trace)
+           with -http, scrape a node's /metrics (and /trace with -trace);
+           with -shards N, inspect N shard standby hosts on consecutive
+           ports from -standby (lease, epoch, ring, journal per shard)
   detach   clear a hook's dispatch pointer (remote teardown)
   bench    deploy repeatedly and report injection latency
   apply    execute a declarative orchestration plan across nodes
@@ -79,12 +83,17 @@ func main() {
 		httpAddr  = fs.String("http", "", "stats: scrape a node's observability endpoint instead of its RNIC")
 		traceSpec = fs.Bool("trace", false, "broadcast/stats: dump per-trace spans")
 		ha        = fs.Bool("ha", false, "stats: read the HA witness and journal ring from -standby")
-		standby   = fs.String("standby", "", "HA standby host address (stats -ha, failover)")
+		shards    = fs.Int("shards", 0, "stats: inspect N shard standby hosts on consecutive ports from -standby")
+		standby   = fs.String("standby", "", "HA standby host address (stats -ha/-shards, failover)")
 		leaseID   = fs.Uint64("lease-id", 2, "controller ID to stamp into the HA lease (failover)")
 		leaseTTL  = fs.Duration("ttl", 2*time.Second, "HA lease TTL (failover)")
 	)
 	fs.Parse(os.Args[2:])
 
+	if cmd == "stats" && *shards > 0 {
+		runShardStats(*standby, *shards, *timeout)
+		return
+	}
 	if cmd == "stats" && *ha {
 		runHAStats(*standby, *timeout)
 		return
@@ -401,6 +410,54 @@ func runHAStats(standbyAddr string, timeout time.Duration) {
 		fmt.Printf("  OPEN intent: node=%#x hook=%s name=%s version=%d (staged, never published)\n",
 			in.Node, in.Hook, in.Name, in.Version)
 	}
+}
+
+// runShardStats inspects a sharded control plane: one witness+ring host
+// per shard on consecutive ports from -standby (the rdxd -standby -shards
+// layout), each read with one-sided verbs, rendered one row per shard. A
+// dead or unreachable shard host gets an error row instead of aborting —
+// per-shard failure isolation is the point of the deployment.
+func runShardStats(standbyAddr string, shards int, timeout time.Duration) {
+	if standbyAddr == "" {
+		log.Fatal("rdxctl: stats -shards requires -standby")
+	}
+	addrs, err := shard.Addrs(standbyAddr, shards)
+	if err != nil {
+		log.Fatalf("rdxctl: stats -shards: %v", err)
+	}
+	tbl := telemetry.NewTable(
+		fmt.Sprintf("sharded control plane — %d shard hosts from %s", shards, standbyAddr),
+		"shard", "addr", "lease", "epoch", "ring hwm/cap", "journal", "deployments")
+	for i, addr := range addrs {
+		qp, err := dialVerbs(addr, false, timeout)
+		if err != nil {
+			tbl.AddRowf(fmt.Sprintf("%d", i), addr, "UNREACHABLE: "+err.Error(), "-", "-", "-", "-")
+			continue
+		}
+		st, err := controlha.Inspect(qp)
+		if err != nil {
+			tbl.AddRowf(fmt.Sprintf("%d", i), addr, "INSPECT FAILED: "+err.Error(), "-", "-", "-", "-")
+			continue
+		}
+		lease := "vacant"
+		if st.Owner != 0 {
+			lease = fmt.Sprintf("held by %#x", st.Owner)
+			if !st.Expiry.IsZero() && time.Now().After(st.Expiry) {
+				lease += " (expired)"
+			}
+		}
+		journal := fmt.Sprintf("%d entries, seq %d", st.State.Entries, st.State.LastSeq)
+		if st.ReplayErr != nil {
+			journal = "unreplayable: " + st.ReplayErr.Error()
+		}
+		deploys := fmt.Sprintf("%d", len(st.State.Versions))
+		if n := len(st.State.Open); n > 0 {
+			deploys += fmt.Sprintf(" (+%d open intents)", n)
+		}
+		tbl.AddRowf(fmt.Sprintf("%d", i), addr, lease, fmt.Sprintf("%d", st.Epoch),
+			fmt.Sprintf("%d/%d", st.RingHwm, st.RingCap), journal, deploys)
+	}
+	fmt.Println(tbl.String())
 }
 
 // runFailover promotes this rdxctl invocation to fleet leader: steal the

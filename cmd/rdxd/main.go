@@ -22,6 +22,8 @@
 // replication ring MR (see internal/controlha). Leaders attach with
 // rdxctl failover / controlha.AttachLeader; the standby itself runs no
 // election logic — leadership is decided by CAS in its own memory.
+// -standby -shards N serves N independent hosts on consecutive ports from
+// -listen, one witness+ring per control-plane shard (see internal/shard).
 //
 // On SIGINT/SIGTERM rdxd shuts down gracefully: it stops accepting QPs,
 // drains in-flight endpoint frames (bounded by -drain), flushes a final
@@ -46,6 +48,7 @@ import (
 	"rdx/internal/native"
 	"rdx/internal/node"
 	"rdx/internal/rdma"
+	"rdx/internal/shard"
 	"rdx/internal/telemetry"
 )
 
@@ -60,13 +63,14 @@ func main() {
 		kvHook   = flag.String("kv-hook", "kv", "hook the KV app routes commands through ('' disables)")
 		httpAddr = flag.String("http", "", "optional observability listen address (/metrics, /trace)")
 		standby  = flag.Bool("standby", false, "serve a control-plane HA host (witness + journal ring) instead of a node")
+		shards   = flag.Int("shards", 1, "with -standby: serve N shard hosts on consecutive ports from -listen")
 		ringCap  = flag.Uint64("ring-cap", 0, "standby journal ring capacity in bytes (0 = default)")
 		drain    = flag.Duration("drain", 2*time.Second, "shutdown grace for in-flight endpoint frames")
 	)
 	flag.Parse()
 
 	if *standby {
-		runStandby(*id, *listen, *ringCap, *drain)
+		runStandby(*id, *listen, *shards, *ringCap, *drain)
 		return
 	}
 
@@ -161,51 +165,60 @@ func main() {
 	log.Printf("rdxd: shutdown complete")
 }
 
-// runStandby serves a controlha.Host: the witness and journal-ring MRs that
-// back leader election and journal replication. The process is purely
+// runStandby serves controlha.Hosts: the witness and journal-ring MRs that
+// back leader election and journal replication. With shards > 1 it serves
+// one independent host per shard on consecutive ports starting at -listen
+// — each shard's leader attaches to its own witness and ring, so shard
+// elections and replication never share state. The process is purely
 // passive memory — controllers mutate it with one-sided verbs.
-func runStandby(id, listen string, ringCap uint64, drain time.Duration) {
-	h, err := controlha.NewHost(ringCap)
+func runStandby(id, listen string, shards int, ringCap uint64, drain time.Duration) {
+	if shards < 1 {
+		shards = 1
+	}
+	addrs, err := shard.Addrs(listen, shards)
 	if err != nil {
 		log.Fatalf("rdxd: standby: %v", err)
 	}
-	l, err := net.Listen("tcp", listen)
-	if err != nil {
-		log.Fatalf("rdxd: %v", err)
-	}
-	log.Printf("rdxd: HA standby %s serving witness+ring (cap %d bytes) on %s",
-		id, h.RingCap(), l.Addr())
-	go func() {
-		if err := h.Serve(l); err != nil {
-			log.Printf("rdxd: standby serve: %v", err)
+	hosts := make([]*controlha.Host, 0, shards)
+	listeners := make([]net.Listener, 0, shards)
+	for i, addr := range addrs {
+		h, err := controlha.NewHost(ringCap)
+		if err != nil {
+			log.Fatalf("rdxd: standby: %v", err)
 		}
-	}()
-
-	// Pump the replication ring into the local journal copy so a promotion
-	// never depends on the ring still holding the whole history.
-	stopPump := make(chan struct{})
-	go func() {
-		t := time.NewTicker(50 * time.Millisecond)
-		defer t.Stop()
-		for {
-			select {
-			case <-stopPump:
-				return
-			case <-t.C:
-				if _, err := h.Pump(); err != nil {
-					log.Printf("rdxd: standby pump: %v", err)
-				}
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("rdxd: %v", err)
+		}
+		log.Printf("rdxd: HA standby %s shard %d serving witness+ring (cap %d bytes) on %s",
+			id, i, h.RingCap(), l.Addr())
+		go func(h *controlha.Host, l net.Listener, i int) {
+			if err := h.Serve(l); err != nil {
+				log.Printf("rdxd: standby shard %d serve: %v", i, err)
 			}
-		}
-	}()
+		}(h, l, i)
+		// Pump the replication ring into the local journal copy so a
+		// promotion never depends on the ring still holding the whole history.
+		h.StartPump(0, log.Printf)
+		hosts = append(hosts, h)
+		listeners = append(listeners, l)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	s := <-sig
-	log.Printf("rdxd: %v: standby draining (grace %s, %d journal bytes pumped)", s, drain, h.Consumed())
-	close(stopPump)
-	l.Close()
-	h.Endpoint().Drain(drain)
-	h.Close()
+	var pumped uint64
+	for _, h := range hosts {
+		pumped += h.Consumed()
+	}
+	log.Printf("rdxd: %v: standby draining %d host(s) (grace %s, %d journal bytes pumped)",
+		s, len(hosts), drain, pumped)
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, h := range hosts {
+		h.Endpoint().Drain(drain)
+		h.Close() // stops the pump too
+	}
 	log.Printf("rdxd: shutdown complete")
 }

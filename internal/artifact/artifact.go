@@ -85,7 +85,7 @@ func NewCache(cfg Config) *Cache {
 		checking:  map[string]*flight{},
 		hits:      reg.Counter("artifact.cache.hit"),
 		misses:    reg.Counter("artifact.cache.miss"),
-		evictions: reg.Counter("artifact.cache.evict"),
+		evictions: reg.Counter("artifact.cache.evictions"),
 		compiles:  reg.Counter("artifact.compile.invocations"),
 		validates: reg.Counter("artifact.validate.invocations"),
 		size:      reg.Gauge("artifact.cache.size"),

@@ -135,7 +135,7 @@ func TestCacheEvictsLRU(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("len = %d, want capacity 2", c.Len())
 	}
-	if got := reg.Counter("artifact.cache.evict").Value(); got < 2 {
+	if got := reg.Counter("artifact.cache.evictions").Value(); got < 2 {
 		t.Fatalf("evict counter = %d, want >= 2", got)
 	}
 	if got := reg.Gauge("artifact.cache.size").Value(); got != 2 {

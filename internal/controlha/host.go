@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"rdx/internal/mem"
 	"rdx/internal/rdma"
@@ -29,16 +30,30 @@ type Host struct {
 	mu       sync.Mutex
 	consumed uint64
 	journal  []byte
+
+	pumpMu   sync.Mutex
+	pumpStop chan struct{}
+	pumpDone chan struct{}
 }
 
 // NewHost creates a standby host with a journal ring of ringCap data bytes
 // (DefaultRingCap if zero) and registers the witness and ring MRs.
 func NewHost(ringCap uint64) (*Host, error) {
+	return NewHostWith(ringCap, nil)
+}
+
+// NewHostWith is NewHost with a latency model on the host's endpoint, so
+// simulated deployments pay a realistic per-verb cost on the replication
+// and election paths (nil injects no delay). The journal ring and the
+// lease words are the one serialization every publish of a control plane
+// crosses — modeling their latency is what makes shard-scaling experiments
+// honest about what sharding actually buys.
+func NewHostWith(ringCap uint64, lat *rdma.LatencyModel) (*Host, error) {
 	if ringCap == 0 {
 		ringCap = DefaultRingCap
 	}
 	arena := mem.NewArena(int(hostRingBase + RingHdrSize + ringCap))
-	ep := rdma.NewEndpoint(arena, nil)
+	ep := rdma.NewEndpoint(arena, lat)
 	if _, err := ep.RegisterMR(WitnessMRName, hostWitnessBase, WitnessSize, rdma.PermAll); err != nil {
 		return nil, err
 	}
@@ -60,8 +75,11 @@ func (h *Host) Endpoint() *rdma.Endpoint { return h.ep }
 // Serve accepts controller connections on l (blocking, like rdma.Endpoint.Serve).
 func (h *Host) Serve(l net.Listener) error { return h.ep.Serve(l) }
 
-// Close tears down the host's endpoint.
-func (h *Host) Close() { h.ep.Close() }
+// Close stops any background pump and tears down the host's endpoint.
+func (h *Host) Close() {
+	h.StopPump()
+	h.ep.Close()
+}
 
 // WitnessBase and RingBase return the arena addresses of the two MRs, as
 // remote controllers will see them in the MR table.
@@ -125,4 +143,52 @@ func (h *Host) Consumed() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.consumed
+}
+
+// StartPump begins pumping the replication ring into the local journal
+// copy every interval (default 50ms), so a later promotion never depends
+// on the ring still holding the whole history. Pump errors — including a
+// fatal ring overrun — go to logf when non-nil. Starting an already
+// pumping host is a no-op; StopPump (or Close) stops it.
+func (h *Host) StartPump(interval time.Duration, logf func(format string, args ...interface{})) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	h.pumpMu.Lock()
+	defer h.pumpMu.Unlock()
+	if h.pumpStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	h.pumpStop, h.pumpDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := h.Pump(); err != nil && logf != nil {
+					logf("controlha: standby pump: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// StopPump stops the background pump started by StartPump, waiting for the
+// in-flight tick to finish. No-op if the pump is not running.
+func (h *Host) StopPump() {
+	h.pumpMu.Lock()
+	stop, done := h.pumpStop, h.pumpDone
+	h.pumpStop, h.pumpDone = nil, nil
+	h.pumpMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
 }

@@ -93,18 +93,31 @@ func (cp *ControlPlane) journal() JournalSink {
 // artifact.compile.invocations stays flat. Nil arguments fall back to
 // fresh instances (NewControlPlane is NewControlPlaneWith(nil, nil)).
 func NewControlPlaneWith(arts *artifact.Cache, reg *telemetry.Registry) *ControlPlane {
+	return NewControlPlaneLabeled(arts, reg, "")
+}
+
+// NewControlPlaneLabeled is NewControlPlaneWith with a wire-series prefix:
+// the control plane's QP instruments register as "<wirePrefix>.*" instead
+// of the default "rdma.qp.*". N control-plane shards sharing one registry
+// (internal/shard) each pass a distinct prefix — "rdma.qp.shard3" and so
+// on — so per-shard wire traffic stays distinguishable in one snapshot.
+// An empty prefix keeps the default series name.
+func NewControlPlaneLabeled(arts *artifact.Cache, reg *telemetry.Registry, wirePrefix string) *ControlPlane {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
 	if arts == nil {
 		arts = artifact.NewCache(artifact.Config{Registry: reg})
 	}
+	if wirePrefix == "" {
+		wirePrefix = "rdma.qp"
+	}
 	return &ControlPlane{
 		artifacts: arts,
 		versions:  map[verKey]DeployedVersion{},
 		Registry:  reg,
 		Tracer:    telemetry.NewTraceRecorder(0),
-		wire:      rdma.NewWireMetrics(reg, "rdma.qp"),
+		wire:      rdma.NewWireMetrics(reg, wirePrefix),
 	}
 }
 

@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdx/internal/artifact"
+	"rdx/internal/cluster"
+	"rdx/internal/controlha"
+	"rdx/internal/core"
+	"rdx/internal/ext"
+	"rdx/internal/node"
+	"rdx/internal/rdma"
+	"rdx/internal/shard"
+	"rdx/internal/telemetry"
+	"rdx/internal/xabi"
+)
+
+// Shard is the sharded control-plane experiment: a multi-tenant fleet —
+// every (node, hook) slot owned by a distinct tenant — publishes through
+// the shard.Router, first over one control-plane shard, then over eight,
+// each shard with its own lease, journal, and standby from
+// internal/controlha. The experiment is self-checking:
+//
+//   - aggregate publish throughput at 8 shards must beat 1 shard by the
+//     scaling threshold (the per-shard journal ring and lease-check QP are
+//     the serialization sharding splits);
+//   - mid-run, one shard's lease is stolen (controlha.TakeOver): exactly
+//     that shard's tenants fail, every failure typed ErrShardUnavailable,
+//     that shard's publish counter stalls while every other shard's keeps
+//     advancing — the per-shard fencing claim;
+//   - Router.Reinstate installs the successor and the fenced key range
+//     converges (each failed tenant's hook serves the new generation);
+//   - the artifact cache is process-wide: across warmup, scaling, kill,
+//     and re-drive, artifact.compile.invocations stays at one compile per
+//     digest fleet-wide;
+//   - a throttled canary tenant is refused with typed ErrQuotaExceeded and
+//     the admission reject counter advances.
+func Shard(opts Options) (*telemetry.Table, error) {
+	nodesN, hooksN, rounds, pubWorkers, minScale := 16, node.HookSlots, 2, 64, 3.0
+	if opts.Quick {
+		nodesN, hooksN, rounds, pubWorkers, minScale = 4, 32, 2, 32, 1.5
+	}
+	const shardsN = 8
+	const filler = 900
+	// Long TTL: the kill below deposes by Steal (epoch bump), never by
+	// expiry, and a short TTL would depose slow phases spuriously.
+	ttl := time.Minute
+	tenantsN := nodesN * hooksN
+
+	fab := rdma.NewFabric()
+
+	// The fleet: every node hosts HookSlots hooks, one tenant per
+	// (node, hook) slot — the disjoint-hook-namespace deployment model the
+	// shard package requires (each shard exclusively owns the dispatch
+	// slots its keys reach).
+	hookNames := make([]string, hooksN)
+	for h := range hookNames {
+		hookNames[h] = fmt.Sprintf("h%02d", h)
+	}
+	var fleet []*node.Node
+	nodeNames := make([]string, nodesN)
+	for i := 0; i < nodesN; i++ {
+		nodeNames[i] = fmt.Sprintf("shard-node-%d", i)
+		n, err := node.New(node.Config{
+			ID: nodeNames[i], Hooks: hookNames, Cores: 2,
+			Latency: rdma.NoLatency(), Seed: int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		l, err := fab.Listen(nodeNames[i])
+		if err != nil {
+			return nil, err
+		}
+		go n.Serve(l)
+		fleet = append(fleet, n)
+	}
+
+	type tenantRef struct{ name, hook, nodeName string }
+	tenants := make([]tenantRef, 0, tenantsN)
+	for i := 0; i < nodesN; i++ {
+		for h := 0; h < hooksN; h++ {
+			tenants = append(tenants, tenantRef{
+				name:     fmt.Sprintf("tenant-%04d", i*hooksN+h),
+				hook:     hookNames[h],
+				nodeName: nodeNames[i],
+			})
+		}
+	}
+
+	// One artifact cache and registry for the whole experiment: every
+	// shard's control plane — in both phases, and the post-kill successor —
+	// shares it, so a digest compiles once fleet-wide, ever.
+	reg := telemetry.NewRegistry()
+	arts := artifact.NewCache(artifact.Config{Registry: reg})
+	gen1 := cluster.GenerationExt(ext.KindEBPF, 1, filler)
+	gen2 := cluster.GenerationExt(ext.KindEBPF, 2, filler)
+
+	// buildShard stands up one control-plane shard: its own standby host
+	// (witness + journal ring), its own leader lease and journal, and its
+	// own CodeFlows to every node. Nothing below the artifact cache is
+	// shared between two shards.
+	type shardRig struct {
+		host      *controlha.Host
+		cp        *core.ControlPlane
+		flowsName map[string]*core.CodeFlow // by fleet node name (executor)
+		flowsKey  map[string]*core.CodeFlow // by NodeKey (journal replay)
+	}
+	// Standby links pay a TCP-datacenter round trip per verb (rdxd serves
+	// standbys over TCP): lease checks and journal replication are the
+	// per-shard serialized path, and pretending those verbs are free would
+	// erase exactly the cost sharding splits. Pure sleep, no spin tail, so
+	// the modeled waits park instead of burning host cores.
+	haLat := &rdma.LatencyModel{Base: 100 * time.Microsecond, BytesPerSec: 3.125e9, SpinTail: -1}
+	buildShard := func(id int, hostName string, leaderID uint64) (*shardRig, error) {
+		host, err := controlha.NewHostWith(4<<20, haLat)
+		if err != nil {
+			return nil, err
+		}
+		hl, err := fab.Listen(hostName)
+		if err != nil {
+			return nil, err
+		}
+		go host.Serve(hl)
+		cp := core.NewControlPlaneLabeled(arts, reg, fmt.Sprintf("rdma.qp.shard%d", id))
+		rig := &shardRig{
+			host:      host,
+			cp:        cp,
+			flowsName: map[string]*core.CodeFlow{},
+			flowsKey:  map[string]*core.CodeFlow{},
+		}
+		for _, nn := range nodeNames {
+			conn, err := fab.Dial(nn)
+			if err != nil {
+				return nil, err
+			}
+			cf, err := cp.CreateCodeFlow(conn)
+			if err != nil {
+				return nil, err
+			}
+			rig.flowsName[nn] = cf
+			rig.flowsKey[cf.NodeKey()] = cf
+		}
+		wconn, err := fab.Dial(hostName)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := controlha.AttachLeader(cp, rdma.NewQP(wconn), leaderID, ttl); err != nil {
+			return nil, fmt.Errorf("shard %d: attach leader: %w", id, err)
+		}
+		return rig, nil
+	}
+
+	// runRound publishes one job per tenant through the router from
+	// pubWorkers concurrent publishers, returning per-tenant outcomes.
+	runRound := func(r *shard.Router, pick func(i int) *ext.Extension) ([]error, time.Duration) {
+		errs := make([]error, len(tenants))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < pubWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tenants) {
+						return
+					}
+					t := tenants[i]
+					errs[i] = r.Publish(context.Background(), &shard.Job{
+						Tenant: t.name, Hook: t.hook, Ext: pick(i),
+						Nodes: []string{t.nodeName}, Bytes: 256,
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		return errs, time.Since(start)
+	}
+	allGen := func(e *ext.Extension) func(int) *ext.Extension {
+		return func(int) *ext.Extension { return e }
+	}
+	mustClean := func(phase string, errs []error) error {
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("shard: %s: tenant %s: %w", phase, tenants[i].name, err)
+			}
+		}
+		return nil
+	}
+	// measure runs the alternating-generation rounds every phase is scored
+	// on: warmup stages both digests everywhere (resident thereafter), the
+	// timed rounds flip every tenant's hook pointer each round.
+	measure := func(r *shard.Router) (float64, error) {
+		for _, g := range []*ext.Extension{gen1, gen2} {
+			errs, _ := runRound(r, allGen(g))
+			if err := mustClean("warmup", errs); err != nil {
+				return 0, err
+			}
+		}
+		var total time.Duration
+		gens := []*ext.Extension{gen1, gen2}
+		for round := 0; round < rounds; round++ {
+			errs, took := runRound(r, allGen(gens[round%2]))
+			if err := mustClean("measured round", errs); err != nil {
+				return 0, err
+			}
+			total += took
+		}
+		return float64(rounds*tenantsN) / total.Seconds(), nil
+	}
+
+	tbl := telemetry.NewTable(
+		fmt.Sprintf("Sharded control plane — %d tenants over %d nodes, 1 vs %d shards", tenantsN, nodesN, shardsN),
+		"phase", "result", "detail")
+
+	// Phase A: the whole key space behind a single shard. Every publish
+	// serializes on one journal ring and one lease-check QP.
+	routerA := shard.NewRouter(shard.Config{Workers: pubWorkers, QueueCap: 2 * tenantsN, Registry: telemetry.NewRegistry()})
+	rigA, err := buildShard(0, "shard-stby-a0", 1)
+	if err != nil {
+		return nil, err
+	}
+	routerA.AddShard(0, shard.NewCPExecutor(rigA.cp, rigA.flowsName))
+	tputA, err := measure(routerA)
+	if err != nil {
+		return nil, fmt.Errorf("phase A: %w", err)
+	}
+	routerA.Close()
+	tbl.AddRowf("1 shard", fmt.Sprintf("%.0f pub/s", tputA),
+		fmt.Sprintf("%d tenants, %d rounds", tenantsN, rounds))
+
+	// Phase B: eight shards, each with its own standby, lease, and journal.
+	regB := telemetry.NewRegistry()
+	routerB := shard.NewRouter(shard.Config{Workers: pubWorkers, QueueCap: 2 * tenantsN, Registry: regB})
+	rigsB := make([]*shardRig, shardsN)
+	for s := 0; s < shardsN; s++ {
+		rigsB[s], err = buildShard(s, fmt.Sprintf("shard-stby-b%d", s), uint64(10+s))
+		if err != nil {
+			return nil, err
+		}
+		routerB.AddShard(s, shard.NewCPExecutor(rigsB[s].cp, rigsB[s].flowsName))
+	}
+	defer routerB.Close()
+	tputB, err := measure(routerB)
+	if err != nil {
+		return nil, fmt.Errorf("phase B: %w", err)
+	}
+	scale := tputB / tputA
+	tbl.AddRowf(fmt.Sprintf("%d shards", shardsN), fmt.Sprintf("%.0f pub/s", tputB),
+		fmt.Sprintf("%.2fx vs 1 shard (threshold %.1fx)", scale, minScale))
+	if scale < minScale {
+		return nil, fmt.Errorf("shard: %d-shard throughput scaled only %.2fx over 1 shard (want >= %.1fx)",
+			shardsN, scale, minScale)
+	}
+
+	// Kill: steal the lease of the shard owning tenants[0]. TakeOver fences
+	// the old leader (its next lease check fails closed), replays the
+	// shard's journal into a successor control plane that shares the
+	// process-wide artifact cache.
+	victim, _ := routerB.ShardFor(tenants[0].name, tenants[0].hook)
+	owner := make([]int, len(tenants))
+	victimTenants := 0
+	for i, t := range tenants {
+		owner[i], _ = routerB.ShardFor(t.name, t.hook)
+		if owner[i] == victim {
+			victimTenants++
+		}
+	}
+	compilesBefore := reg.Counter("artifact.compile.invocations").Value()
+	succCP := core.NewControlPlaneLabeled(arts, reg, fmt.Sprintf("rdma.qp.shard%d succ", victim))
+	succName := map[string]*core.CodeFlow{}
+	succKey := map[string]*core.CodeFlow{}
+	for _, nn := range nodeNames {
+		conn, err := fab.Dial(nn)
+		if err != nil {
+			return nil, err
+		}
+		cf, err := succCP.CreateCodeFlow(conn)
+		if err != nil {
+			return nil, err
+		}
+		succName[nn] = cf
+		succKey[cf.NodeKey()] = cf
+	}
+	sconn, err := fab.Dial(fmt.Sprintf("shard-stby-b%d", victim))
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := controlha.TakeOver(succCP, rigsB[victim].host, rdma.NewQP(sconn), 100, ttl, succKey); err != nil {
+		return nil, fmt.Errorf("shard: takeover of shard %d: %w", victim, err)
+	}
+
+	// With the old leader deposed, publish one round: exactly the victim's
+	// tenants must fail, every failure typed, and the victim's publish
+	// counter must stall while every other shard's advances by its tenant
+	// count. (The fleet is on gen2 after phase B's even rounds; this round
+	// flips survivors to gen1.)
+	before := statusByID(routerB)
+	errsKill, _ := runRound(routerB, allGen(gen1))
+	after := statusByID(routerB)
+	for i, err := range errsKill {
+		if owner[i] == victim {
+			if !errors.Is(err, shard.ErrShardUnavailable) {
+				return nil, fmt.Errorf("shard: victim tenant %s got %v, want ErrShardUnavailable", tenants[i].name, err)
+			}
+		} else if err != nil {
+			return nil, fmt.Errorf("shard: fence leaked: tenant %s on shard %d failed: %w", tenants[i].name, owner[i], err)
+		}
+	}
+	if after[victim].Published != before[victim].Published {
+		return nil, fmt.Errorf("shard: fenced shard %d still published (%d -> %d)",
+			victim, before[victim].Published, after[victim].Published)
+	}
+	for id, st := range after {
+		if id != victim && st.Published <= before[id].Published {
+			return nil, fmt.Errorf("shard: healthy shard %d stalled during sibling fence (%d -> %d)",
+				id, before[id].Published, st.Published)
+		}
+	}
+	tbl.AddRowf(fmt.Sprintf("leader of shard %d killed", victim),
+		fmt.Sprintf("%d tenants fenced", victimTenants),
+		fmt.Sprintf("all typed ErrShardUnavailable; %d shards kept publishing", shardsN-1))
+
+	// Failover: the successor takes the fenced key range. The re-driven
+	// round converges the victim's tenants to gen1 like everyone else —
+	// with zero new compiles, because the successor shares the artifact
+	// cache (new flows re-stage, never re-compile).
+	if err := routerB.Reinstate(victim, shard.NewCPExecutor(succCP, succName)); err != nil {
+		return nil, err
+	}
+	errsHeal, _ := runRound(routerB, func(i int) *ext.Extension {
+		if owner[i] == victim {
+			return gen1 // fenced range: still on gen2, catch up
+		}
+		return gen2 // survivors: back to gen2
+	})
+	if err := mustClean("post-reinstate round", errsHeal); err != nil {
+		return nil, err
+	}
+	compilesAfter := reg.Counter("artifact.compile.invocations").Value()
+	if compilesAfter != compilesBefore {
+		return nil, fmt.Errorf("shard: failover recompiled: %d -> %d compile invocations (cache not shared)",
+			compilesBefore, compilesAfter)
+	}
+	// Convergence, end to end: the victim's tenants serve gen1, the rest
+	// gen2 — a torn or stale hook cannot produce the right verdict.
+	for i, t := range tenants {
+		want := uint64(102)
+		if owner[i] == victim {
+			want = 101
+		}
+		res, err := fleet[i/hooksN].ExecHook(t.hook, make([]byte, xabi.CtxSize), nil)
+		if err != nil {
+			return nil, fmt.Errorf("shard: tenant %s hook exec: %w", t.name, err)
+		}
+		if res.Verdict != want {
+			return nil, fmt.Errorf("shard: tenant %s verdict %d, want %d (did not converge)", t.name, res.Verdict, want)
+		}
+	}
+	tbl.AddRowf("successor reinstated", "key range converged",
+		fmt.Sprintf("compile invocations flat at %d across failover", compilesAfter))
+
+	// Admission: throttle a canary tenant to one publish and watch the
+	// second get the typed refusal plus a reject-counter tick.
+	canary := tenants[1]
+	routerB.SetQuota(canary.name, shard.TenantQuota{PublishPerSec: 0.001, PublishBurst: 1})
+	pub := func() error {
+		return routerB.Publish(context.Background(), &shard.Job{
+			Tenant: canary.name, Hook: canary.hook, Ext: gen2,
+			Nodes: []string{canary.nodeName}, Bytes: 256,
+		})
+	}
+	if err := pub(); err != nil {
+		return nil, fmt.Errorf("shard: canary publish within burst: %w", err)
+	}
+	if err := pub(); !errors.Is(err, shard.ErrQuotaExceeded) {
+		return nil, fmt.Errorf("shard: throttled canary got %v, want ErrQuotaExceeded", err)
+	}
+	rejects := regB.Counter("shard.admission.rejected.publishes").Value()
+	if rejects == 0 {
+		return nil, fmt.Errorf("shard: admission reject counter did not advance")
+	}
+	tbl.AddRowf("admission control", "canary throttled",
+		fmt.Sprintf("typed ErrQuotaExceeded, %d rejects counted", rejects))
+
+	return tbl, nil
+}
+
+// statusByID indexes a router's per-shard snapshot by shard ID.
+func statusByID(r *shard.Router) map[int]shard.ShardStatus {
+	out := map[int]shard.ShardStatus{}
+	for _, st := range r.Status() {
+		out[st.ID] = st
+	}
+	return out
+}

@@ -95,6 +95,14 @@ func TestCacheQuick(t *testing.T) {
 	}
 }
 
+func TestShardQuick(t *testing.T) {
+	tbl, err := Shard(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+}
+
 func TestMeshQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster experiment")

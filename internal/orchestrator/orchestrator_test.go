@@ -232,6 +232,117 @@ status on n2
 	}
 }
 
+func TestExecuteMultiFailureOrdering(t *testing.T) {
+	o, _ := newOrch(t, "n1")
+	plan, err := Parse(`
+extension e udf "len >= 0"
+deploy e to nosuchhook on n1
+deploy e to ingress on ghost
+deploy e to ingress on n1
+limit ingress on ghost 100
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Execute(plan)
+	if err == nil {
+		t.Fatal("plan with three bad statements succeeded")
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("executed %d steps, want 4 (continue past every failure)", len(res.Steps))
+	}
+	if !strings.Contains(err.Error(), "3 of 4 statements failed") {
+		t.Errorf("aggregate error %q missing failure tally", err)
+	}
+	// errors.Join preserves plan order: the joined message lists line 3
+	// before 4 before 6, and errors.As surfaces the earliest failure.
+	msg := err.Error()
+	i3, i4, i6 := strings.Index(msg, "line 3"), strings.Index(msg, "line 4"), strings.Index(msg, "line 6")
+	if i3 < 0 || i4 < 0 || i6 < 0 || !(i3 < i4 && i4 < i6) {
+		t.Errorf("aggregate error does not list failures in plan order (indexes %d, %d, %d):\n%s", i3, i4, i6, msg)
+	}
+	var se *StepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v does not unwrap to *StepError", err)
+	}
+	if se.Line != 3 || se.Kind != StepDeploy {
+		t.Errorf("first StepError = line %d kind %d, want line 3 deploy", se.Line, se.Kind)
+	}
+	// The aggregate matches every individual step failure via errors.Is,
+	// and the per-step records agree on which lines failed.
+	wantErr := map[int]StepKind{3: StepDeploy, 4: StepDeploy, 6: StepLimit}
+	for _, sr := range res.Steps {
+		kind, shouldFail := wantErr[sr.Step.Line]
+		if !shouldFail {
+			if sr.Err != nil {
+				t.Errorf("line %d failed unexpectedly: %v", sr.Step.Line, sr.Err)
+			}
+			continue
+		}
+		if sr.Err == nil {
+			t.Errorf("line %d should have failed", sr.Step.Line)
+			continue
+		}
+		if !errors.Is(err, sr.Err) {
+			t.Errorf("aggregate error does not match line %d's StepError via errors.Is", sr.Step.Line)
+		}
+		var stepErr *StepError
+		if !errors.As(sr.Err, &stepErr) || stepErr.Kind != kind {
+			t.Errorf("line %d error %v: kind = %v, want %v", sr.Step.Line, sr.Err, stepErr.Kind, kind)
+		}
+	}
+}
+
+func TestExecuteAggregateMatchesSentinel(t *testing.T) {
+	// A policy denial inside one statement must stay errors.Is-reachable
+	// through StepError wrapping and the errors.Join aggregate.
+	o, _ := newOrch(t, "n1")
+	o.cp.SetPolicy(&core.AccessPolicy{Roles: map[core.Role]core.Privilege{
+		"limited": {Hooks: []string{"kv"}},
+	}})
+	o.flows["n1"].Bind("limited")
+	plan, err := Parse(`
+extension e udf "len >= 0"
+deploy e to ingress on n1
+deploy e to kv on n1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Execute(plan)
+	if err == nil {
+		t.Fatal("policy-denied deploy succeeded")
+	}
+	if !errors.Is(err, core.ErrDenied) {
+		t.Errorf("aggregate error %v does not match core.ErrDenied", err)
+	}
+	if res.Steps[0].Err == nil || res.Steps[1].Err != nil {
+		t.Errorf("step errs = [%v, %v], want [denied, ok]", res.Steps[0].Err, res.Steps[1].Err)
+	}
+}
+
+func TestExecuteStatusUnknownNode(t *testing.T) {
+	o, _ := newOrch(t, "n1")
+	plan, err := Parse(`status on ghost`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Execute(plan)
+	if err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Fatalf("status on unknown node: err = %v", err)
+	}
+	var se *StepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v does not unwrap to *StepError", err)
+	}
+	if se.Kind != StepStatus || se.Line != 1 {
+		t.Errorf("StepError = kind %d line %d, want status line 1", se.Kind, se.Line)
+	}
+	if len(res.Steps) != 1 || res.Steps[0].Info != nil {
+		t.Errorf("failed status step still produced info: %+v", res.Steps[0].Info)
+	}
+}
+
 func TestSyntheticAndWasmGenKinds(t *testing.T) {
 	o, nodes := newOrch(t, "n1")
 	plan, err := Parse(`

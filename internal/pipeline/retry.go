@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -30,9 +31,20 @@ func DefaultTransient(err error) bool {
 	return errors.As(err, &netErr)
 }
 
-// withRetry runs fn with the scheduler's backoff policy, returning the
-// number of attempts made. The context deadline bounds both the attempts
-// and the sleeps between them.
+// fullJitter draws a uniformly random delay in [0, d]. Decorrelating the
+// exponential schedule this way spreads simultaneous retriers — a fleet of
+// shard workers that all saw the same transient fault would otherwise
+// hammer the node again in lockstep at exactly backoff, 2*backoff, ...
+func fullJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(d) + 1))
+}
+
+// withRetry runs fn with the scheduler's backoff policy — exponential with
+// full jitter — returning the number of attempts made. The context
+// deadline bounds both the attempts and the sleeps between them.
 func (s *Scheduler) withRetry(ctx context.Context, fn func() error) (attempts int, err error) {
 	backoff := s.cfg.Backoff
 	for attempt := 1; ; attempt++ {
@@ -45,7 +57,7 @@ func (s *Scheduler) withRetry(ctx context.Context, fn func() error) (attempts in
 		}
 		s.m.retries.Inc()
 		select {
-		case <-time.After(backoff):
+		case <-time.After(fullJitter(backoff)):
 		case <-ctx.Done():
 			return attempt, fmt.Errorf("pipeline: deadline during backoff: %w (last error: %v)", ctx.Err(), err)
 		}

@@ -1,0 +1,27 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFullJitterBounds: every draw lands in [0, d], zero/negative inputs
+// never sleep, and the draws actually spread (the whole point — lockstep
+// retriers must decorrelate).
+func TestFullJitterBounds(t *testing.T) {
+	const d = 80 * time.Millisecond
+	distinct := map[time.Duration]struct{}{}
+	for i := 0; i < 2000; i++ {
+		j := fullJitter(d)
+		if j < 0 || j > d {
+			t.Fatalf("fullJitter(%v) = %v out of [0, %v]", d, j, d)
+		}
+		distinct[j] = struct{}{}
+	}
+	if len(distinct) < 100 {
+		t.Errorf("2000 draws produced only %d distinct delays; jitter is not spreading", len(distinct))
+	}
+	if fullJitter(0) != 0 || fullJitter(-time.Second) != 0 {
+		t.Error("non-positive backoff must not sleep")
+	}
+}

@@ -1,0 +1,31 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+)
+
+// Addrs expands a base listen address into n consecutive-port addresses:
+// ":7800" with n=3 yields :7800, :7801, :7802. This is the deployment
+// convention shared by rdxd -standby -shards N (which serves one
+// witness+ring host per shard on those ports) and rdxctl stats -shards
+// (which inspects them).
+func Addrs(listen string, n int) ([]string, error) {
+	if n == 1 {
+		return []string{listen}, nil
+	}
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		return nil, fmt.Errorf("shard addresses need host:port: %w", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("shard addresses need a numeric port: %w", err)
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rdx/internal/telemetry"
+)
+
+// TestBucketRefill exercises the token bucket against an injected clock:
+// burst admits, then dry, then refill at rate, capped at burst.
+func TestBucketRefill(t *testing.T) {
+	t0 := time.Now()
+	b := newBucket(10, 3, t0) // 10 tokens/s, depth 3
+	for i := 0; i < 3; i++ {
+		if !b.take(t0, 1) {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	if b.take(t0, 1) {
+		t.Fatal("take succeeded on a dry bucket with no elapsed time")
+	}
+	if !b.take(t0.Add(100*time.Millisecond), 1) {
+		t.Fatal("100ms at 10/s should refill one token")
+	}
+	// A long idle period refills to burst, never past it.
+	if !b.take(t0.Add(time.Hour), 3) {
+		t.Fatal("burst-sized take after long idle refused")
+	}
+	if b.take(t0.Add(time.Hour), 1) {
+		t.Fatal("bucket refilled past burst")
+	}
+}
+
+func TestBucketBurstDefaults(t *testing.T) {
+	t0 := time.Now()
+	if b := newBucket(5, 0, t0); b.burst != 5 {
+		t.Errorf("zero burst should default to rate: got %v", b.burst)
+	}
+	if b := newBucket(0.2, 0, t0); b.burst != 1 {
+		t.Errorf("sub-1 burst should clamp to 1: got %v", b.burst)
+	}
+}
+
+// TestAdmitPublishQuota: burst admits, the next publish is refused with
+// the typed error, and reject counters advance.
+func TestAdmitPublishQuota(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := NewAdmission(TenantQuota{}, reg)
+	a.SetQuota("tn", TenantQuota{PublishPerSec: 0.001, PublishBurst: 4})
+	for i := 0; i < 4; i++ {
+		if err := a.Admit("tn", 0); err != nil {
+			t.Fatalf("admit %d within burst: %v", i, err)
+		}
+	}
+	err := a.Admit("tn", 0)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota admit: got %v, want ErrQuotaExceeded", err)
+	}
+	if got := reg.Counter("shard.admission.admitted").Value(); got != 4 {
+		t.Errorf("admitted counter = %d, want 4", got)
+	}
+	if got := reg.Counter("shard.admission.rejected.publishes").Value(); got != 1 {
+		t.Errorf("rejected.publishes counter = %d, want 1", got)
+	}
+}
+
+// TestAdmitBytesRefund: a job refused on the bytes bucket must not burn a
+// publish token — the full publish burst stays spendable on zero-byte jobs.
+func TestAdmitBytesRefund(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := NewAdmission(TenantQuota{}, reg)
+	a.SetQuota("tn", TenantQuota{
+		PublishPerSec: 0.001, PublishBurst: 3,
+		BytesPerSec: 0.001, BytesBurst: 10,
+	})
+	if err := a.Admit("tn", 1000); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("oversized job: got %v, want ErrQuotaExceeded", err)
+	}
+	if got := reg.Counter("shard.admission.rejected.bytes").Value(); got != 1 {
+		t.Errorf("rejected.bytes counter = %d, want 1", got)
+	}
+	// All 3 publish tokens must remain after the refund.
+	for i := 0; i < 3; i++ {
+		if err := a.Admit("tn", 1); err != nil {
+			t.Fatalf("admit %d after refund: %v (publish token was burned by the refused job)", i, err)
+		}
+	}
+}
+
+// TestAdmitUnlimitedDefault: the zero quota admits everything and tenants
+// are independent — throttling one never touches another.
+func TestAdmitUnlimitedDefault(t *testing.T) {
+	a := NewAdmission(TenantQuota{}, nil)
+	a.SetQuota("limited", TenantQuota{PublishPerSec: 0.001, PublishBurst: 1})
+	for i := 0; i < 100; i++ {
+		if err := a.Admit("free", 1<<20); err != nil {
+			t.Fatalf("unlimited tenant refused: %v", err)
+		}
+	}
+	if err := a.Admit("limited", 0); err != nil {
+		t.Fatalf("limited tenant's first publish: %v", err)
+	}
+	if err := a.Admit("limited", 0); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("limited tenant's second publish: got %v, want ErrQuotaExceeded", err)
+	}
+	if err := a.Admit("free", 0); err != nil {
+		t.Errorf("throttling one tenant leaked into another: %v", err)
+	}
+}
+
+// TestSetQuotaResets: overriding a quota takes effect immediately.
+func TestSetQuotaResets(t *testing.T) {
+	a := NewAdmission(TenantQuota{PublishPerSec: 0.001, PublishBurst: 1}, nil)
+	if err := a.Admit("tn", 0); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := a.Admit("tn", 0); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("second admit: got %v, want ErrQuotaExceeded", err)
+	}
+	a.SetQuota("tn", TenantQuota{PublishPerSec: 0.001, PublishBurst: 5})
+	for i := 0; i < 5; i++ {
+		if err := a.Admit("tn", 0); err != nil {
+			t.Fatalf("admit %d after quota raise: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// strideScale is the stride numerator: a tenant of weight w advances its
+// virtual-time pass by strideScale/w per dispatched job, so long-run
+// dispatch shares converge to weights regardless of queue depths.
+const strideScale = 1 << 20
+
+// fairQueue schedules queued jobs across tenants within one shard by
+// stride scheduling: every push lands in the tenant's FIFO, every pop
+// takes the head of the tenant with the minimum pass value and advances
+// that tenant's pass by its stride. A tenant entering (or re-entering)
+// the queue starts at the current minimum pass, so idleness banks no
+// credit and a burst from a heavy tenant cannot starve light ones.
+//
+// push blocks while the queue is at capacity; pop blocks while it is
+// empty. close(err) unblocks everything: queued jobs complete with err,
+// pushers and poppers return closed.
+type fairQueue struct {
+	mu   sync.Mutex
+	full *sync.Cond
+	work *sync.Cond
+
+	cap     int
+	depth   int
+	active  tenantHeap          // non-empty tenants, min-pass at the root
+	tenants map[string]*tenantQ // every tenant ever seen (pass retained while idle)
+	closed  bool
+	err     error
+}
+
+// tenantQ is one tenant's FIFO plus its stride-scheduling state.
+type tenantQ struct {
+	name   string
+	jobs   []*Job
+	pass   uint64
+	stride uint64
+	idx    int // heap index, -1 when idle
+}
+
+func newFairQueue(capacity int) *fairQueue {
+	q := &fairQueue{cap: capacity, tenants: map[string]*tenantQ{}}
+	q.full = sync.NewCond(&q.mu)
+	q.work = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j under its tenant, blocking while the shard's queue is at
+// capacity. Returns the close error (or ErrShardUnavailable) if the queue
+// closed first.
+func (q *fairQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.depth >= q.cap && !q.closed {
+		q.full.Wait()
+	}
+	if q.closed {
+		return q.closeErr()
+	}
+	tq := q.tenant(j.Tenant, j.weight)
+	tq.jobs = append(tq.jobs, j)
+	if tq.idx == -1 {
+		// (Re-)activation: start at the current minimum pass so the tenant
+		// competes from now, not from banked history.
+		if len(q.active) > 0 && q.active[0].pass > tq.pass {
+			tq.pass = q.active[0].pass
+		}
+		heap.Push(&q.active, tq)
+	}
+	q.depth++
+	q.work.Signal()
+	return nil
+}
+
+// pop dequeues the next job by fair share, blocking while the queue is
+// empty. ok is false once the queue closed and drained its jobs via
+// close(err) — pending jobs are never silently dropped.
+func (q *fairQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.depth == 0 && !q.closed {
+		q.work.Wait()
+	}
+	if q.depth == 0 {
+		return nil, false
+	}
+	tq := q.active[0]
+	j := tq.jobs[0]
+	tq.jobs = tq.jobs[1:]
+	tq.pass += tq.stride
+	if len(tq.jobs) == 0 {
+		heap.Pop(&q.active)
+		tq.idx = -1
+	} else {
+		heap.Fix(&q.active, 0)
+	}
+	q.depth--
+	q.full.Signal()
+	return j, true
+}
+
+// close marks the queue dead and fails every queued job with err, waking
+// all blocked pushers and poppers.
+func (q *fairQueue) close(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.err = err
+	for _, tq := range q.active {
+		for _, j := range tq.jobs {
+			j.finish(q.closeErr())
+		}
+		tq.jobs = nil
+	}
+	q.active = nil
+	q.depth = 0
+	q.full.Broadcast()
+	q.work.Broadcast()
+}
+
+func (q *fairQueue) closeErr() error {
+	if q.err != nil {
+		return q.err
+	}
+	return ErrShardUnavailable
+}
+
+// tenant returns (lazily creating) the tenant's queue state with the
+// given weight (minimum 1). Weight changes take effect on the tenant's
+// next dispatch.
+func (q *fairQueue) tenant(name string, weight int) *tenantQ {
+	if weight < 1 {
+		weight = 1
+	}
+	tq, ok := q.tenants[name]
+	if !ok {
+		tq = &tenantQ{name: name, idx: -1}
+		q.tenants[name] = tq
+	}
+	tq.stride = strideScale / uint64(weight)
+	return tq
+}
+
+// len reports the current queue depth.
+func (q *fairQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// tenantHeap is a min-heap of active tenants by pass value.
+type tenantHeap []*tenantQ
+
+func (h tenantHeap) Len() int            { return len(h) }
+func (h tenantHeap) Less(i, j int) bool  { return h[i].pass < h[j].pass }
+func (h tenantHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *tenantHeap) Push(x interface{}) { tq := x.(*tenantQ); tq.idx = len(*h); *h = append(*h, tq) }
+func (h *tenantHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	tq := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return tq
+}

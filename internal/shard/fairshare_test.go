@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func job(tenant string, weight int) *Job {
+	return &Job{Tenant: tenant, weight: weight, done: make(chan error, 1)}
+}
+
+// TestFairShareWeights: with three backlogged tenants of weights 3/2/1,
+// dispatch counts over a long run converge to the weight ratio.
+func TestFairShareWeights(t *testing.T) {
+	q := newFairQueue(10000)
+	weights := map[string]int{"a": 3, "b": 2, "c": 1}
+	const per = 600
+	for tn, w := range weights {
+		for i := 0; i < per; i++ {
+			if err := q.push(job(tn, w)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	counts := map[string]int{}
+	const draws = 600 // all tenants stay backlogged throughout
+	for i := 0; i < draws; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("pop failed with jobs queued")
+		}
+		counts[j.Tenant]++
+	}
+	// Exact stride shares: 300/200/100 of 600. Allow ±2 for heap tie-breaks.
+	want := map[string]int{"a": 300, "b": 200, "c": 100}
+	for tn, w := range want {
+		if d := counts[tn] - w; d < -2 || d > 2 {
+			t.Errorf("tenant %s dispatched %d of %d, want ~%d (weights 3:2:1)", tn, counts[tn], draws, w)
+		}
+	}
+}
+
+// TestFairShareFIFOWithinTenant: a tenant's own jobs dispatch in push order.
+func TestFairShareFIFOWithinTenant(t *testing.T) {
+	q := newFairQueue(100)
+	var jobs []*Job
+	for i := 0; i < 10; i++ {
+		j := job("tn", 1)
+		j.Hook = fmt.Sprintf("h%d", i)
+		jobs = append(jobs, j)
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		j, ok := q.pop()
+		if !ok || j != jobs[i] {
+			t.Fatalf("pop %d returned %v, want job %s", i, j.Hook, jobs[i].Hook)
+		}
+	}
+}
+
+// TestFairShareNoBankedCredit: a tenant idle while another drains the
+// queue re-enters at the current minimum pass — it does not get a
+// monopolizing run from "saved up" virtual time.
+func TestFairShareNoBankedCredit(t *testing.T) {
+	q := newFairQueue(1000)
+	// Busy tenant runs alone for a while, advancing its pass far ahead.
+	for i := 0; i < 50; i++ {
+		q.push(job("busy", 1))
+	}
+	for i := 0; i < 50; i++ {
+		q.pop()
+	}
+	// Now both queue up. The idler must not win every draw until it
+	// "catches up" 50 strides — shares should be ~even from here on.
+	for i := 0; i < 40; i++ {
+		q.push(job("busy", 1))
+		q.push(job("idler", 1))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		j, _ := q.pop()
+		counts[j.Tenant]++
+	}
+	if counts["idler"] > 25 {
+		t.Errorf("idle tenant won %d of 40 draws: banked credit not clamped", counts["idler"])
+	}
+	if counts["busy"] < 15 {
+		t.Errorf("busy tenant won only %d of 40 draws", counts["busy"])
+	}
+}
+
+// TestFairQueueBlockingBackpressure: push blocks at capacity and resumes
+// after a pop frees a slot.
+func TestFairQueueBlockingBackpressure(t *testing.T) {
+	q := newFairQueue(2)
+	q.push(job("tn", 1))
+	q.push(job("tn", 1))
+	released := make(chan error, 1)
+	go func() { released <- q.push(job("tn", 1)) }()
+	select {
+	case err := <-released:
+		t.Fatalf("push returned (%v) with the queue at capacity", err)
+	default:
+	}
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := <-released; err != nil {
+		t.Fatalf("blocked push failed after slot freed: %v", err)
+	}
+	if got := q.len(); got != 2 {
+		t.Errorf("depth = %d, want 2", got)
+	}
+}
+
+// TestFairQueueClose: close fails every queued job with the close error,
+// wakes blocked pushers, and makes pop return !ok.
+func TestFairQueueClose(t *testing.T) {
+	q := newFairQueue(2)
+	j1, j2 := job("a", 1), job("b", 1)
+	q.push(j1)
+	q.push(j2)
+	blockedPush := make(chan error, 1)
+	go func() { blockedPush <- q.push(job("c", 1)) }()
+
+	cause := fmt.Errorf("%w: leader deposed", ErrShardUnavailable)
+	q.close(cause)
+
+	for i, j := range []*Job{j1, j2} {
+		select {
+		case err := <-j.done:
+			if !errors.Is(err, ErrShardUnavailable) {
+				t.Errorf("queued job %d drained with %v, want ErrShardUnavailable", i, err)
+			}
+		default:
+			t.Errorf("queued job %d not drained on close", i)
+		}
+	}
+	if err := <-blockedPush; !errors.Is(err, ErrShardUnavailable) {
+		t.Errorf("blocked push returned %v, want ErrShardUnavailable", err)
+	}
+	if _, ok := q.pop(); ok {
+		t.Error("pop succeeded on a closed, drained queue")
+	}
+	q.close(cause) // idempotent
+}
+
+// TestFairQueueConcurrent hammers the queue from many pushers and poppers
+// (run with -race) and checks nothing is lost or duplicated.
+func TestFairQueueConcurrent(t *testing.T) {
+	q := newFairQueue(64)
+	const pushers, perPusher = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPusher; i++ {
+				if err := q.push(job(fmt.Sprintf("t%d", p), 1+p%3)); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	popped := make(chan *Job, pushers*perPusher)
+	var poppers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		poppers.Add(1)
+		go func() {
+			defer poppers.Done()
+			for {
+				j, ok := q.pop()
+				if !ok {
+					return
+				}
+				popped <- j
+			}
+		}()
+	}
+	wg.Wait()
+	// Let the poppers drain the remainder, then close to release them.
+	for q.len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.close(nil)
+	poppers.Wait()
+	close(popped)
+	n := 0
+	for range popped {
+		n++
+	}
+	if n != pushers*perPusher {
+		t.Errorf("popped %d jobs, pushed %d", n, pushers*perPusher)
+	}
+}

@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMapBalance: with virtual nodes, key shares across shards stay within
+// a reasonable band of the mean.
+func TestMapBalance(t *testing.T) {
+	m := NewMap(0)
+	const shards = 8
+	for i := 0; i < shards; i++ {
+		m.Add(i)
+	}
+	counts := map[int]int{}
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		id, ok := m.Lookup(fmt.Sprintf("tenant-%d", i), "ingress")
+		if !ok {
+			t.Fatal("lookup on populated ring failed")
+		}
+		counts[id]++
+	}
+	mean := keys / shards
+	for id, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("shard %d owns %d of %d keys (mean %d): imbalance beyond 2x", id, c, keys, mean)
+		}
+	}
+	if len(counts) != shards {
+		t.Errorf("only %d of %d shards own keys", len(counts), shards)
+	}
+}
+
+// TestMapStableAssignment: removing one shard moves only the keys it
+// owned; every other key keeps its shard. Adding it back restores the
+// original assignment exactly (placement is deterministic in shard ID).
+func TestMapStableAssignment(t *testing.T) {
+	m := NewMap(0)
+	for i := 0; i < 8; i++ {
+		m.Add(i)
+	}
+	const keys = 4000
+	before := make([]int, keys)
+	for i := range before {
+		before[i], _ = m.Lookup(fmt.Sprintf("t%d", i), "h")
+	}
+
+	m.Remove(3)
+	moved := 0
+	for i := range before {
+		id, _ := m.Lookup(fmt.Sprintf("t%d", i), "h")
+		if before[i] == 3 {
+			if id == 3 {
+				t.Fatalf("key t%d still maps to removed shard 3", i)
+			}
+			moved++
+			continue
+		}
+		if id != before[i] {
+			t.Errorf("key t%d moved %d -> %d though shard 3's removal should not touch it", i, before[i], id)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("shard 3 owned no keys before removal; balance test should have caught this")
+	}
+
+	m.Add(3)
+	for i := range before {
+		if id, _ := m.Lookup(fmt.Sprintf("t%d", i), "h"); id != before[i] {
+			t.Errorf("key t%d: %d after re-add, want original %d", i, id, before[i])
+		}
+	}
+}
+
+// TestMapKeyComposition: the tenant/hook separator keeps adjacent
+// compositions distinct, and the empty ring reports !ok.
+func TestMapKeyComposition(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("Key collapses (ab,c) and (a,bc)")
+	}
+	m := NewMap(4)
+	if _, ok := m.Lookup("t", "h"); ok {
+		t.Error("empty ring returned a shard")
+	}
+	m.Add(1)
+	id, ok := m.Lookup("t", "h")
+	if !ok || id != 1 {
+		t.Errorf("single-shard ring: got (%d, %v), want (1, true)", id, ok)
+	}
+	if got := m.Shards(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Shards() = %v", got)
+	}
+}
