@@ -6,7 +6,7 @@
 //	rdxbench [-quick] [experiment ...]
 //
 // Experiments: fig2a fig2b fig2c fig4a fig4b fig5 redis mesh pipeline cache
-// ha shard all (default: all). -quick shrinks sizes and durations.
+// ha shard serve all (default: all). -quick shrinks sizes and durations.
 package main
 
 import (
@@ -36,6 +36,7 @@ var registry = []struct {
 	{"cache", "artifact cache warm path + delta vs full injection", experiments.Cache},
 	{"ha", "control-plane failover: fencing, journal replay, re-drive", single(experiments.HA)},
 	{"shard", "sharded control plane: throughput scaling, per-shard fencing, admission", single(experiments.Shard)},
+	{"serve", "fleet under sustained traffic during continuous rollouts (wire hot path)", single(experiments.Serve)},
 }
 
 // single adapts a one-table experiment to the registry signature.

@@ -192,7 +192,7 @@ func TestChaosReconnQPBroadcastSurvivesKills(t *testing.T) {
 	// The kills tear frames mid-stream on purpose; keep endpoint protocol
 	// logging out of the test output.
 	for _, n := range r.nodes {
-		n.RNIC.Logf = func(string, ...interface{}) {}
+		n.RNIC.SetLogf(nil)
 	}
 	before := runtime.NumGoroutine()
 

@@ -150,7 +150,7 @@ func TestDeltaDisabledAblation(t *testing.T) {
 // delta only ever targets dead standby blobs, never the dispatched one.
 func TestChaosKillMidDeltaNeverTearsLiveVersion(t *testing.T) {
 	r := newRig(t, 1)
-	r.nodes[0].RNIC.Logf = func(string, ...interface{}) {} // kills tear frames by design
+	r.nodes[0].RNIC.SetLogf(nil) // kills tear frames by design
 	reg := r.cp.Registry
 
 	conn, err := r.fab.Dial(nodeID(0))
@@ -234,7 +234,7 @@ func TestChaosKillMidDeltaNeverTearsLiveVersion(t *testing.T) {
 // and the job completes, leaving the node on the new version in full.
 func TestChaosReconnQPRecoversMidDeltaKill(t *testing.T) {
 	r := newRig(t, 1)
-	r.nodes[0].RNIC.Logf = func(string, ...interface{}) {}
+	r.nodes[0].RNIC.SetLogf(nil)
 	reg := r.cp.Registry
 
 	var mu sync.Mutex

@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdx/internal/artifact"
+	"rdx/internal/cluster"
+	"rdx/internal/controlha"
+	"rdx/internal/core"
+	"rdx/internal/ext"
+	"rdx/internal/kvstore"
+	"rdx/internal/mem"
+	"rdx/internal/node"
+	"rdx/internal/rdma"
+	"rdx/internal/shard"
+	"rdx/internal/telemetry"
+	"rdx/internal/xabi"
+)
+
+// Serve is the zero-copy wire-path fleet workload behind `rdxbench serve`:
+// a thousand-node fleet stays under sustained traffic — KV load on app
+// nodes, request-context hook executions fleet-wide — while the sharded
+// control plane continuously rolls out alternating extension generations to
+// every node. Every control-plane byte rides the pooled zero-copy framing
+// of DESIGN.md §12, and the experiment is self-checking:
+//
+//   - every rollout publish must succeed, and after the final round every
+//     node's hook must serve the final generation's verdict end to end;
+//   - the frame arena must run hot: pool hit rate over the sustained phase
+//     must exceed the threshold (>99% full-size) — a cold pool means the
+//     hot path is allocating per frame;
+//   - request traffic must stay clean (no KV errors, no hook-exec errors)
+//     while generations flip underneath it;
+//   - a quiesced calibration pass measures request-path allocations per
+//     verb on a live QP and fails the run if the Write path allocates.
+//
+// Reported: publish latency tail (p50/p99/p999), updates/sec, frames per
+// poll pass, pool hit rate, and allocs/op.
+func Serve(opts Options) (*telemetry.Table, error) {
+	nodesN, shardsN, pubWorkers := 1024, 4, 16
+	kvNodesN, kvRate, kvConns := 3, 400.0, 3
+	probeWorkers := 4
+	sustain := 3 * time.Second
+	poolHitMin := 0.99
+	if opts.Quick {
+		nodesN, shardsN, pubWorkers = 128, 2, 8
+		kvNodesN, kvRate, kvConns = 2, 200.0, 2
+		probeWorkers = 2
+		sustain = 1200 * time.Millisecond
+		poolHitMin = 0.95
+	}
+	const filler = 900
+	const hookName = "h00"
+	const maxRounds = 64
+	// Long TTL: nothing here deposes a leader; a short TTL would fence
+	// shards spuriously under the sustained load.
+	ttl := time.Minute
+
+	fab := rdma.NewFabric()
+	reg := telemetry.NewRegistry()
+	rdma.BindWireInstruments(reg)
+	arts := artifact.NewCache(artifact.Config{Registry: reg})
+	gens := []*ext.Extension{
+		cluster.GenerationExt(ext.KindEBPF, 1, filler),
+		cluster.GenerationExt(ext.KindEBPF, 2, filler),
+	}
+
+	// Shard plan first: the router hashes (tenant, hook) over a
+	// shard.Map ring, and building it ourselves with the same shard IDs
+	// and vnode count lets each shard open CodeFlows only to the nodes it
+	// will actually own — nodesN QPs fleet-wide instead of
+	// nodesN × shardsN. The plan is verified against Router.ShardFor
+	// below; a mismatch is a bug, not a fallback.
+	plan := shard.NewMap(shard.DefaultVNodes)
+	for s := 0; s < shardsN; s++ {
+		plan.Add(s)
+	}
+	tenantName := func(i int) string { return fmt.Sprintf("serve-tenant-%04d", i) }
+	shardNodes := make([][]string, shardsN) // node names owned by each shard
+	owner := make([]int, nodesN)            // tenant index -> shard
+	nodeNames := make([]string, nodesN)
+	for i := 0; i < nodesN; i++ {
+		nodeNames[i] = fmt.Sprintf("serve-node-%04d", i)
+		s, ok := plan.Lookup(tenantName(i), hookName)
+		if !ok {
+			return nil, fmt.Errorf("serve: empty shard ring")
+		}
+		owner[i] = s
+		shardNodes[s] = append(shardNodes[s], nodeNames[i])
+	}
+
+	// The fleet: one hook per node, one tenant per node — the disjoint
+	// (tenant, hook) → (node, hook) ownership the shard package requires.
+	fleet := make([]*node.Node, nodesN)
+	nodeByName := make(map[string]*node.Node, nodesN)
+	for i := 0; i < nodesN; i++ {
+		n, err := node.New(node.Config{
+			ID: nodeNames[i], Hooks: []string{hookName}, Cores: 2,
+			Latency: rdma.NoLatency(), Seed: int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		l, err := fab.Listen(nodeNames[i])
+		if err != nil {
+			return nil, err
+		}
+		go n.Serve(l)
+		fleet[i] = n
+		nodeByName[nodeNames[i]] = n
+	}
+
+	// Per-shard control-plane stacks: own standby host, lease, journal —
+	// and CodeFlows only to the shard's own nodes. Standby links pay a
+	// pure-sleep TCP round trip per verb (see the shard experiment); the
+	// fleet links are NoLatency so the measured cost is the wire path
+	// itself, not a modeled network.
+	haLat := &rdma.LatencyModel{Base: 100 * time.Microsecond, BytesPerSec: 3.125e9, SpinTail: -1}
+	router := shard.NewRouter(shard.Config{Workers: pubWorkers, QueueCap: 2 * nodesN, Registry: reg})
+	defer router.Close()
+	for s := 0; s < shardsN; s++ {
+		host, err := controlha.NewHostWith(4<<20, haLat)
+		if err != nil {
+			return nil, err
+		}
+		hostName := fmt.Sprintf("serve-stby-%d", s)
+		hl, err := fab.Listen(hostName)
+		if err != nil {
+			return nil, err
+		}
+		go host.Serve(hl)
+		cp := core.NewControlPlaneLabeled(arts, reg, fmt.Sprintf("rdma.qp.serve%d", s))
+		flows := make(map[string]*core.CodeFlow, len(shardNodes[s]))
+		for _, nn := range shardNodes[s] {
+			conn, err := fab.Dial(nn)
+			if err != nil {
+				return nil, err
+			}
+			cf, err := cp.CreateCodeFlow(conn)
+			if err != nil {
+				return nil, err
+			}
+			flows[nn] = cf
+		}
+		wconn, err := fab.Dial(hostName)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := controlha.AttachLeader(cp, rdma.NewQP(wconn), uint64(1+s), ttl); err != nil {
+			return nil, fmt.Errorf("serve: shard %d attach leader: %w", s, err)
+		}
+		router.AddShard(s, shard.NewCPExecutor(cp, flows))
+	}
+	for i := 0; i < nodesN; i++ {
+		got, ok := router.ShardFor(tenantName(i), hookName)
+		if !ok || got != owner[i] {
+			return nil, fmt.Errorf("serve: shard plan mismatch for tenant %d: planned %d, router %d", i, owner[i], got)
+		}
+	}
+
+	// One rollout round: every tenant publishes gen g through the router
+	// from pubWorkers concurrent publishers; each publish is individually
+	// timed into lat.
+	lat := telemetry.NewHistogram()
+	runRound := func(g *ext.Extension, record bool) error {
+		var next atomic.Int64
+		errs := make([]error, nodesN)
+		var wg sync.WaitGroup
+		for w := 0; w < pubWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= nodesN {
+						return
+					}
+					t0 := time.Now()
+					errs[i] = router.Publish(context.Background(), &shard.Job{
+						Tenant: tenantName(i), Hook: hookName, Ext: g,
+						Nodes: []string{nodeNames[i]}, Bytes: 256,
+					})
+					if record && errs[i] == nil {
+						lat.RecordDuration(time.Since(t0))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("serve: publish to %s: %w", nodeNames[i], err)
+			}
+		}
+		return nil
+	}
+
+	// Warmup: stage both generations everywhere. Artifacts compile once,
+	// every node holds both blobs resident, and the frame pools are primed —
+	// the sustained phase below measures the steady state.
+	for _, g := range gens {
+		if err := runRound(g, false); err != nil {
+			return nil, fmt.Errorf("serve: warmup: %w", err)
+		}
+	}
+
+	// Sustained traffic while rollouts run: KV servers with per-query hook
+	// routing on the first kvNodesN nodes, plus mesh-style request workers
+	// executing the hook fleet-wide with reused context buffers.
+	kvSrvs := make([]*kvstore.Server, kvNodesN)
+	kvAddrs := make([]net.Listener, kvNodesN)
+	for k := 0; k < kvNodesN; k++ {
+		srv := kvstore.NewServer(fleet[k], hookName)
+		srv.BaseCost = 2 * time.Microsecond // the workload here is the wire, not the store
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer l.Close()
+		go srv.Serve(l)
+		kvSrvs[k], kvAddrs[k] = srv, l
+	}
+
+	stopProbes := make(chan struct{})
+	var probeExecs, probeErrs atomic.Uint64
+	var probeWG sync.WaitGroup
+	for w := 0; w < probeWorkers; w++ {
+		probeWG.Add(1)
+		go func(seed int64) {
+			defer probeWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			ctxBuf := make([]byte, xabi.CtxSize) // reused: the request path must not force per-call allocs
+			tick := time.NewTicker(200 * time.Microsecond) // paced: an open spin would starve the rollout of CPU
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProbes:
+					return
+				case <-tick.C:
+				}
+				n := fleet[rng.Intn(nodesN)]
+				res, err := n.ExecHook(hookName, ctxBuf, nil)
+				if err != nil || res.Verdict < 101 || res.Verdict > 102 {
+					probeErrs.Add(1)
+				}
+				probeExecs.Add(1)
+			}
+		}(int64(1000 + w))
+	}
+
+	type kvOut struct {
+		res *kvstore.LoadResult
+		err error
+	}
+	kvDone := make(chan kvOut, kvNodesN)
+	kvDur := sustain + 500*time.Millisecond
+	for k := 0; k < kvNodesN; k++ {
+		addr := kvAddrs[k].Addr().String()
+		go func() {
+			res, err := kvstore.LoadGen(func() (net.Conn, error) {
+				return net.Dial("tcp", addr)
+			}, kvRate, kvDur, kvConns)
+			kvDone <- kvOut{res, err}
+		}()
+	}
+
+	// The sustained phase: continuous alternating-generation rollouts,
+	// every publish timed, pool counters snapshotted around the whole
+	// phase. At least two rounds so every node's hook pointer flips under
+	// live traffic.
+	poolBefore := rdma.SnapshotPoolStats()
+	rounds := 0
+	start := time.Now()
+	for (time.Since(start) < sustain || rounds < 2) && rounds < maxRounds {
+		if err := runRound(gens[rounds%2], true); err != nil {
+			return nil, err
+		}
+		rounds++
+	}
+	elapsed := time.Since(start)
+	pool := rdma.SnapshotPoolStats().Delta(poolBefore)
+
+	close(stopProbes)
+	probeWG.Wait()
+	var kvSent, kvErrs, kvDropped uint64
+	for k := 0; k < kvNodesN; k++ {
+		out := <-kvDone
+		if out.err != nil {
+			return nil, fmt.Errorf("serve: kv loadgen: %w", out.err)
+		}
+		kvSent += out.res.Sent
+		kvErrs += out.res.Errors
+		kvDropped += out.res.Dropped
+	}
+
+	// Self-checks on the sustained phase.
+	finalGen := uint64(100 + 1 + (rounds-1)%2)
+	for i, n := range fleet {
+		res, err := n.ExecHook(hookName, make([]byte, xabi.CtxSize), nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: node %s hook exec: %w", nodeNames[i], err)
+		}
+		if res.Verdict != finalGen {
+			return nil, fmt.Errorf("serve: node %s verdict %d, want %d (rollout did not converge)",
+				nodeNames[i], res.Verdict, finalGen)
+		}
+	}
+	// Under the race detector sync.Pool drops a fraction of puts by
+	// design, so the hit-rate bar only holds in normal builds.
+	if hr := pool.HitRate(); hr < poolHitMin && !rdma.RaceEnabled {
+		return nil, fmt.Errorf("serve: frame pool hit rate %.4f under sustained load (want > %.2f; %d hits / %d misses)",
+			hr, poolHitMin, pool.Hits, pool.Misses)
+	}
+	if kvErrs != 0 || kvDropped != 0 {
+		return nil, fmt.Errorf("serve: kv traffic not clean: %d errors, %d drops of %d sent", kvErrs, kvDropped, kvSent)
+	}
+	if pe := probeErrs.Load(); pe != 0 {
+		return nil, fmt.Errorf("serve: %d of %d hook probes failed or saw a bad verdict", pe, probeExecs.Load())
+	}
+	updates := rounds * nodesN
+	upsPerSec := float64(updates) / elapsed.Seconds()
+
+	// Quiesced allocs/op calibration: with the fleet idle, drive one QP
+	// against a plain endpoint and count mallocs per Write. The pooled
+	// frame arena, per-conn scratch, and writev framing make the Write
+	// verb allocation-free; the bound here is deliberately loose (< 3) to
+	// absorb stray background allocations from the just-idled fleet.
+	allocsPerOp, err := measureWriteAllocs(fab)
+	if err != nil {
+		return nil, err
+	}
+	if allocsPerOp >= 3 && !rdma.RaceEnabled { // race shadow state allocates
+		return nil, fmt.Errorf("serve: request path allocates: %.2f allocs/op on Write (want ~0)", allocsPerOp)
+	}
+
+	framesPerPoll := reg.Histogram("rdma.wire.frames_per_poll").Mean()
+	tbl := telemetry.NewTable(
+		fmt.Sprintf("Fleet serve — %d nodes, %d shards, sustained traffic during continuous rollouts", nodesN, shardsN),
+		"metric", "result", "detail")
+	tbl.AddRowf("rollouts", fmt.Sprintf("%d updates", updates),
+		fmt.Sprintf("%d rounds over %d nodes in %.2fs", rounds, nodesN, elapsed.Seconds()))
+	tbl.AddRowf("publish rate", fmt.Sprintf("%.0f updates/s", upsPerSec),
+		fmt.Sprintf("%d publish workers", pubWorkers))
+	tbl.AddRowf("publish latency", fmt.Sprintf("p50 %s / p99 %s / p999 %s",
+		time.Duration(lat.Percentile(50)), time.Duration(lat.Percentile(99)), time.Duration(lat.Percentile(99.9))),
+		fmt.Sprintf("%d timed publishes", lat.Count()))
+	tbl.AddRowf("frame pool", fmt.Sprintf("%.2f%% hit rate", 100*pool.HitRate()),
+		fmt.Sprintf("%d hits / %d misses during sustained phase", pool.Hits, pool.Misses))
+	tbl.AddRowf("frames/poll", fmt.Sprintf("%.2f mean", framesPerPoll),
+		"completions drained per poll pass")
+	tbl.AddRowf("request path", fmt.Sprintf("%.2f allocs/op", allocsPerOp),
+		"quiesced Write-verb calibration")
+	tbl.AddRowf("app traffic", fmt.Sprintf("%d kv requests, %d hook execs", kvSent, probeExecs.Load()),
+		"0 errors, 0 drops while generations flipped")
+	return tbl, nil
+}
+
+// measureWriteAllocs drives count Write verbs on a fresh QP against a plain
+// endpoint and returns mallocs/op from runtime.MemStats. It is a live-system
+// proxy for BenchmarkVerbRoundTrip's allocs/op, usable inside an experiment.
+func measureWriteAllocs(fab *rdma.Fabric) (float64, error) {
+	const count = 2000
+	arena := mem.NewArena(1 << 16)
+	ep := rdma.NewEndpoint(arena, rdma.NoLatency())
+	defer ep.Close()
+	mr, err := ep.RegisterMR("cal", 0, 1<<16, rdma.PermAll)
+	if err != nil {
+		return 0, err
+	}
+	l, err := fab.Listen("serve-cal")
+	if err != nil {
+		return 0, err
+	}
+	go ep.Serve(l)
+	qp, err := fab.DialQP("serve-cal")
+	if err != nil {
+		return 0, err
+	}
+	defer qp.Close()
+	buf := make([]byte, 128)
+	for i := 0; i < 64; i++ { // warm the QP's pooled state before counting
+		if err := qp.Write(mr.RKey, 0, buf); err != nil {
+			return 0, err
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < count; i++ {
+		if err := qp.Write(mr.RKey, 0, buf); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / count, nil
+}

@@ -103,6 +103,17 @@ func TestShardQuick(t *testing.T) {
 	t.Logf("\n%s", tbl)
 }
 
+func TestServeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiment")
+	}
+	tbl, err := Serve(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+}
+
 func TestMeshQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster experiment")

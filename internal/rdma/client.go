@@ -49,7 +49,6 @@ type Verbs interface {
 // concurrent use; the endpoint executes this QP's requests in post order.
 type QP struct {
 	conn net.Conn
-	bw   *bufio.Writer
 
 	sendMu sync.Mutex
 	nextID uint64
@@ -73,13 +72,26 @@ type QP struct {
 // pendingVerb is one posted-but-uncompleted verb: its completion channel
 // plus what the completion path needs to account for it (opcode, post time,
 // payload size, and originating trace).
+//
+// pendingVerbs are pooled: wait recycles one only when its channel is
+// provably empty and no sender can still hold the pointer — either the
+// completion was received, or the abandon removed the entry from the
+// pending map before any completer saw it. Every other path (post-write
+// failure after a concurrent drain, an in-flight send racing a timeout)
+// leaks the verb to the GC rather than risk a recycled channel receiving a
+// stale completion.
 type pendingVerb struct {
 	ch    chan Completion
+	id    uint64
 	op    uint8
 	bytes int // payload bytes carried by the verb (data out, or READ length)
 	start time.Time
 	trace telemetry.TraceID
 }
+
+var pvPool = sync.Pool{New: func() interface{} {
+	return &pendingVerb{ch: make(chan Completion, 1)}
+}}
 
 // qpInstr bundles a QP's observability hooks so they swap atomically.
 type qpInstr struct {
@@ -107,7 +119,6 @@ func (qp *QP) instruments() qpInstr {
 func NewQP(conn net.Conn) *QP {
 	qp := &QP{
 		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 64<<10),
 		pending: make(map[uint64]*pendingVerb),
 		done:    make(chan struct{}),
 	}
@@ -140,17 +151,19 @@ func (qp *QP) SetTimeout(d time.Duration) { qp.tmo.Store(int64(d)) }
 func (qp *QP) readLoop() {
 	defer close(qp.done)
 	br := bufio.NewReaderSize(qp.conn, 64<<10)
+	frames := 0
 	for {
-		payload, err := readFrame(br)
+		f, err := readFrame(br)
 		if err != nil {
 			qp.failAll(ErrClosed)
 			return
 		}
-		resp, err := decodeResponse(payload)
+		resp, err := decodeResponse(f.Bytes())
 		if err != nil {
 			// A malformed response means the stream framing can no longer
 			// be trusted: the QP enters the error state. Wrapping ErrClosed
 			// keeps the failure in the reconnectable transport class.
+			f.Release()
 			qp.failAll(fmt.Errorf("%w: protocol error: %v", ErrClosed, err))
 			qp.conn.Close()
 			return
@@ -159,17 +172,30 @@ func (qp *QP) readLoop() {
 		pv, ok := qp.pending[resp.id]
 		delete(qp.pending, resp.id)
 		qp.pendMu.Unlock()
-		if !ok {
-			continue // stale completion; drop
+		if ok {
+			// Data is attached even on error completions: batch responses
+			// carry per-sub-verb statuses the initiator uses to locate the
+			// failure. resp.data aliases the pooled frame, so it is copied
+			// out; plain write completions carry no data and stay
+			// allocation-free.
+			c := Completion{ID: resp.id, Err: statusErr(resp.status)}
+			if len(resp.data) > 0 {
+				if c.Err == nil && len(resp.data) == 8 {
+					c.OldVal = binary.BigEndian.Uint64(resp.data)
+				}
+				c.Data = append([]byte(nil), resp.data...)
+			}
+			qp.completed(pv, len(resp.data), c.Err)
+			pv.ch <- c
 		}
-		// Data is attached even on error completions: batch responses carry
-		// per-sub-verb statuses the initiator uses to locate the failure.
-		c := Completion{ID: resp.id, Err: statusErr(resp.status), Data: resp.data}
-		if c.Err == nil && len(resp.data) == 8 {
-			c.OldVal = binary.BigEndian.Uint64(resp.data)
+		f.Release()
+		// Batched completion accounting: completions that arrived while we
+		// were handling this one drain in the same pass.
+		frames++
+		if !frameBuffered(br) {
+			recordPoll(frames)
+			frames = 0
 		}
-		qp.completed(pv, len(resp.data), c.Err)
-		pv.ch <- c
 	}
 }
 
@@ -192,62 +218,107 @@ func (qp *QP) failAll(err error) {
 	qp.err = err
 	drained := make([]*pendingVerb, 0, len(qp.pending))
 	for id, pv := range qp.pending {
-		pv.ch <- Completion{ID: id, Err: err}
 		delete(qp.pending, id)
 		drained = append(drained, pv)
 	}
 	qp.pendMu.Unlock()
-	// Account the failures outside pendMu; the entries are already drained.
+	// Account BEFORE sending, outside pendMu: the moment the completion is
+	// sent, the waiter may recycle pv into the pool, so pv must not be
+	// touched after the send (same ordering readLoop follows).
 	for _, pv := range drained {
 		qp.completed(pv, 0, err)
+		pv.ch <- Completion{ID: pv.id, Err: err}
 	}
 }
 
-// post sends a request and returns its id plus a channel that will receive
-// its completion. The sticky-error check and the pending-map insert happen
-// in ONE pendMu critical section: a concurrent failAll either already set
-// qp.err (and the registration is refused with ErrUnposted — the verb is
-// provably unexecuted) or will observe the entry and fail it. Checking and
-// inserting in separate sections lost completions: a verb registered after
-// the failAll drain blocked its caller forever.
-func (qp *QP) post(q request) (uint64, <-chan Completion, error) {
-	pv := &pendingVerb{
-		ch:    make(chan Completion, 1),
-		op:    q.op,
-		bytes: q.payloadBytes(),
-		trace: telemetry.TraceID(q.trace),
-	}
+// post sends a request and returns its pending entry, whose channel will
+// receive the completion. The sticky-error check and the pending-map insert
+// happen in ONE pendMu critical section: a concurrent failAll either
+// already set qp.err (and the registration is refused with ErrUnposted —
+// the verb is provably unexecuted) or will observe the entry and fail it.
+// Checking and inserting in separate sections lost completions: a verb
+// registered after the failAll drain blocked its caller forever.
+func (qp *QP) post(q request) (*pendingVerb, error) {
+	pv := pvPool.Get().(*pendingVerb)
+	pv.op = q.op
+	pv.bytes = q.payloadBytes()
+	pv.trace = telemetry.TraceID(q.trace)
 
 	qp.sendMu.Lock()
 	qp.nextID++
 	q.id = qp.nextID
+	pv.id = q.id
 
 	qp.pendMu.Lock()
 	if qp.err != nil {
 		err := qp.err
 		qp.pendMu.Unlock()
 		qp.sendMu.Unlock()
-		return 0, nil, fmt.Errorf("%w: %w", ErrUnposted, err)
+		pvPool.Put(pv) // never registered: no sender can hold it
+		return nil, fmt.Errorf("%w: %w", ErrUnposted, err)
 	}
 	pv.start = time.Now()
 	qp.pending[q.id] = pv
 	qp.pendMu.Unlock()
 
-	frame := q.encode()
-	err := writeFrame(qp.bw, frame)
-	if err == nil {
-		err = qp.bw.Flush()
-	}
+	sent, err := qp.writeRequest(&q)
 	qp.sendMu.Unlock()
 
 	if err != nil {
 		qp.pendMu.Lock()
+		_, present := qp.pending[q.id]
 		delete(qp.pending, q.id)
 		qp.pendMu.Unlock()
-		return 0, nil, err
+		if present {
+			// We removed the entry before any completer saw it: the channel
+			// is empty and no sender can hold pv. If a concurrent failAll
+			// already drained it, a send is in flight — leak pv to the GC.
+			pvPool.Put(pv)
+		}
+		return nil, err
 	}
-	qp.instruments().m.sent(len(frame))
-	return q.id, pv.ch, nil
+	qp.instruments().m.sent(sent)
+	return pv, nil
+}
+
+// writevMin is the payload size above which a write's data goes out as the
+// second element of a net.Buffers writev instead of being copied into the
+// assembled frame. Below it, one memcpy into a pooled buffer is cheaper
+// than a second vector element (and on the in-process fabric's net.Pipe —
+// which has no writev — Buffers degrades to sequential Writes, safe only
+// because sendMu is held across the whole emission).
+const writevMin = 256 << 10
+
+// writeRequest assembles and emits one request frame while holding sendMu.
+// Small frames are assembled [hdr|payload] in a pooled buffer and emitted
+// as a single conn.Write — one syscall per verb, zero steady-state
+// allocations. Large write payloads skip the copy: the header+meta prefix
+// rides in the pooled buffer and the caller's data slice is chained on via
+// net.Buffers (writev on real sockets). Returns the encoded payload size.
+func (qp *QP) writeRequest(q *request) (int, error) {
+	size := q.encodedSize() // exact for the hot opcodes, upper bound otherwise
+	if size > MaxFrame {
+		return 0, fmt.Errorf("rdma: frame of %d bytes exceeds max %d", size, MaxFrame)
+	}
+	if (q.op == OpWrite || q.op == OpWriteImm) && len(q.data) >= writevMin {
+		f := getFrame(frameHdr + size - len(q.data))
+		b := f.b[:0]
+		b = binary.BigEndian.AppendUint32(b, uint32(size))
+		b = q.appendMeta(b)
+		bufs := net.Buffers{b, q.data}
+		_, err := bufs.WriteTo(qp.conn)
+		f.Release()
+		return size, err
+	}
+	f := getFrame(frameHdr + size)
+	b := append(f.b[:0], 0, 0, 0, 0)
+	b = q.appendTo(b)
+	// Back-patch the prefix with the true length: encodedSize may
+	// overestimate for cold opcodes.
+	binary.BigEndian.PutUint32(b[:frameHdr], uint32(len(b)-frameHdr))
+	_, err := qp.conn.Write(b)
+	f.Release()
+	return len(b) - frameHdr, err
 }
 
 // payloadBytes is the data volume a verb moves: outbound payload for writes
@@ -267,23 +338,26 @@ func (q *request) payloadBytes() int {
 	}
 }
 
-// abandon removes a pending verb whose caller stopped waiting, returning the
-// entry if this call won the race against readLoop (nil otherwise); a
-// completion arriving later is dropped by readLoop as stale.
-func (qp *QP) abandon(id uint64) *pendingVerb {
+// abandon removes a pending verb whose caller stopped waiting, reporting
+// whether this call won the race against the completion path (the entry was
+// still registered); a completion arriving later is dropped by readLoop as
+// stale.
+func (qp *QP) abandon(id uint64) bool {
 	qp.pendMu.Lock()
-	pv := qp.pending[id]
+	_, ok := qp.pending[id]
 	delete(qp.pending, id)
 	qp.pendMu.Unlock()
-	return pv
+	return ok
 }
 
-// wait blocks for the completion of posted verb id, bounded by ctx and the
+// wait blocks for the completion of posted verb pv, bounded by ctx and the
 // QP's default timeout. On timeout or cancellation the verb completes as
 // ErrTimeout and its pending entry is abandoned — the caller never blocks
 // on a dead fabric link. Note the verb may still execute remotely; only
 // the completion is lost (real RC-QP semantics).
-func (qp *QP) wait(ctx context.Context, id uint64, ch <-chan Completion) (Completion, error) {
+//
+// wait owns pv's recycling; see pendingVerb for the rules.
+func (qp *QP) wait(ctx context.Context, pv *pendingVerb) (Completion, error) {
 	var timeout <-chan time.Time
 	if d := time.Duration(qp.tmo.Load()); d > 0 {
 		t := time.NewTimer(d)
@@ -291,16 +365,20 @@ func (qp *QP) wait(ctx context.Context, id uint64, ch <-chan Completion) (Comple
 		timeout = t.C
 	}
 	select {
-	case c := <-ch:
+	case c := <-pv.ch:
+		pvPool.Put(pv)
 		return c, c.Err
 	case <-timeout:
 	case <-ctx.Done():
 	}
-	pv := qp.abandon(id)
+	id := pv.id
+	won := qp.abandon(id)
 	// The completion may have raced the deadline; prefer it if present.
-	// (readLoop accounts a raced completion itself — pv is nil then.)
+	// (The completion path accounts a raced completion itself — won is
+	// false then.)
 	select {
-	case c := <-ch:
+	case c := <-pv.ch:
+		pvPool.Put(pv)
 		return c, c.Err
 	default:
 	}
@@ -308,12 +386,17 @@ func (qp *QP) wait(ctx context.Context, id uint64, ch <-chan Completion) (Comple
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		err = fmt.Errorf("%w: %w", ErrTimeout, ctxErr)
 	}
-	if pv != nil {
+	if won {
 		in := qp.instruments()
 		in.m.timedOut()
 		if in.tr != nil {
 			in.tr.Span(pv.trace, "wire", OpName(pv.op), in.node, pv.start, pv.bytes, err)
 		}
+		// We removed the entry before any completer saw it: nothing can
+		// ever send on pv.ch, so it is safe to recycle. If abandon lost
+		// (won == false) and the recheck above was empty, a send is in
+		// flight — pv must leak to the GC.
+		pvPool.Put(pv)
 	}
 	return Completion{ID: id, Err: err}, err
 }
@@ -327,11 +410,11 @@ func (qp *QP) call(q request) (Completion, error) {
 // request header so the target endpoint can correlate its service events.
 func (qp *QP) callCtx(ctx context.Context, q request) (Completion, error) {
 	q.trace = uint64(telemetry.TraceIDFrom(ctx))
-	id, ch, err := qp.post(q)
+	pv, err := qp.post(q)
 	if err != nil {
 		return Completion{}, err
 	}
-	return qp.wait(ctx, id, ch)
+	return qp.wait(ctx, pv)
 }
 
 // Read performs a one-sided READ of n bytes at addr within the region rkey.
@@ -408,22 +491,25 @@ type BatchOp struct {
 // the sub-verbs in order, charges the latency model once for the coalesced
 // payload, and returns a single completion for the chain.
 func (qp *QP) PostBatch(ops []BatchOp) (<-chan Completion, error) {
-	_, ch, err := qp.postBatch(context.Background(), ops)
-	return ch, err
+	pv, err := qp.postBatch(context.Background(), ops)
+	if err != nil {
+		return nil, err
+	}
+	return pv.ch, nil
 }
 
-func (qp *QP) postBatch(ctx context.Context, ops []BatchOp) (uint64, <-chan Completion, error) {
+func (qp *QP) postBatch(ctx context.Context, ops []BatchOp) (*pendingVerb, error) {
 	if len(ops) == 0 {
-		return 0, nil, fmt.Errorf("rdma: empty batch")
+		return nil, fmt.Errorf("rdma: empty batch")
 	}
 	if len(ops) > 0xFFFF {
-		return 0, nil, fmt.Errorf("rdma: batch of %d sub-verbs exceeds 65535", len(ops))
+		return nil, fmt.Errorf("rdma: batch of %d sub-verbs exceeds 65535", len(ops))
 	}
 	size := 0
 	subs := make([]request, len(ops))
 	for i, op := range ops {
 		if len(op.Data) > WriteSeg {
-			return 0, nil, fmt.Errorf("rdma: batch sub-verb %d payload %d exceeds segment %d", i, len(op.Data), WriteSeg)
+			return nil, fmt.Errorf("rdma: batch sub-verb %d payload %d exceeds segment %d", i, len(op.Data), WriteSeg)
 		}
 		subs[i] = request{op: OpWrite, rkey: op.RKey, addr: op.Addr, data: op.Data}
 		if op.HasImm {
@@ -433,7 +519,7 @@ func (qp *QP) postBatch(ctx context.Context, ops []BatchOp) (uint64, <-chan Comp
 		size += 21 + len(op.Data)
 	}
 	if size > MaxFrame-64 {
-		return 0, nil, fmt.Errorf("rdma: batch payload %d exceeds frame budget; split first", size)
+		return nil, fmt.Errorf("rdma: batch payload %d exceeds frame budget; split first", size)
 	}
 	return qp.post(request{op: OpBatch, trace: uint64(telemetry.TraceIDFrom(ctx)), subs: subs})
 }
@@ -450,21 +536,17 @@ func (qp *QP) WriteBatch(ops []BatchOp) error {
 // honors the QP deadline, so a dead link fails the batch instead of
 // wedging it.
 func (qp *QP) WriteBatchCtx(ctx context.Context, ops []BatchOp) error {
-	type posted struct {
-		id uint64
-		ch <-chan Completion
-	}
-	var chains []posted
+	var chains []*pendingVerb
 	start, size := 0, 0
 	flush := func(end int) error {
 		if end == start {
 			return nil
 		}
-		id, ch, err := qp.postBatch(ctx, ops[start:end])
+		pv, err := qp.postBatch(ctx, ops[start:end])
 		if err != nil {
 			return err
 		}
-		chains = append(chains, posted{id, ch})
+		chains = append(chains, pv)
 		start, size = end, 0
 		return nil
 	}
@@ -482,8 +564,8 @@ func (qp *QP) WriteBatchCtx(ctx context.Context, ops []BatchOp) error {
 	}
 	// Drain every posted chain even after a failure so no completion leaks.
 	var firstErr error
-	for _, p := range chains {
-		c, err := qp.wait(ctx, p.id, p.ch)
+	for _, pv := range chains {
+		c, err := qp.wait(ctx, pv)
 		if err != nil && firstErr == nil {
 			firstErr = batchErr(c)
 		}
@@ -562,14 +644,20 @@ func (qp *QP) PostWrite(rkey uint32, addr mem.Addr, data []byte) (<-chan Complet
 	if len(data) > MaxFrame-64 {
 		return nil, fmt.Errorf("rdma: PostWrite payload %d too large; segment first", len(data))
 	}
-	_, ch, err := qp.post(request{op: OpWrite, rkey: rkey, addr: addr, data: data})
-	return ch, err
+	pv, err := qp.post(request{op: OpWrite, rkey: rkey, addr: addr, data: data})
+	if err != nil {
+		return nil, err
+	}
+	return pv.ch, nil
 }
 
 // PostCAS posts an asynchronous CAS.
 func (qp *QP) PostCAS(rkey uint32, addr mem.Addr, old, new uint64) (<-chan Completion, error) {
-	_, ch, err := qp.post(request{op: OpCAS, rkey: rkey, addr: addr, cmp: old, swap: new})
-	return ch, err
+	pv, err := qp.post(request{op: OpCAS, rkey: rkey, addr: addr, cmp: old, swap: new})
+	if err != nil {
+		return nil, err
+	}
+	return pv.ch, nil
 }
 
 // QueryMRs fetches the endpoint's registered-region table. This is control

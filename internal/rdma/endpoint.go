@@ -55,7 +55,11 @@ type Endpoint struct {
 	mrs       map[uint32]*MR
 	mrsByName map[string]*MR
 	nextRKey  uint32
-	doorbells []doorbellReg
+
+	// doorbells is a copy-on-write registration list (writes under mu),
+	// so the WRITE_IMM hot path reads it with one atomic load instead of
+	// copying the slice per fire.
+	doorbells atomic.Pointer[[]doorbellReg]
 
 	closed  chan struct{}
 	closeMu sync.Once
@@ -67,8 +71,24 @@ type Endpoint struct {
 	// instr is the optional observability binding; see SetInstruments.
 	instr atomic.Pointer[qpInstr]
 
-	// Logf, if set, receives protocol-level errors. Defaults to log.Printf.
-	Logf func(format string, args ...interface{})
+	// logf receives protocol-level errors; swapped atomically via SetLogf
+	// because ServeConn goroutines read it while callers may install a
+	// logger after Serve has started.
+	logf atomic.Pointer[func(format string, args ...interface{})]
+}
+
+// SetLogf installs the protocol-error logger (default log.Printf); nil
+// silences logging. Unlike the exported field it replaces, this is safe to
+// call at any time, including while connections are being served.
+func (e *Endpoint) SetLogf(f func(format string, args ...interface{})) {
+	if f == nil {
+		f = func(string, ...interface{}) {}
+	}
+	e.logf.Store(&f)
+}
+
+func (e *Endpoint) logFn() func(format string, args ...interface{}) {
+	return *e.logf.Load()
 }
 
 // SetInstruments attaches served-verb metrics and a trace recorder to the
@@ -99,7 +119,7 @@ func NewEndpoint(arena *mem.Arena, lat *LatencyModel) *Endpoint {
 	if lat == nil {
 		lat = NoLatency()
 	}
-	return &Endpoint{
+	e := &Endpoint{
 		arena:     arena,
 		latency:   lat,
 		mrs:       make(map[uint32]*MR),
@@ -107,8 +127,9 @@ func NewEndpoint(arena *mem.Arena, lat *LatencyModel) *Endpoint {
 		nextRKey:  0x1000,
 		closed:    make(chan struct{}),
 		conns:     make(map[net.Conn]struct{}),
-		Logf:      log.Printf,
 	}
+	e.SetLogf(log.Printf)
+	return e
 }
 
 // Arena returns the DRAM arena this endpoint serves.
@@ -159,7 +180,12 @@ func (e *Endpoint) MRByName(name string) (*MR, bool) {
 // within [addr, addr+length).
 func (e *Endpoint) RegisterDoorbell(addr mem.Addr, length uint64, fn DoorbellHandler) {
 	e.mu.Lock()
-	e.doorbells = append(e.doorbells, doorbellReg{addr, length, fn})
+	var regs []doorbellReg
+	if old := e.doorbells.Load(); old != nil {
+		regs = append(regs, *old...)
+	}
+	regs = append(regs, doorbellReg{addr, length, fn})
+	e.doorbells.Store(&regs)
 	e.mu.Unlock()
 }
 
@@ -208,8 +234,9 @@ func (e *Endpoint) Close() {
 // left. Unlike Close, a request mid-service gets its reply written before
 // the connection drops — peers observe a clean teardown (EOF after a
 // complete frame) instead of ErrInjected-like truncation noise. Each
-// handler's frame loop re-checks the closed channel between frames, so a
-// drained connection exits after at most one more request.
+// handler's poll loop re-checks the closed channel between passes, so a
+// drained connection exits after at most one more poll pass (its already
+// buffered frames are served and flushed first).
 func (e *Endpoint) Drain(grace time.Duration) {
 	e.closeMu.Do(func() {
 		close(e.closed)
@@ -254,8 +281,30 @@ func (e *Endpoint) CloseConns() {
 	e.connMu.Unlock()
 }
 
+// scratchKeep caps the per-connection scratch buffers retained between
+// frames: a one-off giant response or batch does not pin its buffer on an
+// idle connection forever.
+const scratchKeep = 128 << 10
+
+// connScratch is one connection's reusable working memory: the response
+// assembly buffer, the decoded batch sub-verb slice, per-sub status bytes,
+// and the 8-byte atomic-result word. One instance lives per ServeConn
+// goroutine, so the steady-state service path performs zero allocations.
+type connScratch struct {
+	resp     []byte
+	subs     []request
+	statuses []byte
+	qword    [8]byte
+}
+
 // ServeConn services one QP until the peer disconnects. Requests execute
-// strictly in order (RDMA per-QP ordering).
+// strictly in order (RDMA per-QP ordering). Completion emission is batched
+// per poll: after the blocking read delivers a frame, every further frame
+// already sitting in the read buffer is served in the same pass and the
+// responses are flushed once — pipelined initiators cost one write syscall
+// per burst instead of one per verb. The pass never reads past the last
+// fully-buffered frame (see frameBuffered), so a non-pipelined peer waiting
+// on its reply always gets the flush before we block again.
 func (e *Endpoint) ServeConn(conn net.Conn) {
 	e.connMu.Lock()
 	e.conns[conn] = struct{}{}
@@ -268,40 +317,85 @@ func (e *Endpoint) ServeConn(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	var cs connScratch
 	for {
 		select {
 		case <-e.closed:
 			return
 		default:
 		}
-		payload, err := readFrame(br)
+		f, err := readFrame(br)
 		if err != nil {
 			// Normal teardown arrives as EOF or closed-pipe; anything
 			// else (truncated frame, oversized length prefix, transport
 			// fault) is a protocol error worth surfacing.
 			if !isCleanTeardown(err) {
-				e.Logf("rdma: endpoint read error from %v: %v", conn.RemoteAddr(), err)
+				e.logFn()("rdma: endpoint read error from %v: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		q, err := decodeRequest(payload)
-		if err != nil {
-			// A malformed frame means the stream is unframed garbage: a
-			// reply would carry a partially-decoded id (often 0) and the
-			// initiator's real request would never complete. Move the QP
-			// to error state instead — drop the connection so the client
-			// fails fast via failAll.
-			e.Logf("rdma: malformed frame from %v, closing QP: %v", conn.RemoteAddr(), err)
-			return
+		frames, ok := 0, true
+		for {
+			ok = e.serveFrame(bw, &cs, f, conn)
+			frames++
+			if !ok || !frameBuffered(br) {
+				break
+			}
+			if f, err = readFrame(br); err != nil {
+				e.logFn()("rdma: endpoint read error from %v: %v", conn.RemoteAddr(), err)
+				ok = false
+				break
+			}
 		}
-		resp := e.handle(&q)
-		if err := writeFrame(bw, resp.encode()); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
+		flushErr := bw.Flush()
+		recordPoll(frames)
+		if !ok || flushErr != nil {
 			return
 		}
 	}
+}
+
+// serveFrame decodes and executes one request frame and stages its response
+// into bw (the caller flushes once per poll pass). The frame is released
+// here on every path; the response bytes never alias it (arena reads copy,
+// atomics and batch statuses use connScratch). Returns false when the QP
+// must drop: malformed frame, oversize response, or write failure.
+func (e *Endpoint) serveFrame(bw *bufio.Writer, cs *connScratch, f *FrameBuf, conn net.Conn) bool {
+	var q request
+	if err := q.decodeInto(f.Bytes(), cs.subs); err != nil {
+		// A malformed frame means the stream is unframed garbage: a
+		// reply would carry a partially-decoded id (often 0) and the
+		// initiator's real request would never complete. Move the QP
+		// to error state instead — drop the connection so the client
+		// fails fast via failAll.
+		f.Release()
+		e.logFn()("rdma: malformed frame from %v, closing QP: %v", conn.RemoteAddr(), err)
+		return false
+	}
+	if q.op == OpBatch {
+		cs.subs = q.subs[:0] // keep the grown sub-verb capacity for reuse
+	}
+	st, data := e.handle(&q, cs)
+	f.Release()
+	return e.respond(bw, cs, q.id, st, data)
+}
+
+// respond assembles [hdr|response] in the connection scratch and stages it
+// into bw with a single Write.
+func (e *Endpoint) respond(bw *bufio.Writer, cs *connScratch, id uint64, status uint8, data []byte) bool {
+	if respHdr+len(data) > MaxFrame {
+		return false // unframeable response: drop the QP, as writeFrame did
+	}
+	b := append(cs.resp[:0], 0, 0, 0, 0)
+	b = appendResponse(b, id, status, data)
+	binary.BigEndian.PutUint32(b[:frameHdr], uint32(len(b)-frameHdr))
+	if cap(b) <= scratchKeep {
+		cs.resp = b[:0]
+	} else {
+		cs.resp = nil
+	}
+	_, err := bw.Write(b)
+	return err == nil
 }
 
 // isCleanTeardown reports whether a connection read error is an expected
@@ -312,14 +406,16 @@ func isCleanTeardown(err error) bool {
 		errors.Is(err, io.ErrClosedPipe)
 }
 
-// handle executes one decoded request against the arena and builds the
-// response.
-func (e *Endpoint) handle(q *request) response {
+// handle executes one decoded request against the arena and returns the
+// response status and data. Returned data must never alias the request's
+// frame (the caller releases it before responding): arena reads copy,
+// atomics return cs.qword, batches return cs.statuses.
+func (e *Endpoint) handle(q *request, cs *connScratch) (uint8, []byte) {
 	if q.op == OpQueryMRs {
-		return response{id: q.id, status: StatusOK, data: e.encodeMRTable()}
+		return StatusOK, e.encodeMRTable()
 	}
 	if q.op == OpBatch {
-		return e.handleBatch(q)
+		return e.handleBatch(q, cs)
 	}
 
 	// Model fabric + RNIC processing latency for the verb.
@@ -329,9 +425,9 @@ func (e *Endpoint) handle(q *request) response {
 	}
 	start := time.Now()
 	e.latency.Wait(size)
-	st, data := e.exec(q)
+	st, data := e.exec(q, &cs.qword)
 	e.observe(q, st, len(q.data), len(data), size, start)
-	return response{id: q.id, status: st, data: data}
+	return st, data
 }
 
 // observe accounts one served verb and, when the request carries a trace
@@ -352,33 +448,37 @@ func (e *Endpoint) observe(q *request, st uint8, in, out, traceBytes int, start 
 // for the coalesced payload (one doorbell ring moves the whole chain), then
 // the sub-verbs apply in posted order. The first failure flushes the rest,
 // matching a QP's error-WQE semantics; the response carries per-sub statuses.
-func (e *Endpoint) handleBatch(q *request) response {
+func (e *Endpoint) handleBatch(q *request, cs *connScratch) (uint8, []byte) {
 	total := 0
 	for i := range q.subs {
 		total += len(q.subs[i].data)
 	}
 	start := time.Now()
 	e.latency.Wait(total)
-	statuses := make([]byte, len(q.subs))
+	if cap(cs.statuses) < len(q.subs) {
+		cs.statuses = make([]byte, len(q.subs))
+	}
+	statuses := cs.statuses[:len(q.subs)]
 	overall := StatusOK
 	for i := range q.subs {
 		if overall != StatusOK {
 			statuses[i] = StatusFlushed
 			continue
 		}
-		st, _ := e.exec(&q.subs[i])
+		st, _ := e.exec(&q.subs[i], &cs.qword)
 		statuses[i] = st
 		if st != StatusOK {
 			overall = st
 		}
 	}
 	e.observe(q, overall, total, len(statuses), total, start)
-	return response{id: q.id, status: overall, data: statuses}
+	return overall, statuses
 }
 
 // exec applies one already-decoded verb to the arena with no latency charge
-// (the caller models fabric cost per frame, not per sub-verb).
-func (e *Endpoint) exec(q *request) (uint8, []byte) {
+// (the caller models fabric cost per frame, not per sub-verb). out receives
+// atomic results — caller-owned scratch so the hot path allocates nothing.
+func (e *Endpoint) exec(q *request, out *[8]byte) (uint8, []byte) {
 	e.mu.RLock()
 	mr, ok := e.mrs[q.rkey]
 	e.mu.RUnlock()
@@ -430,7 +530,6 @@ func (e *Endpoint) exec(q *request) (uint8, []byte) {
 		if err != nil {
 			return StatusOpErr, nil
 		}
-		var out [8]byte
 		binary.BigEndian.PutUint64(out[:], prev)
 		return StatusOK, out[:]
 
@@ -445,7 +544,6 @@ func (e *Endpoint) exec(q *request) (uint8, []byte) {
 		if err != nil {
 			return StatusOpErr, nil
 		}
-		var out [8]byte
 		binary.BigEndian.PutUint64(out[:], prev)
 		return StatusOK, out[:]
 	}
@@ -453,9 +551,11 @@ func (e *Endpoint) exec(q *request) (uint8, []byte) {
 }
 
 func (e *Endpoint) fireDoorbells(imm uint32, addr mem.Addr, data []byte) {
-	e.mu.RLock()
-	regs := append([]doorbellReg(nil), e.doorbells...)
-	e.mu.RUnlock()
+	p := e.doorbells.Load()
+	if p == nil {
+		return
+	}
+	regs := *p
 	n := uint64(len(data))
 	if n == 0 {
 		n = 1 // zero-length WRITE_WITH_IMM still rings the doorbell at addr

@@ -121,7 +121,7 @@ func FuzzEndpointFrame(f *testing.F) {
 		}
 		arena := mem.NewArena(1 << 16)
 		ep := NewEndpoint(arena, NoLatency())
-		ep.Logf = func(string, ...interface{}) {} // malformed frames log by design; keep fuzzing quiet
+		ep.SetLogf(nil) // malformed frames log by design; keep fuzzing quiet
 		if _, err := ep.RegisterMR("all", 0, 1<<16, PermAll); err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +142,10 @@ func FuzzEndpointFrame(f *testing.F) {
 		// anyway.
 		werr := writeFrame(cli, payload)
 
-		respPayload, rerr := readFrame(bufio.NewReader(cli))
+		respFrame, rerr := readFrame(bufio.NewReader(cli))
+		if rerr == nil {
+			defer respFrame.Release()
+		}
 		if wantResp {
 			if werr != nil {
 				t.Fatalf("endpoint refused a valid request frame: %v", werr)
@@ -150,7 +153,7 @@ func FuzzEndpointFrame(f *testing.F) {
 			if rerr != nil {
 				t.Fatalf("valid request %x got no reply: %v", payload, rerr)
 			}
-			r, err := decodeResponse(respPayload)
+			r, err := decodeResponse(respFrame.Bytes())
 			if err != nil {
 				t.Fatalf("endpoint replied garbage to %x: %v", payload, err)
 			}

@@ -24,9 +24,11 @@ func swallowQP(t *testing.T) *QP {
 	go func() {
 		br := bufio.NewReader(server)
 		for {
-			if _, err := readFrame(br); err != nil {
+			f, err := readFrame(br)
+			if err != nil {
 				return
 			}
+			f.Release()
 		}
 	}()
 	qp := NewQP(client)
@@ -47,9 +49,11 @@ func TestPostCloseRaceNeverLosesCompletion(t *testing.T) {
 		go func() {
 			br := bufio.NewReader(server)
 			for {
-				if _, err := readFrame(br); err != nil {
+				f, err := readFrame(br)
+				if err != nil {
 					return
 				}
+				f.Release()
 			}
 		}()
 		qp := NewQP(client)
@@ -194,7 +198,7 @@ func TestWriteImmStraddlingDoorbellBoundaryFires(t *testing.T) {
 	}
 }
 
-// logCapture is a concurrency-safe Endpoint.Logf sink.
+// logCapture is a concurrency-safe Endpoint.SetLogf sink.
 type logCapture struct {
 	mu    sync.Mutex
 	lines []string
@@ -219,7 +223,7 @@ func TestMalformedFrameTearsDownConnection(t *testing.T) {
 	arena := mem.NewArena(4096)
 	ep := NewEndpoint(arena, nil)
 	lc := &logCapture{}
-	ep.Logf = lc.logf
+	ep.SetLogf(lc.logf)
 	ep.RegisterMR("all", 0, 4096, PermAll)
 	fab := NewFabric()
 	l, err := fab.Listen("n")
@@ -270,7 +274,7 @@ func TestMalformedFrameTearsDownConnection(t *testing.T) {
 func TestCleanDisconnectNotLogged(t *testing.T) {
 	ep := NewEndpoint(mem.NewArena(64), nil)
 	lc := &logCapture{}
-	ep.Logf = lc.logf
+	ep.SetLogf(lc.logf)
 	fab := NewFabric()
 	l, _ := fab.Listen("n")
 	go ep.Serve(l)
@@ -290,7 +294,7 @@ func TestCleanDisconnectNotLogged(t *testing.T) {
 func TestTruncatedFrameLogged(t *testing.T) {
 	ep := NewEndpoint(mem.NewArena(64), nil)
 	lc := &logCapture{}
-	ep.Logf = lc.logf
+	ep.SetLogf(lc.logf)
 	fab := NewFabric()
 	l, _ := fab.Listen("n")
 	go ep.Serve(l)
@@ -349,7 +353,7 @@ func reconnRig(t *testing.T, arenaSize int) (*mem.Arena, *MR, *chaosDialer, *Rec
 	t.Helper()
 	arena := mem.NewArena(arenaSize)
 	ep := NewEndpoint(arena, nil)
-	ep.Logf = (&logCapture{}).logf // chaos tests tear connections down on purpose
+	ep.SetLogf((&logCapture{}).logf) // chaos tests tear connections down on purpose
 	mr, err := ep.RegisterMR("all", 0, arena.Size(), PermAll)
 	if err != nil {
 		t.Fatal(err)
@@ -425,7 +429,7 @@ func TestReconnQPRemapsRkeysAcrossRestart(t *testing.T) {
 	fab := NewFabric()
 	arenaA := mem.NewArena(4096)
 	epA := NewEndpoint(arenaA, nil)
-	epA.Logf = (&logCapture{}).logf
+	epA.SetLogf((&logCapture{}).logf)
 	mrA, _ := epA.RegisterMR("all", 0, 4096, PermAll)
 	lA, _ := fab.Listen("a")
 	go epA.Serve(lA)
@@ -434,7 +438,7 @@ func TestReconnQPRemapsRkeysAcrossRestart(t *testing.T) {
 	// The "restarted" node: same region name, different rkey numbering.
 	arenaB := mem.NewArena(4096)
 	epB := NewEndpoint(arenaB, nil)
-	epB.Logf = (&logCapture{}).logf
+	epB.SetLogf((&logCapture{}).logf)
 	epB.RegisterMR("pad", 0, 8, PermRead)
 	mrB, _ := epB.RegisterMR("all", 0, 4096, PermAll)
 	lB, _ := fab.Listen("b")
@@ -498,11 +502,12 @@ func TestReconnQPAtomicUncertain(t *testing.T) {
 		br := bufio.NewReader(conn)
 		bw := bufio.NewWriter(conn)
 		for {
-			payload, err := readFrame(br)
+			f, err := readFrame(br)
 			if err != nil {
 				return
 			}
-			q, err := decodeRequest(payload)
+			q, err := decodeRequest(f.Bytes())
+			f.Release()
 			if err != nil {
 				return
 			}

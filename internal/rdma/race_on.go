@@ -1,0 +1,8 @@
+//go:build race
+
+package rdma
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-alloc regression tests skip under -race: instrumented code allocates
+// shadow state on paths that are allocation-free in normal builds.
+const raceEnabled = true

@@ -99,7 +99,7 @@ func TestFrameTooLarge(t *testing.T) {
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
-	if _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:]))); err == nil {
 		t.Error("oversized frame accepted on read")
 	}
 }
@@ -644,9 +644,11 @@ func TestFailAllDeliversToEveryWaiter(t *testing.T) {
 	go func() {
 		br := bufio.NewReader(server)
 		for {
-			if _, err := readFrame(br); err != nil {
+			f, err := readFrame(br)
+			if err != nil {
 				return
 			}
+			f.Release()
 		}
 	}()
 	qp := NewQP(client)

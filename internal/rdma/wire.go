@@ -26,6 +26,7 @@
 package rdma
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -116,35 +117,62 @@ func statusErr(s uint8) error {
 	}
 }
 
-// writeFrame writes one length-prefixed frame.
+// writeFrame writes one length-prefixed frame as a SINGLE w.Write call:
+// header and payload are assembled into a pooled scratch buffer first, so a
+// frame never straddles two writes (one syscall per frame, and no torn
+// frames if two writers ever race on the same conn without holding the
+// send lock across both halves).
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("rdma: frame of %d bytes exceeds max %d", len(payload), MaxFrame)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	f := getFrame(frameHdr + len(payload))
+	b := f.b[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	_, err := w.Write(b)
+	f.Release()
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// readFrame reads one length-prefixed frame into a pooled buffer. The
+// caller owns the returned frame and must Release it (on every path,
+// including decode errors). The length prefix is consumed via Peek/Discard
+// on the bufio.Reader so the header costs no allocation.
+func readFrame(br *bufio.Reader) (*FrameBuf, error) {
+	hdr, err := br.Peek(frameHdr)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxFrame {
 		return nil, fmt.Errorf("rdma: frame of %d bytes exceeds max %d", n, MaxFrame)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	br.Discard(frameHdr)
+	f := getFrame(int(n))
+	if _, err := io.ReadFull(br, f.Bytes()); err != nil {
+		f.Release()
 		return nil, err
 	}
-	return payload, nil
+	return f, nil
+}
+
+// frameBuffered reports whether a complete frame is already sitting in br's
+// buffer, i.e. the next readFrame cannot block. Poll loops use it to drain
+// every ready frame in one pass and flush exactly once per pass — but never
+// to keep reading past the last buffered frame, which would deadlock a peer
+// that is itself waiting on our unflushed responses. Oversize prefixes
+// report true so the drain loop surfaces the protocol error immediately.
+func frameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < frameHdr {
+		return false
+	}
+	hdr, _ := br.Peek(frameHdr)
+	n := binary.BigEndian.Uint32(hdr)
+	return n > MaxFrame || br.Buffered() >= frameHdr+int(n)
 }
 
 // reqHdr is the fixed request header: opcode, request id, trace id.
@@ -192,13 +220,19 @@ func (q *request) encodeBatch(b []byte) []byte {
 	return b
 }
 
-func decodeBatch(q *request, body []byte) error {
+// decodeBatch decodes sub-verbs into scratch (appending from scratch[:0]),
+// so a serving loop can reuse one subs slice across frames. Pass nil to
+// allocate fresh. Sub-verb data aliases body.
+func decodeBatch(q *request, body []byte, scratch []request) error {
 	if len(body) < 2 {
 		return errors.New("rdma: short BATCH body")
 	}
 	n := int(binary.BigEndian.Uint16(body))
 	body = body[2:]
-	q.subs = make([]request, 0, n)
+	if scratch == nil {
+		scratch = make([]request, 0, n)
+	}
+	q.subs = scratch[:0]
 	for i := 0; i < n; i++ {
 		if len(body) < 13 {
 			return errors.New("rdma: truncated BATCH sub-verb")
@@ -237,22 +271,55 @@ func decodeBatch(q *request, body []byte) error {
 	return nil
 }
 
-func (q *request) encode() []byte {
-	var b []byte
+// encodedSize returns the exact (or, for unknown opcodes, an upper-bound)
+// encoded payload length, so the send path can borrow a right-sized pooled
+// buffer and assemble without a single reallocation. Must never
+// underestimate: appendTo growing past the borrowed capacity would
+// reallocate and defeat the zero-alloc hot path.
+func (q *request) encodedSize() int {
 	switch q.op {
 	case OpRead:
-		b = make([]byte, 0, reqHdr+16)
-	case OpWrite, OpWriteImm:
-		b = make([]byte, 0, reqHdr+20+len(q.data))
+		return reqHdr + 16
+	case OpWrite:
+		return reqHdr + 12 + len(q.data)
+	case OpWriteImm:
+		return reqHdr + 16 + len(q.data)
+	case OpCAS:
+		return reqHdr + 28
+	case OpFetchAdd:
+		return reqHdr + 20
 	case OpBatch:
 		size := reqHdr + 2
 		for i := range q.subs {
-			size += 21 + len(q.subs[i].data)
+			size += 17 + len(q.subs[i].data)
+			if q.subs[i].op == OpWriteImm {
+				size += 4
+			}
 		}
-		b = make([]byte, 0, size)
+		return size
 	default:
-		b = make([]byte, 0, reqHdr+28)
+		// OpQueryMRs and anything unknown carries rkey+addr and no body.
+		return reqHdr + 28
 	}
+}
+
+// appendMeta appends everything up to but excluding the payload data. Only
+// meaningful for OpWrite/OpWriteImm; the send path uses it to emit
+// [hdr|meta] and the payload as one writev without copying the payload.
+func (q *request) appendMeta(b []byte) []byte {
+	b = append(b, q.op)
+	b = binary.BigEndian.AppendUint64(b, q.id)
+	b = binary.BigEndian.AppendUint64(b, q.trace)
+	b = binary.BigEndian.AppendUint32(b, q.rkey)
+	b = binary.BigEndian.AppendUint64(b, q.addr)
+	if q.op == OpWriteImm {
+		b = binary.BigEndian.AppendUint32(b, q.imm)
+	}
+	return b
+}
+
+// appendTo appends the encoded request payload to b.
+func (q *request) appendTo(b []byte) []byte {
 	b = append(b, q.op)
 	b = binary.BigEndian.AppendUint64(b, q.id)
 	b = binary.BigEndian.AppendUint64(b, q.trace)
@@ -278,23 +345,35 @@ func (q *request) encode() []byte {
 	return b
 }
 
+func (q *request) encode() []byte {
+	return q.appendTo(make([]byte, 0, q.encodedSize()))
+}
+
 func decodeRequest(p []byte) (request, error) {
 	var q request
+	err := q.decodeInto(p, nil)
+	return q, err
+}
+
+// decodeInto decodes p into q, reusing subsScratch (may be nil) for batch
+// sub-verbs. Decoded data/subs alias p: they are valid only while the
+// frame that backs p is retained.
+func (q *request) decodeInto(p []byte, subsScratch []request) error {
 	if len(p) < reqHdr {
-		return q, fmt.Errorf("rdma: short request (%d bytes)", len(p))
+		return fmt.Errorf("rdma: short request (%d bytes)", len(p))
 	}
 	q.op = p[0]
 	q.id = binary.BigEndian.Uint64(p[1:9])
 	q.trace = binary.BigEndian.Uint64(p[9:17])
 	body := p[reqHdr:]
 	if q.op == OpQueryMRs {
-		return q, nil
+		return nil
 	}
 	if q.op == OpBatch {
-		return q, decodeBatch(&q, body)
+		return decodeBatch(q, body, subsScratch)
 	}
 	if len(body) < 12 {
-		return q, fmt.Errorf("rdma: short verb body (%d bytes)", len(body))
+		return fmt.Errorf("rdma: short verb body (%d bytes)", len(body))
 	}
 	q.rkey = binary.BigEndian.Uint32(body[0:4])
 	q.addr = binary.BigEndian.Uint64(body[4:12])
@@ -302,32 +381,32 @@ func decodeRequest(p []byte) (request, error) {
 	switch q.op {
 	case OpRead:
 		if len(rest) != 4 {
-			return q, errors.New("rdma: bad READ body")
+			return errors.New("rdma: bad READ body")
 		}
 		q.len = binary.BigEndian.Uint32(rest)
 	case OpWrite:
 		q.data = rest
 	case OpCAS:
 		if len(rest) != 16 {
-			return q, errors.New("rdma: bad CAS body")
+			return errors.New("rdma: bad CAS body")
 		}
 		q.cmp = binary.BigEndian.Uint64(rest[0:8])
 		q.swap = binary.BigEndian.Uint64(rest[8:16])
 	case OpFetchAdd:
 		if len(rest) != 8 {
-			return q, errors.New("rdma: bad FETCH_ADD body")
+			return errors.New("rdma: bad FETCH_ADD body")
 		}
 		q.delta = binary.BigEndian.Uint64(rest)
 	case OpWriteImm:
 		if len(rest) < 4 {
-			return q, errors.New("rdma: bad WRITE_IMM body")
+			return errors.New("rdma: bad WRITE_IMM body")
 		}
 		q.imm = binary.BigEndian.Uint32(rest[0:4])
 		q.data = rest[4:]
 	default:
-		return q, fmt.Errorf("rdma: unknown opcode %#x", q.op)
+		return fmt.Errorf("rdma: unknown opcode %#x", q.op)
 	}
-	return q, nil
+	return nil
 }
 
 // response is a decoded verb response.
@@ -337,13 +416,19 @@ type response struct {
 	data   []byte
 }
 
-func (r *response) encode() []byte {
-	b := make([]byte, 0, 10+len(r.data))
+// respHdr is the fixed response header: OpResp, request id, status.
+const respHdr = 1 + 8 + 1
+
+// appendResponse appends an encoded response payload to b.
+func appendResponse(b []byte, id uint64, status uint8, data []byte) []byte {
 	b = append(b, OpResp)
-	b = binary.BigEndian.AppendUint64(b, r.id)
-	b = append(b, r.status)
-	b = append(b, r.data...)
-	return b
+	b = binary.BigEndian.AppendUint64(b, id)
+	b = append(b, status)
+	return append(b, data...)
+}
+
+func (r *response) encode() []byte {
+	return appendResponse(make([]byte, 0, respHdr+len(r.data)), r.id, r.status, r.data)
 }
 
 func decodeResponse(p []byte) (response, error) {
