@@ -36,6 +36,7 @@ var registry = []struct {
 	{"cache", "artifact cache warm path + delta vs full injection", experiments.Cache},
 	{"ha", "control-plane failover: fencing, journal replay, re-drive", single(experiments.HA)},
 	{"shard", "sharded control plane: throughput scaling, per-shard fencing, admission", single(experiments.Shard)},
+	{"rebalance", "elastic rebalancing: live shard scale-in/out with journal-replay state migration", single(experiments.Rebalance)},
 	{"serve", "fleet under sustained traffic during continuous rollouts (wire hot path)", single(experiments.Serve)},
 }
 

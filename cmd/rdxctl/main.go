@@ -427,16 +427,16 @@ func runShardStats(standbyAddr string, shards int, timeout time.Duration) {
 	}
 	tbl := telemetry.NewTable(
 		fmt.Sprintf("sharded control plane — %d shard hosts from %s", shards, standbyAddr),
-		"shard", "addr", "lease", "epoch", "ring hwm/cap", "journal", "deployments")
+		"shard", "addr", "lease", "epoch", "ring hwm/cap", "journal", "deployments", "handoffs")
 	for i, addr := range addrs {
 		qp, err := dialVerbs(addr, false, timeout)
 		if err != nil {
-			tbl.AddRowf(fmt.Sprintf("%d", i), addr, "UNREACHABLE: "+err.Error(), "-", "-", "-", "-")
+			tbl.AddRowf(fmt.Sprintf("%d", i), addr, "UNREACHABLE: "+err.Error(), "-", "-", "-", "-", "-")
 			continue
 		}
 		st, err := controlha.Inspect(qp)
 		if err != nil {
-			tbl.AddRowf(fmt.Sprintf("%d", i), addr, "INSPECT FAILED: "+err.Error(), "-", "-", "-", "-")
+			tbl.AddRowf(fmt.Sprintf("%d", i), addr, "INSPECT FAILED: "+err.Error(), "-", "-", "-", "-", "-")
 			continue
 		}
 		lease := "vacant"
@@ -454,8 +454,15 @@ func runShardStats(standbyAddr string, shards int, timeout time.Duration) {
 		if n := len(st.State.Open); n > 0 {
 			deploys += fmt.Sprintf(" (+%d open intents)", n)
 		}
+		// Rebalance barrier markers in this shard's journal: how many times
+		// the shard handed its key range off, and the ring epoch the most
+		// recent handoff departed at.
+		handoffs := "none"
+		if st.State != nil && st.State.Handoffs > 0 {
+			handoffs = fmt.Sprintf("%d (last ring epoch %d)", st.State.Handoffs, st.State.LastHandoffEpoch)
+		}
 		tbl.AddRowf(fmt.Sprintf("%d", i), addr, lease, fmt.Sprintf("%d", st.Epoch),
-			fmt.Sprintf("%d/%d", st.RingHwm, st.RingCap), journal, deploys)
+			fmt.Sprintf("%d/%d", st.RingHwm, st.RingCap), journal, deploys, handoffs)
 	}
 	fmt.Println(tbl.String())
 }

@@ -24,6 +24,9 @@
 // election logic — leadership is decided by CAS in its own memory.
 // -standby -shards N serves N independent hosts on consecutive ports from
 // -listen, one witness+ring per control-plane shard (see internal/shard).
+// -http also works in standby mode: /metrics replays each shard's pumped
+// journal copy and reports per-shard gauges — journal bytes/entries/seq,
+// deployments, open intents, and rebalance handoff markers.
 //
 // On SIGINT/SIGTERM rdxd shuts down gracefully: it stops accepting QPs,
 // drains in-flight endpoint frames (bounded by -drain), flushes a final
@@ -70,7 +73,7 @@ func main() {
 	flag.Parse()
 
 	if *standby {
-		runStandby(*id, *listen, *shards, *ringCap, *drain)
+		runStandby(*id, *listen, *shards, *ringCap, *httpAddr, *drain)
 		return
 	}
 
@@ -172,7 +175,7 @@ func main() {
 // — each shard's leader attaches to its own witness and ring, so shard
 // elections and replication never share state. The process is purely
 // passive memory — controllers mutate it with one-sided verbs.
-func runStandby(id, listen string, shards int, ringCap uint64, drain time.Duration) {
+func runStandby(id, listen string, shards int, ringCap uint64, httpAddr string, drain time.Duration) {
 	if shards < 1 {
 		shards = 1
 	}
@@ -203,6 +206,52 @@ func runStandby(id, listen string, shards int, ringCap uint64, drain time.Durati
 		h.StartPump(0, log.Printf)
 		hosts = append(hosts, h)
 		listeners = append(listeners, l)
+	}
+
+	if httpAddr != "" {
+		// Standby observability: each scrape pumps the rings, replays each
+		// shard's journal copy, and snapshots per-shard gauges — journal
+		// size and sequence, deployment count, and the rebalance handoff
+		// markers (count + departing ring epoch). The replay is pure local
+		// CPU over the pumped bytes; the rings are only read, never grown.
+		sreg := telemetry.NewRegistry()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			for i, h := range hosts {
+				pfx := fmt.Sprintf("standby.shard.%d.", i)
+				sreg.Gauge(pfx + "ring.cap").Set(int64(h.RingCap()))
+				if _, err := h.Pump(); err != nil {
+					sreg.Gauge(pfx + "journal.unreadable").Set(1)
+					continue
+				}
+				data := h.JournalBytes()
+				sreg.Gauge(pfx + "journal.bytes").Set(int64(len(data)))
+				st, err := controlha.Replay(data)
+				if err != nil {
+					sreg.Gauge(pfx + "journal.unreplayable").Set(1)
+					continue
+				}
+				sreg.Gauge(pfx + "journal.entries").Set(int64(st.Entries))
+				sreg.Gauge(pfx + "journal.last_seq").Set(int64(st.LastSeq))
+				sreg.Gauge(pfx + "journal.fence").Set(int64(st.LastFence))
+				sreg.Gauge(pfx + "deployments").Set(int64(len(st.Versions)))
+				sreg.Gauge(pfx + "open_intents").Set(int64(len(st.Open)))
+				sreg.Gauge(pfx + "handoffs").Set(int64(st.Handoffs))
+				sreg.Gauge(pfx + "handoff.last_ring_epoch").Set(int64(st.LastHandoffEpoch))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			sreg.WriteJSON(w)
+		})
+		hl, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			log.Fatalf("rdxd: http listen: %v", err)
+		}
+		log.Printf("rdxd: standby observability on http://%s (/metrics)", hl.Addr())
+		go func() {
+			if err := http.Serve(hl, mux); err != nil {
+				log.Printf("rdxd: http serve: %v", err)
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)

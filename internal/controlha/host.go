@@ -138,6 +138,19 @@ func (h *Host) JournalBytes() []byte {
 	return append([]byte(nil), h.journal...)
 }
 
+// JournalSource returns a snapshot function that pumps any freshly
+// committed ring bytes and returns the full journal copy — the shape
+// shard.CPExecutor wants for handoff replay (a leader co-located with its
+// standby host; remote deployments use FetchJournal over a QP instead).
+func (h *Host) JournalSource() func() ([]byte, error) {
+	return func() ([]byte, error) {
+		if _, err := h.Pump(); err != nil {
+			return nil, err
+		}
+		return h.JournalBytes(), nil
+	}
+}
+
 // Consumed returns how many replicated bytes this standby has pumped.
 func (h *Host) Consumed() uint64 {
 	h.mu.Lock()

@@ -57,6 +57,7 @@ const (
 	EntryRollback           // hook reverted to a prior version
 	EntryClaim              // standby blob claimed as a delta target on Node
 	EntryReclaim            // Node's code ring wrapped; Epoch = new wrap epoch
+	EntryHandoff            // shard rebalance barrier; Epoch = departing ring epoch
 )
 
 func (t EntryType) String() string {
@@ -75,6 +76,8 @@ func (t EntryType) String() string {
 		return "claim"
 	case EntryReclaim:
 		return "reclaim"
+	case EntryHandoff:
+		return "handoff"
 	}
 	return fmt.Sprintf("entry(%d)", uint8(t))
 }
@@ -95,7 +98,7 @@ type Entry struct {
 	Arch    uint32
 	Version uint64
 	Blob    uint64
-	Epoch   uint64 // wrap epoch (EntryReclaim)
+	Epoch   uint64 // wrap epoch (EntryReclaim) / departing ring epoch (EntryHandoff)
 	Flags   uint8  // bit 0: the referenced version was already Reclaimed
 }
 
@@ -223,7 +226,7 @@ func DecodeEntry(b []byte) (Entry, int, error) {
 	if len(b) < total {
 		return Entry{}, 0, fmt.Errorf("%w: entry needs %d bytes, have %d", ErrTruncated, total, len(b))
 	}
-	if e.Type == EntryInvalid || e.Type > EntryReclaim {
+	if e.Type == EntryInvalid || e.Type > EntryHandoff {
 		return Entry{}, 0, fmt.Errorf("%w: unknown entry type %d", ErrCorrupt, e.Type)
 	}
 	body := b[:entryHdrLen+int(plen)]
@@ -315,6 +318,15 @@ func (j *Journal) SeedSeq(n uint64) {
 // publish already landed); they are counted and surfaced via the lag
 // gauge, which stops converging to zero.
 func (j *Journal) append(e Entry) {
+	j.appendChecked(e) //nolint:errcheck // replication outcome surfaced via instruments
+}
+
+// appendChecked is append surfacing the replication outcome: entries whose
+// durability on the standby gates a protocol step (the rebalance handoff
+// marker) must know whether the ring took the bytes — a fenced append means
+// a successor owns the ring and this term must stop, not proceed on a
+// local-only record.
+func (j *Journal) appendChecked(e Entry) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seq++
@@ -326,14 +338,17 @@ func (j *Journal) append(e Entry) {
 	j.entries = append(j.entries, e)
 	j.buf = append(j.buf, enc...)
 	j.reg.Counter("controlha.journal.appended").Inc()
-	if j.rep != nil {
-		if err := j.rep.Append(enc); err != nil {
-			j.reg.Counter("controlha.journal.replication_errors").Inc()
-		} else {
-			j.reg.Counter("controlha.journal.replicated").Inc()
-		}
-		j.reg.Gauge("controlha.journal.lag").Set(int64(uint64(len(j.buf)) - j.rep.Replicated()))
+	if j.rep == nil {
+		return nil
 	}
+	err := j.rep.Append(enc)
+	if err != nil {
+		j.reg.Counter("controlha.journal.replication_errors").Inc()
+	} else {
+		j.reg.Counter("controlha.journal.replicated").Inc()
+	}
+	j.reg.Gauge("controlha.journal.lag").Set(int64(uint64(len(j.buf)) - j.rep.Replicated()))
+	return err
 }
 
 // Bytes snapshots the encoded journal.
@@ -399,6 +414,17 @@ func (j *Journal) JournalClaim(node string, blob uint64) {
 // JournalReclaim records a code-ring wrap.
 func (j *Journal) JournalReclaim(node string, wrapEpoch uint64) {
 	j.append(Entry{Type: EntryReclaim, Node: node, Epoch: wrapEpoch})
+}
+
+// JournalHandoff records a shard-rebalance barrier stamped with the
+// departing ring epoch. Unlike the other sinks it fails on a replication
+// error: the marker is the fence between "this shard still owns its keys"
+// and "the replayed state below is complete and migratable" — a leader
+// that cannot land it on the standby ring (typed ErrFencedAppend when a
+// successor stamped the ring) has been deposed and must abort the handoff
+// instead of migrating state it no longer owns.
+func (j *Journal) JournalHandoff(ringEpoch uint64) error {
+	return j.appendChecked(Entry{Type: EntryHandoff, Epoch: ringEpoch})
 }
 
 var _ core.JournalSink = (*Journal)(nil)

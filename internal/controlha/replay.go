@@ -38,6 +38,12 @@ type State struct {
 	Entries   int
 	LastSeq   uint64
 	LastFence uint64
+	// Handoffs counts rebalance barrier markers; LastHandoffEpoch is the
+	// departing ring epoch the most recent marker carried. A snapshot taken
+	// for a handoff is complete exactly when LastHandoffEpoch matches the
+	// epoch the migrating router journaled.
+	Handoffs         int
+	LastHandoffEpoch uint64
 }
 
 // Replay decodes and applies every entry in data, in order. Replay is
@@ -129,6 +135,11 @@ func (s *State) apply(e Entry) {
 				hist[i].Reclaimed = true
 			}
 		}
+	case EntryHandoff:
+		// Rebalance barrier: everything before this marker is the complete
+		// state of the shard as of the carried ring epoch.
+		s.Handoffs++
+		s.LastHandoffEpoch = e.Epoch
 	}
 }
 
@@ -141,6 +152,49 @@ func (s *State) closeIntent(e Entry) {
 			return
 		}
 	}
+}
+
+// Filter projects the state onto the (node, hook) keys keep accepts: the
+// sub-state a rebalance migrates into one receiving shard. Versions,
+// History, and Open intents are filtered per key; the Validated and
+// Compiled digest sets travel whole (they are properties of the shared
+// artifact cache, not of any key, and carrying them is what keeps
+// re-driven intents recompile-free on the receiver). Maps are deep-copied
+// down to the history slices so the receiver can mutate its copy freely.
+func (s *State) Filter(keep func(node, hook string) bool) *State {
+	out := &State{
+		Versions:         map[Key]core.DeployedVersion{},
+		History:          map[Key][]core.Deployed{},
+		Validated:        map[string]bool{},
+		Compiled:         map[string]bool{},
+		Entries:          s.Entries,
+		LastSeq:          s.LastSeq,
+		LastFence:        s.LastFence,
+		Handoffs:         s.Handoffs,
+		LastHandoffEpoch: s.LastHandoffEpoch,
+	}
+	for k, dv := range s.Versions {
+		if keep(k.Node, k.Hook) {
+			out.Versions[k] = dv
+		}
+	}
+	for k, hist := range s.History {
+		if keep(k.Node, k.Hook) {
+			out.History[k] = append([]core.Deployed(nil), hist...)
+		}
+	}
+	for _, in := range s.Open {
+		if keep(in.Node, in.Hook) {
+			out.Open = append(out.Open, in)
+		}
+	}
+	for d := range s.Validated {
+		out.Validated[d] = true
+	}
+	for d := range s.Compiled {
+		out.Compiled[d] = true
+	}
+	return out
 }
 
 // OpenFor returns the open intents targeting one node.

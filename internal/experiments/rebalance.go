@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdx/internal/artifact"
+	"rdx/internal/cluster"
+	"rdx/internal/controlha"
+	"rdx/internal/core"
+	"rdx/internal/ext"
+	"rdx/internal/node"
+	"rdx/internal/rdma"
+	"rdx/internal/shard"
+	"rdx/internal/telemetry"
+	"rdx/internal/xabi"
+)
+
+// rebalanceProbe records which shard executed each (key, ring-epoch)
+// pair. The router stamps every job with the membership epoch its owner
+// was resolved under, so double ownership — two live shards serving one
+// key — shows up as two shard IDs behind one (key, epoch).
+type rebalanceProbe struct {
+	mu   sync.Mutex
+	seen map[string]map[uint64]map[int]bool
+}
+
+func (p *rebalanceProbe) note(key string, epoch uint64, id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	byEpoch := p.seen[key]
+	if byEpoch == nil {
+		byEpoch = map[uint64]map[int]bool{}
+		p.seen[key] = byEpoch
+	}
+	owners := byEpoch[epoch]
+	if owners == nil {
+		owners = map[int]bool{}
+		byEpoch[epoch] = owners
+	}
+	owners[id] = true
+}
+
+func (p *rebalanceProbe) doubleOwned() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, byEpoch := range p.seen {
+		for epoch, owners := range byEpoch {
+			if len(owners) > 1 {
+				return fmt.Errorf("rebalance: key %q double-owned at ring epoch %d: shards %v",
+					key, epoch, owners)
+			}
+		}
+	}
+	return nil
+}
+
+// probedHA wraps a Migrator-capable executor to feed the ownership probe.
+type probedHA struct {
+	*shard.CPExecutor
+	id    int
+	probe *rebalanceProbe
+}
+
+func (p *probedHA) Execute(ctx context.Context, j *shard.Job) error {
+	p.probe.note(shard.Key(j.Tenant, j.Hook), j.RoutedEpoch(), p.id)
+	return p.CPExecutor.Execute(ctx, j)
+}
+
+// Rebalance is the elastic-rebalancing experiment: a multi-tenant fleet
+// publishes through four control-plane shards — each with its own lease,
+// journal, and standby — while the fleet scales 4 -> 3 -> 4 live. It is
+// self-checking:
+//
+//   - scale-in drains the departing shard behind a typed barrier, journals
+//     the handoff marker, and replays the departing keys' state into the
+//     receivers; scale-out runs the dual. Each flip is one ring-epoch bump;
+//   - a set of cold keys (published during warmup, never again) migrates
+//     byte-exact: after both rebalances, each cold key's current owner
+//     serves exactly the digest/version/blob the original owner recorded —
+//     including keys that hopped twice, which exercises the receivers'
+//     re-journaled absorb records;
+//   - artifact.compile.invocations stays flat across both migrations (the
+//     shared cache means handoff never recompiles);
+//   - sustained publish traffic runs throughout: every in-flight job
+//     completes or fails typed ErrRebalancing, and no (key, ring-epoch)
+//     pair ever executes on two shards;
+//   - a shard.Autoscaler under synthetic queue pressure scales out on the
+//     high watermark and back in on sustained idleness, with hysteresis.
+func Rebalance(opts Options) (*telemetry.Table, error) {
+	nodesN, hooksN, loadWorkers := 4, 16, 16
+	if opts.Quick {
+		nodesN, hooksN, loadWorkers = 2, 8, 8
+	}
+	const shardsN = 4
+	const filler = 900
+	ttl := time.Minute
+	tenantsN := nodesN * hooksN
+
+	fab := rdma.NewFabric()
+	hookNames := make([]string, hooksN)
+	for h := range hookNames {
+		hookNames[h] = fmt.Sprintf("h%02d", h)
+	}
+	var fleet []*node.Node
+	nodeNames := make([]string, nodesN)
+	for i := 0; i < nodesN; i++ {
+		nodeNames[i] = fmt.Sprintf("reb-node-%d", i)
+		n, err := node.New(node.Config{
+			ID: nodeNames[i], Hooks: hookNames, Cores: 2,
+			Latency: rdma.NoLatency(), Seed: int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		l, err := fab.Listen(nodeNames[i])
+		if err != nil {
+			return nil, err
+		}
+		go n.Serve(l)
+		fleet = append(fleet, n)
+	}
+
+	type tenantRef struct{ name, hook, nodeName string }
+	tenants := make([]tenantRef, 0, tenantsN)
+	for i := 0; i < nodesN; i++ {
+		for h := 0; h < hooksN; h++ {
+			tenants = append(tenants, tenantRef{
+				name:     fmt.Sprintf("tenant-%04d", i*hooksN+h),
+				hook:     hookNames[h],
+				nodeName: nodeNames[i],
+			})
+		}
+	}
+	// Cold keys: published during warmup, never touched by the load. Their
+	// control-plane state must survive every migration hop bit-for-bit.
+	coldN := tenantsN / 4
+	cold, hot := tenants[:coldN], tenants[coldN:]
+
+	reg := telemetry.NewRegistry()
+	arts := artifact.NewCache(artifact.Config{Registry: reg})
+	gen1 := cluster.GenerationExt(ext.KindEBPF, 1, filler)
+	gen2 := cluster.GenerationExt(ext.KindEBPF, 2, filler)
+
+	type shardRig struct {
+		host      *controlha.Host
+		cp        *core.ControlPlane
+		flowsName map[string]*core.CodeFlow
+	}
+	haLat := &rdma.LatencyModel{Base: 100 * time.Microsecond, BytesPerSec: 3.125e9, SpinTail: -1}
+	nodeKeyOf := map[string]string{}
+	buildRig := func(id int, hostName string, leaderID uint64) (*shardRig, error) {
+		host, err := controlha.NewHostWith(4<<20, haLat)
+		if err != nil {
+			return nil, err
+		}
+		hl, err := fab.Listen(hostName)
+		if err != nil {
+			return nil, err
+		}
+		go host.Serve(hl)
+		cp := core.NewControlPlaneLabeled(arts, reg, fmt.Sprintf("rdma.qp.reb%d", id))
+		rig := &shardRig{host: host, cp: cp, flowsName: map[string]*core.CodeFlow{}}
+		for _, nn := range nodeNames {
+			conn, err := fab.Dial(nn)
+			if err != nil {
+				return nil, err
+			}
+			cf, err := cp.CreateCodeFlow(conn)
+			if err != nil {
+				return nil, err
+			}
+			rig.flowsName[nn] = cf
+			nodeKeyOf[nn] = cf.NodeKey()
+		}
+		wconn, err := fab.Dial(hostName)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := controlha.AttachLeader(cp, rdma.NewQP(wconn), leaderID, ttl); err != nil {
+			return nil, fmt.Errorf("shard %d: attach leader: %w", id, err)
+		}
+		return rig, nil
+	}
+
+	probe := &rebalanceProbe{seen: map[string]map[uint64]map[int]bool{}}
+	router := shard.NewRouter(shard.Config{Workers: 8, QueueCap: 2 * tenantsN, Registry: reg})
+	defer router.Close()
+	rigs := map[int]*shardRig{}
+	addShard := func(id int) error {
+		rig, err := buildRig(id, fmt.Sprintf("reb-stby-%d", id), uint64(1+id))
+		if err != nil {
+			return err
+		}
+		rigs[id] = rig
+		ex := shard.NewCPExecutorHA(rig.cp, rig.flowsName, rig.host.JournalSource())
+		if id < shardsN {
+			return router.AddShard(id, &probedHA{CPExecutor: ex, id: id, probe: probe})
+		}
+		_, err = router.RebalanceAdd(context.Background(), id, &probedHA{CPExecutor: ex, id: id, probe: probe})
+		return err
+	}
+	for s := 0; s < shardsN; s++ {
+		if err := addShard(s); err != nil {
+			return nil, err
+		}
+	}
+
+	tbl := telemetry.NewTable(
+		fmt.Sprintf("Elastic rebalancing — %d tenants over %d nodes, scale %d -> %d -> %d under load",
+			tenantsN, nodesN, shardsN, shardsN-1, shardsN),
+		"phase", "result", "detail")
+
+	// Warmup: stage both generations for every tenant (resident
+	// thereafter), leaving every hook on gen2.
+	publish := func(t tenantRef, g *ext.Extension) error {
+		return router.Publish(context.Background(), &shard.Job{
+			Tenant: t.name, Hook: t.hook, Ext: g,
+			Nodes: []string{t.nodeName}, Bytes: 256,
+		})
+	}
+	for _, g := range []*ext.Extension{gen1, gen2} {
+		for _, t := range tenants {
+			if err := publish(t, g); err != nil {
+				return nil, fmt.Errorf("rebalance: warmup %s: %w", t.name, err)
+			}
+		}
+	}
+	// Expected state per cold key, captured from its original owner. Cold
+	// keys never republish, so this must hold verbatim after every hop.
+	type coldState struct {
+		owner int
+		dv    core.DeployedVersion
+	}
+	expect := map[string]coldState{}
+	for _, t := range cold {
+		id, _ := router.ShardFor(t.name, t.hook)
+		dv, ok := rigs[id].cp.DeployedVersion(nodeKeyOf[t.nodeName], t.hook)
+		if !ok {
+			return nil, fmt.Errorf("rebalance: cold key %s has no deployed version on shard %d", t.name, id)
+		}
+		expect[t.name] = coldState{owner: id, dv: dv}
+	}
+	compilesBefore := reg.Counter("artifact.compile.invocations").Value()
+	tbl.AddRowf(fmt.Sprintf("%d shards warm", shardsN),
+		fmt.Sprintf("%d tenants staged", tenantsN),
+		fmt.Sprintf("%d cold keys pinned, %d compile invocations", coldN, compilesBefore))
+
+	// Sustained load on the hot tenants: alternating generations, retrying
+	// typed ErrRebalancing (the drain window's documented contract). Any
+	// other failure is fatal to the experiment.
+	var (
+		stopLoad   = make(chan struct{})
+		loadWG     sync.WaitGroup
+		published  atomic.Uint64
+		rebalanced atomic.Uint64
+		loadErr    atomic.Pointer[error]
+	)
+	gens := []*ext.Extension{gen1, gen2}
+	for w := 0; w < loadWorkers; w++ {
+		loadWG.Add(1)
+		go func(w int) {
+			defer loadWG.Done()
+			for iter := 0; ; iter++ {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				t := hot[(iter*loadWorkers+w)%len(hot)]
+				err := publish(t, gens[iter%2])
+				switch {
+				case err == nil:
+					published.Add(1)
+				case errors.Is(err, shard.ErrRebalancing):
+					rebalanced.Add(1)
+					time.Sleep(200 * time.Microsecond)
+				default:
+					e := fmt.Errorf("tenant %s: %w", t.name, err)
+					loadErr.CompareAndSwap(nil, &e)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Scale-in: retire the shard owning the first cold key, live.
+	victim := expect[cold[0].name].owner
+	epoch0 := router.RingEpoch()
+	rep1, err := router.Rebalance(context.Background(), victim)
+	if err != nil {
+		return nil, fmt.Errorf("rebalance: scale-in of shard %d: %w", victim, err)
+	}
+	if !rep1.Migrated {
+		return nil, fmt.Errorf("rebalance: scale-in moved %d keys without state", rep1.MovedKeys)
+	}
+	if rep1.RingEpoch != epoch0+1 {
+		return nil, fmt.Errorf("rebalance: scale-in bumped ring epoch %d -> %d, want one step", epoch0, rep1.RingEpoch)
+	}
+	if _, ok := statusByID(router)[victim]; ok {
+		return nil, fmt.Errorf("rebalance: shard %d still serving after scale-in", victim)
+	}
+	tbl.AddRowf(fmt.Sprintf("scale-in: shard %d retired", victim),
+		fmt.Sprintf("%d keys migrated", rep1.MovedKeys),
+		fmt.Sprintf("drain %v, total %v, one epoch bump, %d receivers",
+			rep1.Drain.Round(time.Microsecond), rep1.Total.Round(time.Microsecond), len(rep1.Receivers)))
+
+	// Scale-out: join a fresh shard (new ID, new lease, new standby). Keys
+	// the enlarged ring hands it — some absorbed by receivers moments ago —
+	// migrate again, this time out of the receivers' re-journaled records.
+	epoch1 := router.RingEpoch()
+	if err := addShard(shardsN); err != nil {
+		return nil, fmt.Errorf("rebalance: scale-out: %w", err)
+	}
+	if router.RingEpoch() != epoch1+1 {
+		return nil, fmt.Errorf("rebalance: scale-out bumped ring epoch %d -> %d, want one step", epoch1, router.RingEpoch())
+	}
+	tbl.AddRowf(fmt.Sprintf("scale-out: shard %d joined", shardsN),
+		fmt.Sprintf("ring epoch %d -> %d", epoch0, router.RingEpoch()),
+		"sources drained, snapshotted, reopened")
+
+	close(stopLoad)
+	loadWG.Wait()
+	if p := loadErr.Load(); p != nil {
+		return nil, fmt.Errorf("rebalance: load failed untyped: %w", *p)
+	}
+	if err := probe.doubleOwned(); err != nil {
+		return nil, err
+	}
+	tbl.AddRowf("sustained traffic", fmt.Sprintf("%d publishes", published.Load()),
+		fmt.Sprintf("%d typed ErrRebalancing retries, no (key, epoch) double-owned", rebalanced.Load()))
+
+	// Byte-exact migration: every cold key's current owner serves exactly
+	// the pinned digest/version/blob — across one hop or two.
+	hopped := 0
+	for _, t := range cold {
+		id, _ := router.ShardFor(t.name, t.hook)
+		want := expect[t.name]
+		if id != want.owner {
+			hopped++
+		}
+		dv, ok := rigs[id].cp.DeployedVersion(nodeKeyOf[t.nodeName], t.hook)
+		if !ok {
+			return nil, fmt.Errorf("rebalance: cold key %s lost on shard %d after migration", t.name, id)
+		}
+		if dv != want.dv {
+			return nil, fmt.Errorf("rebalance: cold key %s diverged on shard %d: got %+v, want %+v",
+				t.name, id, dv, want.dv)
+		}
+	}
+	compilesAfter := reg.Counter("artifact.compile.invocations").Value()
+	if compilesAfter != compilesBefore {
+		return nil, fmt.Errorf("rebalance: migration recompiled: %d -> %d compile invocations",
+			compilesBefore, compilesAfter)
+	}
+	tbl.AddRowf("byte-exact migration", fmt.Sprintf("%d/%d cold keys verified", coldN, coldN),
+		fmt.Sprintf("%d keys changed owner; compile invocations flat at %d", hopped, compilesAfter))
+
+	// Convergence, end to end: one clean gen2 round over every tenant, and
+	// every hook serves the new generation.
+	for i, t := range tenants {
+		if err := publish(t, gen2); err != nil {
+			return nil, fmt.Errorf("rebalance: final round %s: %w", t.name, err)
+		}
+		res, err := fleet[i/hooksN].ExecHook(t.hook, make([]byte, xabi.CtxSize), nil)
+		if err != nil {
+			return nil, fmt.Errorf("rebalance: tenant %s hook exec: %w", t.name, err)
+		}
+		if res.Verdict != 102 {
+			return nil, fmt.Errorf("rebalance: tenant %s verdict %d, want 102", t.name, res.Verdict)
+		}
+	}
+	tbl.AddRowf("convergence", fmt.Sprintf("%d/%d hooks on gen2", tenantsN, tenantsN),
+		fmt.Sprintf("ring epoch %d after %d membership changes", router.RingEpoch(), 2))
+
+	// Autoscaler: synthetic queue pressure on a dedicated router trips the
+	// high watermark (hysteresis: consecutive ticks) and adds a shard;
+	// sustained idleness afterwards retires it.
+	asReg := telemetry.NewRegistry()
+	asRouter := shard.NewRouter(shard.Config{Workers: 1, Registry: asReg})
+	defer asRouter.Close()
+	slowExec := shard.ExecFunc(func(ctx context.Context, j *shard.Job) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err := asRouter.AddShard(0, slowExec); err != nil {
+		return nil, err
+	}
+	as := shard.NewAutoscaler(asRouter, shard.AutoscalerConfig{
+		Min: 1, Max: 3, HighDepth: 4, HighTicks: 2, LowTicks: 10,
+		Interval: 5 * time.Millisecond, Cooldown: 25 * time.Millisecond,
+		Provision: func(id int) (shard.Executor, error) { return slowExec, nil },
+	})
+	as.Start()
+	defer as.Stop()
+	stopFlood := make(chan struct{})
+	var floodWG sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		floodWG.Add(1)
+		go func(w int) {
+			defer floodWG.Done()
+			for iter := 0; ; iter++ {
+				select {
+				case <-stopFlood:
+					return
+				default:
+				}
+				err := asRouter.Publish(context.Background(), &shard.Job{
+					Tenant: fmt.Sprintf("flood-%d", w), Hook: fmt.Sprintf("fh%d", iter%4),
+					Ext: gen1,
+				})
+				if err != nil && !errors.Is(err, shard.ErrRebalancing) && !errors.Is(err, shard.ErrShardUnavailable) {
+					return
+				}
+			}
+		}(w)
+	}
+	waitFor := func(what string, cond func() bool, timeout time.Duration) error {
+		deadline := time.Now().Add(timeout)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("rebalance: autoscaler never %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := waitFor("scaled out", func() bool {
+		return asReg.Counter("shard.autoscale.scale_outs").Value() >= 1
+	}, 15*time.Second); err != nil {
+		close(stopFlood)
+		floodWG.Wait()
+		return nil, err
+	}
+	close(stopFlood)
+	floodWG.Wait()
+	if err := waitFor("scaled back in", func() bool {
+		return asReg.Counter("shard.autoscale.scale_ins").Value() >= 1
+	}, 15*time.Second); err != nil {
+		return nil, err
+	}
+	tbl.AddRowf("autoscaler", fmt.Sprintf("%d out, %d in",
+		asReg.Counter("shard.autoscale.scale_outs").Value(),
+		asReg.Counter("shard.autoscale.scale_ins").Value()),
+		"high-watermark scale-out under pressure, hysteresis scale-in at idle")
+
+	return tbl, nil
+}

@@ -85,6 +85,7 @@ type Admission struct {
 	admitted      *telemetry.Counter
 	rejectedRate  *telemetry.Counter
 	rejectedBytes *telemetry.Counter
+	refunded      *telemetry.Counter
 }
 
 // NewAdmission builds an admission controller registering its counters
@@ -100,6 +101,7 @@ func NewAdmission(def TenantQuota, reg *telemetry.Registry) *Admission {
 		admitted:      reg.Counter("shard.admission.admitted"),
 		rejectedRate:  reg.Counter("shard.admission.rejected.publishes"),
 		rejectedBytes: reg.Counter("shard.admission.rejected.bytes"),
+		refunded:      reg.Counter("shard.admission.refunded"),
 	}
 }
 
@@ -148,14 +150,43 @@ func (a *Admission) Admit(tenant string, bytes int) error {
 	}
 	if tb.bytes != nil && bytes > 0 && !tb.bytes.take(now, float64(bytes)) {
 		if tb.publish != nil {
-			tb.publish.tokens++ // refund the publish token: the job was not admitted
-			if tb.publish.tokens > tb.publish.burst {
-				tb.publish.tokens = tb.publish.burst
-			}
+			tb.publish.credit(1) // refund the publish token: the job was not admitted
 		}
 		a.rejectedBytes.Inc()
 		return fmt.Errorf("%w: tenant %q over staged-bytes rate (%d bytes)", ErrQuotaExceeded, tenant, bytes)
 	}
 	a.admitted.Inc()
 	return nil
+}
+
+// credit returns n tokens to a bucket, never past its burst depth.
+func (b *tokenBucket) credit(n float64) {
+	b.tokens += n
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Refund returns one publish token plus bytes staged bytes to the tenant —
+// the undo of Admit for a job that never reached a shard (ring empty,
+// owner absent or fenced, queue closed under the submitter). Admission is
+// a charge for control-plane work; a job the control plane never saw must
+// not consume quota, or retries against a downed shard would convert
+// ErrShardUnavailable into ErrQuotaExceeded. Credits are capped at each
+// bucket's burst, so a refund can never mint tokens the quota would not
+// have granted.
+func (a *Admission) Refund(tenant string, bytes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tb, ok := a.tenants[tenant]
+	if !ok {
+		return // quota reset (SetQuota) since admission: nothing to return to
+	}
+	if tb.publish != nil {
+		tb.publish.credit(1)
+	}
+	if tb.bytes != nil && bytes > 0 {
+		tb.bytes.credit(float64(bytes))
+	}
+	a.refunded.Inc()
 }

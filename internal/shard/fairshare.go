@@ -25,12 +25,13 @@ type fairQueue struct {
 	full *sync.Cond
 	work *sync.Cond
 
-	cap     int
-	depth   int
-	active  tenantHeap          // non-empty tenants, min-pass at the root
-	tenants map[string]*tenantQ // every tenant ever seen (pass retained while idle)
-	closed  bool
-	err     error
+	cap       int
+	depth     int
+	executing int                 // popped but not yet acknowledged done (drain barrier)
+	active    tenantHeap          // non-empty tenants, min-pass at the root
+	tenants   map[string]*tenantQ // every tenant ever seen (pass retained while idle)
+	closed    bool
+	err       error
 }
 
 // tenantQ is one tenant's FIFO plus its stride-scheduling state.
@@ -99,8 +100,26 @@ func (q *fairQueue) pop() (*Job, bool) {
 		heap.Fix(&q.active, 0)
 	}
 	q.depth--
+	q.executing++
 	q.full.Signal()
 	return j, true
+}
+
+// jobDone acknowledges that a popped job delivered its outcome. Pops and
+// acks pair under the queue mutex so the quiescent predicate can never
+// observe a job that is neither queued nor executing.
+func (q *fairQueue) jobDone() {
+	q.mu.Lock()
+	q.executing--
+	q.mu.Unlock()
+}
+
+// quiescent reports an empty queue with no popped job still executing —
+// the drain barrier's termination predicate.
+func (q *fairQueue) quiescent() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth == 0 && q.executing == 0
 }
 
 // close marks the queue dead and fails every queued job with err, waking

@@ -1,0 +1,336 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ErrRebalancing reports a job refused because its owning shard is inside
+// a rebalance drain window, or a rebalance step that could not complete.
+// It is transient by construction: the window closes when the ring flips
+// (the key then routes to its new owner) or the rebalance aborts (the
+// shard reopens), so callers should retry with backoff rather than shed
+// the tenant.
+var ErrRebalancing = errors.New("shard: rebalancing")
+
+// MigratedKey names one (tenant, hook) key a rebalance moves, with the
+// executor node names its jobs ever targeted. All means some job targeted
+// every node the shard's executor is bound to.
+type MigratedKey struct {
+	Tenant string
+	Hook   string
+	Nodes  []string
+	All    bool
+}
+
+// Migrator is the optional Executor capability live rebalancing needs: a
+// departing (or scale-out source) shard snapshots its deployed state
+// behind a journaled handoff marker, and a receiving shard absorbs the
+// slice of that state covering the keys the ring hands it. CPExecutor
+// implements it when wired to a journal source; executors without it
+// still rebalance, but state stays behind (RemoveShard semantics) and the
+// report says so.
+type Migrator interface {
+	// HandoffSnapshot journals a handoff marker stamped with ringEpoch,
+	// confirms it is durable on the shard's standby (a fenced append means
+	// this leader was deposed and must not migrate state it no longer
+	// owns), and returns the deterministic replay of the shard's full
+	// journal — complete up to and including the marker.
+	HandoffSnapshot(ringEpoch uint64) (*RebalanceState, error)
+	// AbsorbKeys installs the listed keys' slice of a departing shard's
+	// snapshot into this shard's control plane: versions and rollback
+	// stacks replayed via the deterministic State machinery, compiled
+	// artifacts found in the shared cache — zero recompiles.
+	AbsorbKeys(st *RebalanceState, keys []MigratedKey) error
+}
+
+// RebalanceReport summarizes one membership change.
+type RebalanceReport struct {
+	Removed     int         // departing shard ID (-1 on a join)
+	Added       int         // joining shard ID (-1 on a removal)
+	RingEpoch   uint64      // membership epoch after the atomic flip
+	MovedKeys   int         // (tenant, hook) keys whose owner changed
+	Receivers   map[int]int // shard ID -> keys it absorbed responsibility for
+	Migrated    bool        // deployed state moved (both sides Migrator-capable)
+	OpenIntents int         // staged-unpublished intents found behind the barrier (0 when the drain was clean)
+	Drain       time.Duration
+	Total       time.Duration
+}
+
+// Rebalance removes a shard with live state migration — the elastic
+// scale-in RemoveShard is not:
+//
+//  1. Drain: the departing front stops admitting (new submits fail typed
+//     ErrRebalancing, refunding admission) and the barrier waits until
+//     every queued job has delivered its outcome.
+//  2. Handoff: the departing shard journals a handoff marker carrying the
+//     current ring epoch, confirms it replicated, and replays its own
+//     journal into a snapshot — the marker proves the snapshot is the
+//     shard's final word, and a fenced marker append aborts the whole
+//     rebalance (a deposed leader must not export state).
+//  3. Absorb: each receiving shard installs the slice of the snapshot for
+//     the keys the ring will hand it. The shared artifact cache means the
+//     receivers re-stage from journaled digests without one recompile.
+//  4. Flip: the ring drops the departing shard in one epoch bump — every
+//     Lookup before the flip resolved to the (refusing) departing shard,
+//     every Lookup after resolves to a receiver that already holds the
+//     state, so no key is ever served by two live owners.
+//
+// In-flight jobs at step 1 complete normally; jobs arriving during the
+// window fail typed ErrRebalancing and retry against the new owner once
+// the ring flips. Aborting at any step reopens the departing shard with
+// the ring untouched, so a failed rebalance (fenced leader, ctx expiry)
+// is retryable after the usual TakeOver + Reinstate repair.
+func (r *Router) Rebalance(ctx context.Context, removeID int) (*RebalanceReport, error) {
+	r.rebMu.Lock()
+	defer r.rebMu.Unlock()
+	start := time.Now()
+
+	r.mu.RLock()
+	closed, s := r.closed, r.shards[removeID]
+	live := len(r.shards)
+	r.mu.RUnlock()
+	if closed {
+		return nil, ErrRouterClosed
+	}
+	if s == nil {
+		return nil, fmt.Errorf("shard: rebalance of unknown shard %d", removeID)
+	}
+	if live < 2 {
+		return nil, fmt.Errorf("shard: rebalance would leave the ring empty (shard %d is the last)", removeID)
+	}
+
+	// 1. Drain barrier.
+	if !s.beginDrain() {
+		return nil, fmt.Errorf("%w: shard %d already draining", ErrRebalancing, removeID)
+	}
+	reopen := true
+	defer func() {
+		if reopen {
+			s.endDrain()
+		}
+	}()
+	if err := s.awaitDrain(ctx); err != nil {
+		return nil, err
+	}
+	drained := time.Since(start)
+
+	// 2. Plan: every published key the departing shard owns moves to the
+	// shard the ring resolves once the departing points are gone.
+	epoch := r.ring.Epoch()
+	plan := map[int][]MigratedKey{}
+	moved := 0
+	for _, mk := range r.snapshotKeys() {
+		owner, ok := r.ring.Lookup(mk.Tenant, mk.Hook)
+		if !ok || owner != removeID {
+			continue
+		}
+		recv, ok := r.ring.LookupExcluding(removeID, mk.Tenant, mk.Hook)
+		if !ok {
+			return nil, fmt.Errorf("shard: no receiver for key (%s, %s)", mk.Tenant, mk.Hook)
+		}
+		plan[recv] = append(plan[recv], mk)
+		moved++
+	}
+
+	// 3 + 4. Handoff snapshot, then absorb per receiver.
+	rep := &RebalanceReport{Removed: removeID, Added: -1, MovedKeys: moved, Receivers: map[int]int{}}
+	for id, keys := range plan {
+		rep.Receivers[id] = len(keys)
+	}
+	if m, ok := s.exec.(Migrator); ok && moved > 0 {
+		st, err := m.HandoffSnapshot(epoch)
+		if err != nil {
+			return nil, fmt.Errorf("%w: handoff of shard %d: %w", ErrRebalancing, removeID, err)
+		}
+		rep.OpenIntents = len(st.Open)
+		if err := r.absorb(plan, st); err != nil {
+			return nil, err
+		}
+		rep.Migrated = true
+	}
+
+	// 5. Flip the ring (one epoch bump — no Lookup ever sees a half-moved
+	// ring), retire the front, then forget the shard.
+	r.ring.Remove(removeID)
+	r.mu.Lock()
+	delete(r.shards, removeID)
+	r.mu.Unlock()
+	reopen = false
+	s.stop()
+
+	rep.RingEpoch = r.ring.Epoch()
+	rep.Drain = drained
+	rep.Total = time.Since(start)
+	r.reg.Counter("shard.rebalance.removals").Inc()
+	r.reg.Counter("shard.rebalance.moved_keys").Add(uint64(moved))
+	r.reg.Histogram("shard.rebalance.latency").RecordDuration(rep.Total)
+	return rep, nil
+}
+
+// RebalanceAdd joins a new shard with live state migration — the scale-out
+// dual of Rebalance. The keys the enlarged ring will hand the newcomer are
+// computed hypothetically (LookupWith) before anything changes; each
+// source shard owning such keys is drained, snapshots its state behind a
+// journaled handoff marker, and the newcomer absorbs its slice. Only then
+// does the ring admit the new shard — again one epoch bump — and the
+// sources reopen. Sources without migrating keys are never paused.
+func (r *Router) RebalanceAdd(ctx context.Context, id int, ex Executor) (*RebalanceReport, error) {
+	r.rebMu.Lock()
+	defer r.rebMu.Unlock()
+	start := time.Now()
+
+	r.mu.RLock()
+	closed, exists := r.closed, r.shards[id] != nil
+	r.mu.RUnlock()
+	if closed {
+		return nil, ErrRouterClosed
+	}
+	if exists {
+		return nil, fmt.Errorf("shard: rebalance-add of existing shard %d", id)
+	}
+
+	// Plan: keys whose owner under ring ∪ {id} is the newcomer.
+	plan := map[int][]MigratedKey{}
+	moved := 0
+	for _, mk := range r.snapshotKeys() {
+		fut, ok := r.ring.LookupWith(id, mk.Tenant, mk.Hook)
+		if !ok || fut != id {
+			continue
+		}
+		src, ok := r.ring.Lookup(mk.Tenant, mk.Hook)
+		if !ok {
+			continue // empty ring: the newcomer starts fresh, nothing to move
+		}
+		plan[src] = append(plan[src], mk)
+		moved++
+	}
+
+	news := newShard(id, r.cfg.Workers, r.cfg.QueueCap, ex, r.reg)
+	newMig, newCanAbsorb := ex.(Migrator)
+	rep := &RebalanceReport{Removed: -1, Added: id, MovedKeys: moved, Receivers: map[int]int{id: moved}}
+
+	// Drain each source in a stable order, snapshot behind its marker, and
+	// hand the newcomer its slice. Sources reopen only after the flip: a
+	// reopened source must never again serve a key the newcomer now holds
+	// state for, and before the flip the ring still routes those keys to
+	// the source.
+	var drainedShards []*Shard
+	abort := func() {
+		for _, ds := range drainedShards {
+			ds.endDrain()
+		}
+		news.stop()
+	}
+	srcIDs := make([]int, 0, len(plan))
+	for sid := range plan {
+		srcIDs = append(srcIDs, sid)
+	}
+	sort.Ints(srcIDs)
+	for _, sid := range srcIDs {
+		r.mu.RLock()
+		src := r.shards[sid]
+		r.mu.RUnlock()
+		if src == nil {
+			continue // source vanished (failover removed it); nothing to export
+		}
+		srcMig, ok := src.exec.(Migrator)
+		if !ok || !newCanAbsorb {
+			continue // no migration possible for this pair; keys still move, state stays
+		}
+		if !src.beginDrain() {
+			abort()
+			return nil, fmt.Errorf("%w: source shard %d already draining", ErrRebalancing, sid)
+		}
+		drainedShards = append(drainedShards, src)
+		if err := src.awaitDrain(ctx); err != nil {
+			abort()
+			return nil, err
+		}
+		st, err := srcMig.HandoffSnapshot(r.ring.Epoch())
+		if err != nil {
+			abort()
+			return nil, fmt.Errorf("%w: handoff of source shard %d: %w", ErrRebalancing, sid, err)
+		}
+		rep.OpenIntents += len(st.Open)
+		if err := newMig.AbsorbKeys(st, plan[sid]); err != nil {
+			abort()
+			return nil, fmt.Errorf("%w: shard %d absorbing from %d: %w", ErrRebalancing, id, sid, err)
+		}
+		rep.Migrated = true
+	}
+
+	// Flip: install the front, admit it to the ring in one epoch bump,
+	// reopen the sources.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		abort()
+		return nil, ErrRouterClosed
+	}
+	r.shards[id] = news
+	r.mu.Unlock()
+	r.ring.Add(id)
+	for _, ds := range drainedShards {
+		ds.endDrain()
+	}
+
+	rep.RingEpoch = r.ring.Epoch()
+	rep.Total = time.Since(start)
+	r.reg.Counter("shard.rebalance.additions").Inc()
+	r.reg.Counter("shard.rebalance.moved_keys").Add(uint64(moved))
+	r.reg.Histogram("shard.rebalance.latency").RecordDuration(rep.Total)
+	return rep, nil
+}
+
+// absorb routes one departing snapshot to the planned receivers.
+func (r *Router) absorb(plan map[int][]MigratedKey, st *RebalanceState) error {
+	ids := make([]int, 0, len(plan))
+	for id := range plan {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r.mu.RLock()
+		recv := r.shards[id]
+		r.mu.RUnlock()
+		if recv == nil {
+			return fmt.Errorf("%w: receiver shard %d absent", ErrRebalancing, id)
+		}
+		m, ok := recv.exec.(Migrator)
+		if !ok {
+			continue // receiver takes the keys but cannot hold the state
+		}
+		if err := m.AbsorbKeys(st, plan[id]); err != nil {
+			return fmt.Errorf("%w: shard %d absorbing keys: %w", ErrRebalancing, id, err)
+		}
+	}
+	return nil
+}
+
+// snapshotKeys exports the published-key table for planning. The rows are
+// deep copies built under keyMu — concurrent Publish calls keep mutating
+// the live table (recordKey) while a rebalance iterates its plan.
+func (r *Router) snapshotKeys() []MigratedKey {
+	r.keyMu.Lock()
+	defer r.keyMu.Unlock()
+	out := make([]MigratedKey, 0, len(r.keys))
+	for _, ki := range r.keys {
+		mk := MigratedKey{Tenant: ki.tenant, Hook: ki.hook, All: ki.all}
+		for n := range ki.nodes {
+			mk.Nodes = append(mk.Nodes, n)
+		}
+		sort.Strings(mk.Nodes)
+		out = append(out, mk)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Hook < out[j].Hook
+	})
+	return out
+}

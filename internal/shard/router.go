@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -64,6 +65,30 @@ type Router struct {
 	shards  map[int]*Shard
 	weights map[string]int
 	closed  bool
+
+	// keyMu guards the published-key table feeding rebalance planning: for
+	// every key that ever published successfully, which executor nodes its
+	// jobs targeted. Separate from mu — Publish appends here on its success
+	// path and must not contend with shard membership reads.
+	keyMu sync.Mutex
+	keys  map[string]*keyInfo
+
+	// rebMu serializes rebalances: one membership change migrates state at
+	// a time, so two concurrent Rebalance calls cannot drain each other's
+	// receivers mid-handoff.
+	rebMu sync.Mutex
+}
+
+// ErrRouterClosed reports an operation on a router after Close. Installing
+// a shard front past Close would start a worker pool nothing ever stops —
+// the Close-vs-Reinstate race this error fails instead.
+var ErrRouterClosed = errors.New("shard: router closed")
+
+// keyInfo is one published (tenant, hook) key's routing footprint.
+type keyInfo struct {
+	tenant, hook string
+	nodes        map[string]struct{} // executor node names jobs named
+	all          bool                // some job targeted every node
 }
 
 // NewRouter builds an empty router; add shards with AddShard.
@@ -76,6 +101,7 @@ func NewRouter(cfg Config) *Router {
 		adm:     NewAdmission(cfg.DefaultQuota, cfg.Registry),
 		shards:  map[int]*Shard{},
 		weights: map[string]int{},
+		keys:    map[string]*keyInfo{},
 	}
 }
 
@@ -84,10 +110,16 @@ func (r *Router) Registry() *telemetry.Registry { return r.reg }
 
 // AddShard registers a shard and inserts it into the hash ring, starting
 // its worker pool. Adding an existing ID replaces the front (the old one
-// is stopped) without moving the ring.
-func (r *Router) AddShard(id int, ex Executor) {
-	s := newShard(id, r.cfg.Workers, r.cfg.QueueCap, ex, r.reg)
+// is stopped) without moving the ring. A closed router refuses with typed
+// ErrRouterClosed — the shard front owns goroutines, and one installed
+// after Close would never be stopped.
+func (r *Router) AddShard(id int, ex Executor) error {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: cannot add shard %d", ErrRouterClosed, id)
+	}
+	s := newShard(id, r.cfg.Workers, r.cfg.QueueCap, ex, r.reg)
 	old := r.shards[id]
 	r.shards[id] = s
 	r.mu.Unlock()
@@ -95,14 +127,21 @@ func (r *Router) AddShard(id int, ex Executor) {
 	if old != nil {
 		old.stop()
 	}
+	return nil
 }
 
 // Reinstate installs a successor executor for a fenced shard — the
 // post-failover step after controlha.TakeOver hands a new leader the
 // shard's replayed journal. The shard's key range resumes; its ring
-// position, instruments, and accumulated counters are unchanged.
+// position, instruments, and accumulated counters are unchanged. Racing
+// Close refuses with typed ErrRouterClosed instead of leaking a worker
+// pool and queue nothing will ever stop.
 func (r *Router) Reinstate(id int, ex Executor) error {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: cannot reinstate shard %d", ErrRouterClosed, id)
+	}
 	old, ok := r.shards[id]
 	if !ok {
 		r.mu.Unlock()
@@ -115,8 +154,10 @@ func (r *Router) Reinstate(id int, ex Executor) error {
 }
 
 // RemoveShard takes a shard out of the ring and stops it; its key range
-// redistributes to the remaining shards (elastic scale-in; the caller
-// owns migrating deployed state).
+// redistributes to the remaining shards but its deployed state does NOT
+// move — the abrupt-departure path (a shard lost for good). For elastic
+// scale-in use Rebalance, which drains the front, journals the handoff
+// marker, and replays the departing keys' state into the receivers first.
 func (r *Router) RemoveShard(id int) {
 	r.ring.Remove(id)
 	r.mu.Lock()
@@ -156,7 +197,12 @@ func (r *Router) ShardDown(id int) bool {
 // Publish admits, routes, schedules, and executes one job, blocking until
 // the owning shard finishes it (or ctx expires). Errors are typed:
 // ErrQuotaExceeded from admission, ErrShardUnavailable when the owning
-// shard is fenced or absent, executor errors otherwise.
+// shard is fenced or absent, ErrRebalancing while the owner is mid-drain,
+// executor errors otherwise. A job that never reaches a shard's queue
+// refunds its admission tokens: the quota charges work the control plane
+// might do, and without the refund a tenant retrying against a downed
+// shard would watch ErrShardUnavailable mutate into ErrQuotaExceeded as
+// the failed attempts drained its buckets.
 func (r *Router) Publish(ctx context.Context, j *Job) error {
 	if j.Tenant == "" || j.Hook == "" || j.Ext == nil {
 		return fmt.Errorf("shard: job needs tenant, hook, and extension")
@@ -164,8 +210,9 @@ func (r *Router) Publish(ctx context.Context, j *Job) error {
 	if err := r.adm.Admit(j.Tenant, j.Bytes); err != nil {
 		return err
 	}
-	id, ok := r.ring.Lookup(j.Tenant, j.Hook)
+	id, epoch, ok := r.ring.LookupEpoch(j.Tenant, j.Hook)
 	if !ok {
+		r.adm.Refund(j.Tenant, j.Bytes)
 		return fmt.Errorf("%w: no shards registered", ErrShardUnavailable)
 	}
 	r.mu.RLock()
@@ -173,18 +220,24 @@ func (r *Router) Publish(ctx context.Context, j *Job) error {
 	w, okw := r.weights[j.Tenant]
 	r.mu.RUnlock()
 	if s == nil {
+		r.adm.Refund(j.Tenant, j.Bytes)
 		return fmt.Errorf("%w: shard %d absent", ErrShardUnavailable, id)
 	}
 	if !okw {
 		w = r.cfg.DefaultWeight
 	}
 	j.weight = w
+	j.routedEpoch = epoch
 	j.done = make(chan error, 1)
 	if err := s.submit(j); err != nil {
+		r.adm.Refund(j.Tenant, j.Bytes)
 		return err
 	}
 	select {
 	case err := <-j.done:
+		if err == nil {
+			r.recordKey(j)
+		}
 		return err
 	case <-ctx.Done():
 		// The job may still execute; its buffered done channel absorbs the
@@ -192,6 +245,35 @@ func (r *Router) Publish(ctx context.Context, j *Job) error {
 		return fmt.Errorf("shard: publish wait: %w", ctx.Err())
 	}
 }
+
+// recordKey notes a successfully published key's routing footprint — the
+// table Rebalance plans state migration from. Tracking is by observed
+// publishes: a key that never published through this router has no
+// deployed state to migrate. (A publish whose caller abandoned the wait is
+// the one best-effort gap; its next successful publish re-records it.)
+func (r *Router) recordKey(j *Job) {
+	r.keyMu.Lock()
+	defer r.keyMu.Unlock()
+	k := Key(j.Tenant, j.Hook)
+	ki := r.keys[k]
+	if ki == nil {
+		ki = &keyInfo{tenant: j.Tenant, hook: j.Hook}
+		r.keys[k] = ki
+	}
+	if len(j.Nodes) == 0 {
+		ki.all = true
+		return
+	}
+	if ki.nodes == nil {
+		ki.nodes = map[string]struct{}{}
+	}
+	for _, n := range j.Nodes {
+		ki.nodes[n] = struct{}{}
+	}
+}
+
+// RingEpoch returns the current ring membership epoch (see Map.Epoch).
+func (r *Router) RingEpoch() uint64 { return r.ring.Epoch() }
 
 // Close stops every shard front; queued jobs fail with ErrShardUnavailable.
 func (r *Router) Close() {

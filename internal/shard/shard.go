@@ -26,11 +26,19 @@ type Job struct {
 	// bytes quota; 0 charges only a publish token.
 	Bytes int
 
-	weight int
-	done   chan error
-	once   sync.Once
-	enq    time.Time
+	weight      int
+	routedEpoch uint64
+	done        chan error
+	once        sync.Once
+	enq         time.Time
 }
+
+// RoutedEpoch reveals the ring epoch the router resolved this job's owner
+// under (0 before Publish routes it). The epoch and the owner are read
+// atomically, so for any (tenant, hook) key, jobs stamped with the same
+// epoch always resolved to the same shard — the bench's double-ownership
+// probe keys on exactly this.
+func (j *Job) RoutedEpoch() uint64 { return j.routedEpoch }
 
 // finish delivers the job's outcome exactly once.
 func (j *Job) finish(err error) {
@@ -62,14 +70,15 @@ func (f ExecFunc) Execute(ctx context.Context, j *Job) error { return f(ctx, j) 
 type Shard struct {
 	ID int
 
-	q       *fairQueue
-	exec    Executor
-	workers int
-	down    atomic.Bool
-	cause   atomic.Pointer[error]
-	wg      sync.WaitGroup
-	ctx     context.Context
-	cancel  context.CancelFunc
+	q        *fairQueue
+	exec     Executor
+	workers  int
+	down     atomic.Bool
+	draining atomic.Bool
+	cause    atomic.Pointer[error]
+	wg       sync.WaitGroup
+	ctx      context.Context
+	cancel   context.CancelFunc
 
 	depth     *telemetry.Gauge
 	queueWait *telemetry.Histogram
@@ -106,10 +115,15 @@ func newShard(id, workers, queueCap int, ex Executor, reg *telemetry.Registry) *
 }
 
 // submit queues a job (blocking on a full queue). The shard may go down
-// while the caller is blocked; the queue's close error is returned then.
+// while the caller is blocked; the queue's close error is returned then. A
+// draining shard (mid-rebalance) refuses new work typed ErrRebalancing —
+// already queued jobs still complete behind the drain barrier.
 func (s *Shard) submit(j *Job) error {
 	if s.down.Load() {
 		return s.unavailable()
+	}
+	if s.draining.Load() {
+		return fmt.Errorf("%w: shard %d draining", ErrRebalancing, s.ID)
 	}
 	j.enq = time.Now()
 	if err := s.q.push(j); err != nil {
@@ -130,24 +144,38 @@ func (s *Shard) run() {
 		if !ok {
 			return
 		}
-		s.depth.Set(int64(s.q.len()))
-		s.queueWait.RecordDuration(time.Since(j.enq))
-		start := time.Now()
-		err := s.exec.Execute(s.ctx, j)
-		s.latency.RecordDuration(time.Since(start))
-		if err == nil {
-			s.published.Inc()
-			j.finish(nil)
-			continue
-		}
-		s.failed.Inc()
-		if errors.Is(err, core.ErrFenced) {
-			s.fence(err)
-			j.finish(fmt.Errorf("%w: %w", ErrShardUnavailable, err))
-			continue
-		}
-		j.finish(err)
+		s.runOne(j)
+		s.q.jobDone()
 	}
+}
+
+// runOne executes one popped job and delivers its outcome.
+func (s *Shard) runOne(j *Job) {
+	s.depth.Set(int64(s.q.len()))
+	s.queueWait.RecordDuration(time.Since(j.enq))
+	start := time.Now()
+	err := s.exec.Execute(s.ctx, j)
+	s.latency.RecordDuration(time.Since(start))
+	if err == nil {
+		s.published.Inc()
+		j.finish(nil)
+		return
+	}
+	if s.ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		// Shard teardown (stop/Reinstate) cancelled the executor context
+		// mid-job: that is the shard going away, not the tenant's publish
+		// failing on its own terms — surface the documented typed error and
+		// keep shard.<id>.failed a tenant-visible-failure counter.
+		j.finish(fmt.Errorf("%w: shard %d stopped mid-execute: %w", ErrShardUnavailable, s.ID, err))
+		return
+	}
+	s.failed.Inc()
+	if errors.Is(err, core.ErrFenced) {
+		s.fence(err)
+		j.finish(fmt.Errorf("%w: %w", ErrShardUnavailable, err))
+		return
+	}
+	j.finish(err)
 }
 
 // fence marks the shard down with cause and fails every queued job. Idempotent.
@@ -172,6 +200,37 @@ func (s *Shard) unavailable() error {
 
 // Down reports whether the shard is fenced or stopped.
 func (s *Shard) Down() bool { return s.down.Load() }
+
+// beginDrain flips the shard into the draining state: new submits fail
+// typed ErrRebalancing while already queued jobs keep executing. Reports
+// whether the flip happened (false if already draining).
+func (s *Shard) beginDrain() bool { return !s.draining.Swap(true) }
+
+// endDrain reopens a draining shard (rebalance aborted, or a scale-out
+// source resuming after its snapshot was taken).
+func (s *Shard) endDrain() { s.draining.Store(false) }
+
+// awaitDrain blocks until the shard is quiescent — queue empty and no
+// worker mid-Execute — or ctx expires. With submits refused since
+// beginDrain, quiescence is the typed barrier: every job admitted before
+// the drain has delivered its outcome, so the journal now holds the
+// shard's complete, final state. A shard that went down mid-drain is
+// already quiescent for migration purposes (its queue failed everything
+// typed), so the barrier returns instead of spinning on a dead front.
+func (s *Shard) awaitDrain(ctx context.Context) error {
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		if s.q.quiescent() || s.down.Load() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: drain barrier: %w", ErrRebalancing, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
 
 // stop tears the shard front down (router Close / Reinstate): queued jobs
 // fail with ErrShardUnavailable, workers drain and exit.
