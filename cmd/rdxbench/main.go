@@ -6,7 +6,8 @@
 //	rdxbench [-quick] [experiment ...]
 //
 // Experiments: fig2a fig2b fig2c fig4a fig4b fig5 redis mesh pipeline cache
-// ha shard serve all (default: all). -quick shrinks sizes and durations.
+// ha shard rebalance serve sim all (default: all). -quick shrinks sizes and
+// durations.
 package main
 
 import (
@@ -38,6 +39,7 @@ var registry = []struct {
 	{"shard", "sharded control plane: throughput scaling, per-shard fencing, admission", single(experiments.Shard)},
 	{"rebalance", "elastic rebalancing: live shard scale-in/out with journal-replay state migration", single(experiments.Rebalance)},
 	{"serve", "fleet under sustained traffic during continuous rollouts (wire hot path)", single(experiments.Serve)},
+	{"sim", "deterministic simulation soak: failover/rebalance model checking", single(experiments.Sim)},
 }
 
 // single adapts a one-table experiment to the registry signature.

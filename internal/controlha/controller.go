@@ -6,6 +6,7 @@ import (
 
 	"rdx/internal/core"
 	"rdx/internal/rdma"
+	"rdx/internal/sim"
 )
 
 // Leader bundles one controller's leadership term: the lease it holds, the
@@ -37,6 +38,12 @@ func findMR(mrs []rdma.MR, name string) (rdma.MR, error) {
 // lease is NOT auto-renewed; call Leader.Lease.StartRenewal for
 // long-running deployments.
 func AttachLeader(cp *core.ControlPlane, qp rdma.Verbs, id uint64, ttl time.Duration) (*Leader, error) {
+	return AttachLeaderClock(cp, qp, id, ttl, sim.Real{})
+}
+
+// AttachLeaderClock is AttachLeader with an injected clock for the lease's
+// TTL arithmetic (the simulator's seam).
+func AttachLeaderClock(cp *core.ControlPlane, qp rdma.Verbs, id uint64, ttl time.Duration, clock sim.Clock) (*Leader, error) {
 	mrs, err := qp.QueryMRs()
 	if err != nil {
 		return nil, fmt.Errorf("controlha: MR discovery: %w", err)
@@ -50,7 +57,7 @@ func AttachLeader(cp *core.ControlPlane, qp rdma.Verbs, id uint64, ttl time.Dura
 	if err != nil {
 		return nil, err
 	}
-	lease := NewLease(mem, witness.Addr, id, ttl, cp.Registry)
+	lease := NewLeaseClock(mem, witness.Addr, id, ttl, cp.Registry, clock)
 	if err := lease.Acquire(); err != nil {
 		return nil, err
 	}
@@ -81,7 +88,34 @@ func AttachLeader(cp *core.ControlPlane, qp rdma.Verbs, id uint64, ttl time.Dura
 // the interrupted jobs the caller should re-drive. Takeover latency lands
 // in the controlha.takeover.latency histogram.
 func TakeOver(cp *core.ControlPlane, host *Host, qp rdma.Verbs, id uint64, ttl time.Duration, flows map[string]*core.CodeFlow) (*Leader, *State, error) {
-	start := time.Now()
+	return TakeOverClock(cp, host, qp, id, ttl, flows, sim.Real{})
+}
+
+// TakeOverClock is TakeOver with an injected clock (the simulator's seam).
+//
+// The FIRST act of a takeover is rotating the ring MR's rkey on the
+// standby's endpoint (FenceRing). The epoch-word CAS check inside Append
+// narrows but cannot close the deposal window: a stale leader that passed
+// the check and already holds a tail reservation can land its WRITE and
+// plain hwm CAS after the successor replayed and re-seeded sequence
+// numbers, committing a duplicate-seq entry into the live ring. Rotation
+// revokes the stale leader's rkey before the successor queries the fresh
+// MR table, so no pre-takeover verb can mutate the ring afterwards —
+// which is also what makes Reconcile (collapsing a dead reservation so
+// the ring un-wedges) safe to run. The rotation happens before the lease
+// steal: if the steal then fails, the old leader is fenced off its ring
+// without a successor — acceptable for this administrative failover path,
+// where the operator retries.
+func TakeOverClock(cp *core.ControlPlane, host *Host, qp rdma.Verbs, id uint64, ttl time.Duration, flows map[string]*core.CodeFlow, clock sim.Clock) (*Leader, *State, error) {
+	if clock == nil {
+		clock = sim.Real{}
+	}
+	start := clock.Now()
+	if rotateRingOnTakeover {
+		if err := host.FenceRing(); err != nil {
+			return nil, nil, fmt.Errorf("controlha: ring fence: %w", err)
+		}
+	}
 	mrs, err := qp.QueryMRs()
 	if err != nil {
 		return nil, nil, fmt.Errorf("controlha: MR discovery: %w", err)
@@ -95,13 +129,18 @@ func TakeOver(cp *core.ControlPlane, host *Host, qp rdma.Verbs, id uint64, ttl t
 	if err != nil {
 		return nil, nil, err
 	}
-	lease := NewLease(mem, witness.Addr, id, ttl, cp.Registry)
+	lease := NewLeaseClock(mem, witness.Addr, id, ttl, cp.Registry, clock)
 	if err := lease.Steal(); err != nil {
 		return nil, nil, err
 	}
 	rep := NewReplicator(mem, ring.Addr, 0, lease.Epoch(), cp.Registry)
 	if err := rep.Activate(); err != nil {
 		return nil, nil, err
+	}
+	if rotateRingOnTakeover {
+		if err := rep.Reconcile(); err != nil {
+			return nil, nil, err
+		}
 	}
 	if _, err := host.Pump(); err != nil {
 		return nil, nil, fmt.Errorf("controlha: final pump: %w", err)
@@ -117,7 +156,7 @@ func TakeOver(cp *core.ControlPlane, host *Host, qp rdma.Verbs, id uint64, ttl t
 	j.SetReplicator(rep)
 	cp.SetJournal(j)
 	cp.SetFence(lease.Check)
-	cp.Registry.Histogram("controlha.takeover.latency").RecordDuration(time.Since(start))
+	cp.Registry.Histogram("controlha.takeover.latency").RecordDuration(clock.Since(start))
 	return &Leader{CP: cp, Lease: lease, Journal: j, Rep: rep}, state, nil
 }
 
@@ -158,7 +197,9 @@ func FetchJournal(mem *core.RemoteMemory, base uint64) ([]byte, error) {
 // host's arena (rdxctl failover): the journal is fetched over one-sided
 // READs from the ring MR instead of pumped locally. Requires an unwrapped
 // ring; a continuously pumping standby should promote itself with TakeOver
-// instead.
+// instead. Without a host handle this path cannot rotate the ring rkey, so
+// it fences by epoch CAS alone — the narrower guarantee TakeOver had
+// before rotation existed (see TakeOverClock).
 func TakeOverRemote(cp *core.ControlPlane, qp rdma.Verbs, id uint64, ttl time.Duration, flows map[string]*core.CodeFlow) (*Leader, *State, error) {
 	start := time.Now()
 	mrs, err := qp.QueryMRs()

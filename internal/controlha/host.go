@@ -89,6 +89,41 @@ func (h *Host) RingBase() uint64    { return hostRingBase }
 // RingCap returns the ring's data capacity in bytes.
 func (h *Host) RingCap() uint64 { return h.ringCap }
 
+// FenceRing rotates the journal ring's rkey, invalidating every rkey a
+// previous leader resolved: its in-flight and future ring verbs fail with
+// an access error (classified as ErrFencedAppend on the leader side)
+// instead of landing. This is the RDMA-native fence a successor applies
+// FIRST during takeover — unlike the epoch-word CAS check, it closes the
+// window where a stale leader's already-reserved WRITE/commit races the
+// successor's replay. The witness MR is deliberately NOT rotated: deposed
+// leaders must still be able to read the epoch word to observe their own
+// deposal (core.ErrFenced via Lease.Check).
+func (h *Host) FenceRing() error {
+	_, err := h.ep.RotateMR(RingMRName)
+	return err
+}
+
+// WitnessEpoch reads the fencing epoch word locally (invariant checkers;
+// no verbs involved).
+func (h *Host) WitnessEpoch() (uint64, error) {
+	return h.arena.ReadQword(hostWitnessBase + witnessOffEpoch)
+}
+
+// CommittedBytes reads the committed ring prefix locally, without moving
+// the consumption cursor — the raw material for cross-replica
+// prefix-consistency checks. Fails with ErrRingOverrun once the ring has
+// wrapped (the prefix is no longer fully resident).
+func (h *Host) CommittedBytes() ([]byte, error) {
+	hwm, err := h.arena.ReadQword(hostRingBase + ringOffHwm)
+	if err != nil {
+		return nil, err
+	}
+	if hwm > h.ringCap {
+		return nil, fmt.Errorf("%w: hwm %d past capacity %d", ErrRingOverrun, hwm, h.ringCap)
+	}
+	return h.arena.Read(hostRingBase+RingHdrSize, int(hwm))
+}
+
 // Pump consumes newly committed ring bytes into the host's local journal
 // copy, returning how many bytes it advanced. Only bytes at or below the
 // CAS-committed high-watermark are trusted; a gap larger than the ring's

@@ -351,6 +351,14 @@ func (j *Journal) appendChecked(e Entry) error {
 	return err
 }
 
+// Append journals an arbitrary entry and surfaces the replication
+// outcome, like JournalHandoff: callers that acknowledge work only after
+// the standby holds it (and the simulator's acked-publish scenarios)
+// append through here and treat an error as "not acked".
+func (j *Journal) Append(e Entry) error {
+	return j.appendChecked(e)
+}
+
 // Bytes snapshots the encoded journal.
 func (j *Journal) Bytes() []byte {
 	j.mu.Lock()

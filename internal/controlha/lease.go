@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rdx/internal/core"
+	"rdx/internal/sim"
 	"rdx/internal/telemetry"
 )
 
@@ -41,9 +42,10 @@ var ErrLeaseHeld = errors.New("controlha: lease held by another controller")
 type Lease struct {
 	mem  *core.RemoteMemory
 	base uint64
-	id   uint64
-	ttl  time.Duration
-	reg  *telemetry.Registry
+	id    uint64
+	ttl   time.Duration
+	reg   *telemetry.Registry
+	clock sim.Clock
 
 	mu     sync.Mutex
 	held   bool
@@ -52,15 +54,27 @@ type Lease struct {
 	stop   chan struct{}
 }
 
-// NewLease binds a lease view over the witness MR at base.
+// NewLease binds a lease view over the witness MR at base, on the wall
+// clock.
 func NewLease(mem *core.RemoteMemory, base uint64, id uint64, ttl time.Duration, reg *telemetry.Registry) *Lease {
+	return NewLeaseClock(mem, base, id, ttl, reg, sim.Real{})
+}
+
+// NewLeaseClock is NewLease with an injected clock — the simulator binds a
+// virtual clock here so TTL expiry is a schedule step, not a wall-clock
+// race. All leases sharing a witness must share one clock: expiry
+// comparisons only mean anything on a common timeline.
+func NewLeaseClock(mem *core.RemoteMemory, base uint64, id uint64, ttl time.Duration, reg *telemetry.Registry, clock sim.Clock) *Lease {
 	if ttl <= 0 {
 		ttl = 2 * time.Second
 	}
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	return &Lease{mem: mem, base: base, id: id, ttl: ttl, reg: reg}
+	if clock == nil {
+		clock = sim.Real{}
+	}
+	return &Lease{mem: mem, base: base, id: id, ttl: ttl, reg: reg, clock: clock}
 }
 
 // Epoch returns the fencing epoch of the currently held term (0 if never
@@ -98,7 +112,7 @@ func (l *Lease) Acquire() error {
 		if err != nil {
 			return fmt.Errorf("controlha: witness read: %w", err)
 		}
-		if time.Now().UnixNano() < int64(expiry) {
+		if l.clock.Now().UnixNano() < int64(expiry) {
 			return fmt.Errorf("%w (owner %#x)", ErrLeaseHeld, owner)
 		}
 		// Expired owner: take over its word. Losing this CAS means another
@@ -138,7 +152,7 @@ func (l *Lease) install() error {
 	if err != nil {
 		return fmt.Errorf("controlha: epoch bump: %w", err)
 	}
-	expiry := time.Now().Add(l.ttl)
+	expiry := l.clock.Now().Add(l.ttl)
 	if err := l.mem.WriteMem(l.base+witnessOffExpiry, 8, uint64(expiry.UnixNano())); err != nil {
 		return fmt.Errorf("controlha: expiry write: %w", err)
 	}
@@ -173,7 +187,7 @@ func (l *Lease) Renew() error {
 		return fmt.Errorf("controlha: lease taken by %#x (epoch %d, held %d): %w",
 			owner, cur, epoch, core.ErrFenced)
 	}
-	expiry := time.Now().Add(l.ttl)
+	expiry := l.clock.Now().Add(l.ttl)
 	if err := l.mem.WriteMem(l.base+witnessOffExpiry, 8, uint64(expiry.UnixNano())); err != nil {
 		return fmt.Errorf("controlha: expiry write: %w", err)
 	}
@@ -208,7 +222,7 @@ func (l *Lease) Check() error {
 		l.reg.Counter("controlha.lease.fenced_rejects").Inc()
 		return fmt.Errorf("controlha: lease not held: %w", core.ErrFenced)
 	}
-	if time.Now().After(expiry) {
+	if l.clock.Now().After(expiry) {
 		l.reg.Counter("controlha.lease.fenced_rejects").Inc()
 		return fmt.Errorf("controlha: lease expired locally: %w", core.ErrFenced)
 	}
@@ -241,13 +255,13 @@ func (l *Lease) StartRenewal() {
 		interval = time.Second
 	}
 	go func() {
-		t := time.NewTicker(interval)
+		t := l.clock.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-t.C:
+			case <-t.C():
 				if err := l.Renew(); err != nil {
 					return
 				}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rdx/internal/core"
+	"rdx/internal/rdma"
 	"rdx/internal/telemetry"
 )
 
@@ -103,6 +104,18 @@ func (r *Replicator) Activate() error {
 	return nil
 }
 
+// classifyAppendErr maps transport errors onto the replication taxonomy.
+// An access error means the standby rotated the ring rkey out from under
+// us — the RDMA-native fencing a successor applies during takeover — so it
+// surfaces as ErrFencedAppend, not as an opaque wire failure.
+func (r *Replicator) classifyAppendErr(stage string, err error) error {
+	if errors.Is(err, rdma.ErrAccess) {
+		r.reg.Counter("controlha.journal.fenced_appends").Inc()
+		return fmt.Errorf("%w: ring %s revoked: %v", ErrFencedAppend, stage, err)
+	}
+	return fmt.Errorf("controlha: ring %s: %w", stage, err)
+}
+
 // Replicated returns the bytes committed to the standby so far.
 func (r *Replicator) Replicated() uint64 {
 	r.mu.Lock()
@@ -127,14 +140,14 @@ func (r *Replicator) Append(b []byte) error {
 	// Epoch verify: CAS(epoch, epoch) mutates nothing and returns the
 	// current word, failing the append once a successor stamped its term.
 	if prev, ok, err := r.mem.CompareAndSwapMem(r.base+ringOffEpoch, r.epoch, r.epoch); err != nil {
-		return fmt.Errorf("controlha: ring epoch check: %w", err)
+		return r.classifyAppendErr("epoch check", err)
 	} else if !ok {
 		r.reg.Counter("controlha.journal.fenced_appends").Inc()
 		return fmt.Errorf("%w: ring epoch %d, leader epoch %d", ErrFencedAppend, prev, r.epoch)
 	}
 	off, err := r.mem.FetchAddMem(r.base+ringOffTail, n)
 	if err != nil {
-		return fmt.Errorf("controlha: ring reserve: %w", err)
+		return r.classifyAppendErr("reserve", err)
 	}
 	pos := off % r.cap
 	first := n
@@ -142,20 +155,51 @@ func (r *Replicator) Append(b []byte) error {
 		first = r.cap - pos
 	}
 	if err := r.mem.WriteBytes(r.base+RingHdrSize+pos, b[:first]); err != nil {
-		return fmt.Errorf("controlha: ring write: %w", err)
+		return r.classifyAppendErr("write", err)
 	}
 	if first < n {
 		if err := r.mem.WriteBytes(r.base+RingHdrSize, b[first:]); err != nil {
-			return fmt.Errorf("controlha: ring write: %w", err)
+			return r.classifyAppendErr("write", err)
 		}
 	}
 	if prev, ok, err := r.mem.CompareAndSwapMem(r.base+ringOffHwm, off, off+n); err != nil {
-		return fmt.Errorf("controlha: ring commit: %w", err)
+		return r.classifyAppendErr("commit", err)
 	} else if !ok {
 		return fmt.Errorf("%w: hwm %d, reserved at %d", ErrSplitBrain, prev, off)
 	}
 	r.mu.Lock()
 	r.replicated = off + n
+	r.mu.Unlock()
+	return nil
+}
+
+// Reconcile collapses a dead reservation: a predecessor that reserved
+// tail space (FETCH_ADD landed) but never committed it leaves tail > hwm
+// forever, and every later append would lose its hwm CAS against the
+// stale base. The successor CASes the tail back down to the committed
+// high-watermark. ONLY safe after the ring rkey has been rotated —
+// otherwise the dead reservation's WRITE could still be in flight and
+// land inside space a future append re-reserves.
+func (r *Replicator) Reconcile() error {
+	hwm, err := r.mem.ReadMem(r.base+ringOffHwm, 8)
+	if err != nil {
+		return fmt.Errorf("controlha: ring read: %w", err)
+	}
+	tail, err := r.mem.ReadMem(r.base+ringOffTail, 8)
+	if err != nil {
+		return fmt.Errorf("controlha: ring read: %w", err)
+	}
+	if tail == hwm {
+		return nil
+	}
+	if prev, ok, err := r.mem.CompareAndSwapMem(r.base+ringOffTail, tail, hwm); err != nil {
+		return fmt.Errorf("controlha: ring reconcile: %w", err)
+	} else if !ok {
+		return fmt.Errorf("%w: tail moved %d→%d during reconcile", ErrSplitBrain, tail, prev)
+	}
+	r.reg.Counter("controlha.journal.reconciled_reservations").Inc()
+	r.mu.Lock()
+	r.replicated = hwm
 	r.mu.Unlock()
 	return nil
 }

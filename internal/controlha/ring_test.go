@@ -9,6 +9,7 @@ import (
 
 	"rdx/internal/core"
 	"rdx/internal/rdma"
+	"rdx/internal/sim"
 	"rdx/internal/telemetry"
 )
 
@@ -114,13 +115,16 @@ func TestLeaseExpiredTakeover(t *testing.T) {
 	mem1, w, _ := rig.connect(t)
 	mem2, _, _ := rig.connect(t)
 
-	l1 := NewLease(mem1, w.Addr, 1, time.Millisecond, nil)
+	// A virtual clock shared by both leases makes the expiry a single
+	// deterministic jump instead of a real sleep racing a 1ms TTL.
+	clk := sim.NewVirtualClock(time.Now())
+	l1 := NewLeaseClock(mem1, w.Addr, 1, time.Millisecond, nil, clk)
 	if err := l1.Acquire(); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(5 * time.Millisecond)
+	clk.Advance(5 * time.Millisecond)
 	// The TTL lapsed: a standby acquires without stealing.
-	l2 := NewLease(mem2, w.Addr, 2, time.Minute, nil)
+	l2 := NewLeaseClock(mem2, w.Addr, 2, time.Minute, nil, clk)
 	if err := l2.Acquire(); err != nil {
 		t.Fatalf("acquire of expired lease: %v", err)
 	}

@@ -13,6 +13,28 @@ import (
 	"time"
 )
 
+// Gate is a reversible partition switch shared by any number of
+// connections: while cut, every Read/Write on a gated connection fails
+// with ErrInjected WITHOUT killing the connection, and Heal restores it —
+// the wire-level counterpart of the simulator's Cut/Heal fault vocabulary
+// (internal/sim), where a partition is a link state, not a connection
+// death. A gate starts open.
+type Gate struct {
+	cut atomic.Bool
+}
+
+// NewGate returns an open gate.
+func NewGate() *Gate { return &Gate{} }
+
+// Cut partitions every connection sharing this gate.
+func (g *Gate) Cut() { g.cut.Store(true) }
+
+// Heal lifts the partition; gated connections resume without redialing.
+func (g *Gate) Heal() { g.cut.Store(false) }
+
+// Open reports whether traffic currently passes.
+func (g *Gate) Open() bool { return !g.cut.Load() }
+
 // Options configure fault behavior. Zero values disable each fault.
 type Options struct {
 	// FailAfterOps kills the connection on the Nth Read/Write call.
@@ -30,6 +52,12 @@ type Options struct {
 	DelayPerOp time.Duration
 	// CorruptOp flips a bit in the payload of the Nth Write (1-based).
 	CorruptOp int64
+	// Gate, if set, partitions the connection whenever the gate is cut:
+	// operations fail with ErrInjected but the connection survives and
+	// resumes when the gate heals. Gated operations do not count toward
+	// Ops or the op-triggered faults — a partitioned op never reached the
+	// wire.
+	Gate *Gate
 }
 
 // injectedError is the concrete type behind ErrInjected. It implements
@@ -91,6 +119,9 @@ func (c *Conn) Kill() {
 
 func (c *Conn) step() (int64, error) {
 	if c.dead.Load() {
+		return 0, ErrInjected
+	}
+	if c.opts.Gate != nil && !c.opts.Gate.Open() {
 		return 0, ErrInjected
 	}
 	n := c.ops.Add(1)

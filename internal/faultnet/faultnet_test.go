@@ -213,3 +213,105 @@ func TestCorruptOp(t *testing.T) {
 		t.Errorf("corruption missing: % x", recv)
 	}
 }
+
+// TestGateCutHeal: a cut gate fails operations typed without killing the
+// connection; healing restores traffic on the SAME connection — no
+// redial, no lost stream state.
+func TestGateCutHeal(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	g := NewGate()
+	fc := Wrap(a, Options{Gate: g})
+
+	go b.Write([]byte("one"))
+	buf := make([]byte, 3)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatalf("pre-cut read: %v", err)
+	}
+
+	g.Cut()
+	if g.Open() {
+		t.Error("gate reports open after Cut")
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("cut write: %v, want ErrInjected", err)
+	}
+	if _, err := fc.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("cut read: %v, want ErrInjected", err)
+	}
+	// Partitioned ops never reached the wire: the op counter stands still.
+	if fc.Ops() != 1 {
+		t.Errorf("gated ops counted: ops = %d, want 1", fc.Ops())
+	}
+
+	g.Heal()
+	go b.Write([]byte("two"))
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatalf("post-heal read: %v", err)
+	}
+	if string(buf) != "two" {
+		t.Errorf("post-heal read %q, want \"two\"", buf)
+	}
+}
+
+// TestGateSharedAcrossConns: one gate partitions every connection wrapped
+// with it — the whole link, not a single socket.
+func TestGateSharedAcrossConns(t *testing.T) {
+	g := NewGate()
+	a1, b1 := pipePair()
+	a2, b2 := pipePair()
+	defer func() { a1.Close(); b1.Close(); a2.Close(); b2.Close() }()
+	fc1 := Wrap(a1, Options{Gate: g})
+	fc2 := Wrap(a2, Options{Gate: g})
+
+	g.Cut()
+	if _, err := fc1.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("conn 1 not partitioned: %v", err)
+	}
+	if _, err := fc2.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("conn 2 not partitioned: %v", err)
+	}
+	g.Heal()
+	go b1.Read(make([]byte, 1))
+	go b2.Read(make([]byte, 1))
+	if _, err := fc1.Write([]byte("x")); err != nil {
+		t.Errorf("conn 1 dead after heal: %v", err)
+	}
+	if _, err := fc2.Write([]byte("x")); err != nil {
+		t.Errorf("conn 2 dead after heal: %v", err)
+	}
+}
+
+// TestGateRepeatedPartitions: cut/heal cycles keep working — a gate is a
+// link state, not a one-shot fuse — and a killed connection stays dead
+// regardless of gate state.
+func TestGateRepeatedPartitions(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	g := NewGate()
+	fc := Wrap(a, Options{Gate: g})
+	go func() {
+		buf := make([]byte, 8)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for cycle := 0; cycle < 3; cycle++ {
+		g.Cut()
+		if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("cycle %d cut write: %v", cycle, err)
+		}
+		g.Heal()
+		if _, err := fc.Write([]byte("x")); err != nil {
+			t.Fatalf("cycle %d healed write: %v", cycle, err)
+		}
+	}
+	fc.Kill()
+	g.Heal()
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("killed conn revived by open gate: %v", err)
+	}
+}

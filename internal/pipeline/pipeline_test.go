@@ -220,10 +220,16 @@ func TestNonTransientErrorNotRetried(t *testing.T) {
 }
 
 func TestJobDeadlineBoundsRetries(t *testing.T) {
-	dead := &fakeTarget{key: "dead", stageErrs: []error{
-		rdma.ErrClosed, rdma.ErrClosed, rdma.ErrClosed, rdma.ErrClosed,
-		rdma.ErrClosed, rdma.ErrClosed, rdma.ErrClosed, rdma.ErrClosed,
-	}}
+	// The target fails on every possible attempt (Retries:100 allows at
+	// most 101), so the job can never succeed — the only way it ends
+	// early is the deadline. Full-jitter backoff can draw near-zero
+	// delays, so a merely-finite error list would occasionally be
+	// consumed inside the deadline and flake this test into "success".
+	errs := make([]error, 101)
+	for i := range errs {
+		errs[i] = rdma.ErrClosed
+	}
+	dead := &fakeTarget{key: "dead", stageErrs: errs}
 	s := New(Config{Retries: 100, Backoff: 20 * time.Millisecond, MaxBackoff: 20 * time.Millisecond})
 	start := time.Now()
 	res, err := s.Inject(Request{Ext: constExt(6), Hook: "h", Targets: targetsOf(dead), Deadline: 50 * time.Millisecond})
@@ -235,6 +241,9 @@ func TestJobDeadlineBoundsRetries(t *testing.T) {
 	}
 	if res.FirstErr() == nil {
 		t.Error("deadline-bounded job reported success")
+	}
+	if got := res.Outcomes[0].Attempts; got >= 101 {
+		t.Errorf("deadline did not bound retries: %d attempts", got)
 	}
 }
 

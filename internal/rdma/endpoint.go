@@ -154,6 +154,26 @@ func (e *Endpoint) RegisterMR(name string, addr mem.Addr, length uint64, perm Pe
 	return mr, nil
 }
 
+// RotateMR re-keys a registered region: the old rkey is invalidated and a
+// fresh one issued for the same [addr, addr+length) window. This is the
+// ibv_rereg_mr-style fencing primitive — any peer still holding the old
+// rkey gets StatusAccessErr on its next verb, without tearing down its
+// connection. Returns the re-keyed MR.
+func (e *Endpoint) RotateMR(name string) (*MR, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old, ok := e.mrsByName[name]
+	if !ok {
+		return nil, fmt.Errorf("rdma: rotate: unknown MR %q", name)
+	}
+	delete(e.mrs, old.RKey)
+	mr := &MR{Name: name, RKey: e.nextRKey, Addr: old.Addr, Len: old.Len, Perm: old.Perm}
+	e.nextRKey++
+	e.mrs[mr.RKey] = mr
+	e.mrsByName[name] = mr
+	return mr, nil
+}
+
 // DeregisterMR removes a region; in-flight operations on it may still race
 // to completion, as on real hardware.
 func (e *Endpoint) DeregisterMR(rkey uint32) error {
@@ -575,6 +595,20 @@ func (e *Endpoint) fireDoorbells(imm uint32, addr mem.Addr, data []byte) {
 			d.fn(imm, addr, data)
 		}
 	}
+}
+
+// MRs snapshots the registered MR table sorted by rkey — the local
+// equivalent of a peer's QueryMRs, re-read by the sim transport at every
+// fired verb so rotations propagate to in-flight operations.
+func (e *Endpoint) MRs() []MR {
+	e.mu.RLock()
+	out := make([]MR, 0, len(e.mrs))
+	for _, mr := range e.mrs {
+		out = append(out, *mr)
+	}
+	e.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].RKey < out[j].RKey })
+	return out
 }
 
 // encodeMRTable serializes the MR table:

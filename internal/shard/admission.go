@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"rdx/internal/sim"
 	"rdx/internal/telemetry"
 )
 
@@ -77,6 +78,8 @@ type tenantBuckets struct {
 // Admission is the router's per-tenant admission controller. Tenants get
 // the default quota on first sight; SetQuota overrides per tenant.
 type Admission struct {
+	clock sim.Clock
+
 	mu      sync.Mutex
 	def     TenantQuota
 	tenants map[string]*tenantBuckets
@@ -95,6 +98,7 @@ func NewAdmission(def TenantQuota, reg *telemetry.Registry) *Admission {
 		reg = telemetry.NewRegistry()
 	}
 	return &Admission{
+		clock:         sim.Real{},
 		def:           def,
 		tenants:       map[string]*tenantBuckets{},
 		quotas:        map[string]TenantQuota{},
@@ -103,6 +107,15 @@ func NewAdmission(def TenantQuota, reg *telemetry.Registry) *Admission {
 		rejectedBytes: reg.Counter("shard.admission.rejected.bytes"),
 		refunded:      reg.Counter("shard.admission.refunded"),
 	}
+}
+
+// WithClock rebinds bucket-refill time onto clock (the simulator's seam;
+// production stays on the wall clock). Call before first Admit.
+func (a *Admission) WithClock(clock sim.Clock) *Admission {
+	if clock != nil {
+		a.clock = clock
+	}
+	return a
 }
 
 // SetQuota overrides a tenant's quota, resetting its buckets so the new
@@ -139,7 +152,7 @@ func (a *Admission) buckets(tenant string, now time.Time) *tenantBuckets {
 // buckets, refusing with a typed ErrQuotaExceeded when either is dry. The
 // charge is atomic: a job refused on bytes does not burn a publish token.
 func (a *Admission) Admit(tenant string, bytes int) error {
-	now := time.Now()
+	now := a.clock.Now()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	tb := a.buckets(tenant, now)

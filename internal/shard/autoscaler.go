@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"rdx/internal/sim"
 	"rdx/internal/telemetry"
 )
 
@@ -43,6 +44,10 @@ type AutoscalerConfig struct {
 	// Provision builds the executor for a newly added shard. Required for
 	// scale-out; an autoscaler without it only scales in.
 	Provision func(id int) (Executor, error)
+	// Clock drives the sampling ticker and the cooldown arithmetic (wall
+	// clock if nil). A test can bind a sim.VirtualClock and step the loop
+	// tick by tick with Advance, no wall-clock sleeps involved.
+	Clock sim.Clock
 }
 
 func (c *AutoscalerConfig) fillDefaults() {
@@ -75,6 +80,9 @@ func (c *AutoscalerConfig) fillDefaults() {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = sim.Real{}
 	}
 }
 
@@ -152,13 +160,13 @@ func (a *Autoscaler) Stop() {
 
 func (a *Autoscaler) loop(stop chan struct{}) {
 	defer a.wg.Done()
-	tick := time.NewTicker(a.cfg.Interval)
+	tick := a.cfg.Clock.NewTicker(a.cfg.Interval)
 	defer tick.Stop()
 	for {
 		select {
 		case <-stop:
 			return
-		case <-tick.C:
+		case <-tick.C():
 			a.tick()
 		}
 	}
@@ -181,7 +189,7 @@ func (a *Autoscaler) tick() {
 	} else {
 		a.highStreak, a.lowStreak = 0, 0
 	}
-	if time.Since(a.lastChange) < a.cfg.Cooldown {
+	if a.cfg.Clock.Since(a.lastChange) < a.cfg.Cooldown {
 		return
 	}
 	switch {
@@ -242,7 +250,7 @@ func (a *Autoscaler) scaleOut(st []ShardStatus) {
 		return
 	}
 	a.scaleOuts.Inc()
-	a.lastChange = time.Now()
+	a.lastChange = a.cfg.Clock.Now()
 	a.highStreak, a.lowStreak = 0, 0
 }
 
@@ -266,6 +274,6 @@ func (a *Autoscaler) scaleIn(st []ShardStatus) {
 		return
 	}
 	a.scaleIns.Inc()
-	a.lastChange = time.Now()
+	a.lastChange = a.cfg.Clock.Now()
 	a.highStreak, a.lowStreak = 0, 0
 }

@@ -193,7 +193,14 @@ func TestShardFailoverChaos(t *testing.T) {
 	// Mid-run: steal the victim's lease. The deposed leader's next lease
 	// check fails closed; its shard front fences; the successor replays the
 	// shard's journal against its own flows.
-	time.Sleep(20 * time.Millisecond)
+	waitUntil(t, "every shard publishing under chaos load", func() bool {
+		for _, st := range r.Status() {
+			if st.Published == 0 {
+				return false
+			}
+		}
+		return true
+	})
 	before := statusByID(r)
 	succCP, succName, succKey := buildCP(fmt.Sprintf("rdma.qp.chaos%d succ", victim))
 	sconn, err := fab.Dial(fmt.Sprintf("chaos-stby-%d", victim))
@@ -212,7 +219,20 @@ func TestShardFailoverChaos(t *testing.T) {
 	}); !errors.Is(err, ErrShardUnavailable) {
 		t.Fatalf("fenced-shard publish got %v, want ErrShardUnavailable", err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	// Hold the fence window open until the end-of-test assertions are
+	// guaranteed: a worker (not just the probe) hit the fenced victim, and
+	// every healthy shard made progress past the pre-takeover snapshot.
+	waitUntil(t, "fence window effects (victim failure + sibling progress)", func() bool {
+		if victimFails.Load() == 0 {
+			return false
+		}
+		for id, st := range statusByID(r) {
+			if id != victim && st.Published <= before[id].Published {
+				return false
+			}
+		}
+		return true
+	})
 	if err := r.Reinstate(victim, NewCPExecutor(succCP, succName)); err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sync"
 	"testing"
-	"time"
 )
 
 func job(tenant string, weight int) *Job {
@@ -185,9 +184,7 @@ func TestFairQueueConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 	// Let the poppers drain the remainder, then close to release them.
-	for q.len() > 0 {
-		time.Sleep(time.Millisecond)
-	}
+	waitUntil(t, "fair queue drained", func() bool { return q.len() == 0 })
 	q.close(nil)
 	poppers.Wait()
 	close(popped)

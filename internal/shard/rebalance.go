@@ -87,7 +87,7 @@ type RebalanceReport struct {
 func (r *Router) Rebalance(ctx context.Context, removeID int) (*RebalanceReport, error) {
 	r.rebMu.Lock()
 	defer r.rebMu.Unlock()
-	start := time.Now()
+	start := r.cfg.Clock.Now()
 
 	r.mu.RLock()
 	closed, s := r.closed, r.shards[removeID]
@@ -116,7 +116,7 @@ func (r *Router) Rebalance(ctx context.Context, removeID int) (*RebalanceReport,
 	if err := s.awaitDrain(ctx); err != nil {
 		return nil, err
 	}
-	drained := time.Since(start)
+	drained := r.cfg.Clock.Since(start)
 
 	// 2. Plan: every published key the departing shard owns moves to the
 	// shard the ring resolves once the departing points are gone.
@@ -164,7 +164,7 @@ func (r *Router) Rebalance(ctx context.Context, removeID int) (*RebalanceReport,
 
 	rep.RingEpoch = r.ring.Epoch()
 	rep.Drain = drained
-	rep.Total = time.Since(start)
+	rep.Total = r.cfg.Clock.Since(start)
 	r.reg.Counter("shard.rebalance.removals").Inc()
 	r.reg.Counter("shard.rebalance.moved_keys").Add(uint64(moved))
 	r.reg.Histogram("shard.rebalance.latency").RecordDuration(rep.Total)
@@ -181,7 +181,7 @@ func (r *Router) Rebalance(ctx context.Context, removeID int) (*RebalanceReport,
 func (r *Router) RebalanceAdd(ctx context.Context, id int, ex Executor) (*RebalanceReport, error) {
 	r.rebMu.Lock()
 	defer r.rebMu.Unlock()
-	start := time.Now()
+	start := r.cfg.Clock.Now()
 
 	r.mu.RLock()
 	closed, exists := r.closed, r.shards[id] != nil
@@ -209,7 +209,7 @@ func (r *Router) RebalanceAdd(ctx context.Context, id int, ex Executor) (*Rebala
 		moved++
 	}
 
-	news := newShard(id, r.cfg.Workers, r.cfg.QueueCap, ex, r.reg)
+	news := newShard(id, r.cfg.Workers, r.cfg.QueueCap, ex, r.cfg.Clock, r.reg)
 	newMig, newCanAbsorb := ex.(Migrator)
 	rep := &RebalanceReport{Removed: -1, Added: id, MovedKeys: moved, Receivers: map[int]int{id: moved}}
 
@@ -279,7 +279,7 @@ func (r *Router) RebalanceAdd(ctx context.Context, id int, ex Executor) (*Rebala
 	}
 
 	rep.RingEpoch = r.ring.Epoch()
-	rep.Total = time.Since(start)
+	rep.Total = r.cfg.Clock.Since(start)
 	r.reg.Counter("shard.rebalance.additions").Inc()
 	r.reg.Counter("shard.rebalance.moved_keys").Add(uint64(moved))
 	r.reg.Histogram("shard.rebalance.latency").RecordDuration(rep.Total)

@@ -536,7 +536,13 @@ func TestRebalanceChaos(t *testing.T) {
 	// First rebalance attempt: the departing leader is deposed at the top
 	// of the handoff (drain passed, marker append next). The marker must
 	// fence — typed abort, no state exported, ring untouched.
-	time.Sleep(10 * time.Millisecond)
+	waitUntil(t, "chaos traffic flowing before the sabotaged handoff", func() bool {
+		var total uint64
+		for _, st := range r.Status() {
+			total += st.Published
+		}
+		return total > 0
+	})
 	var succCP *core.ControlPlane
 	var succName map[string]*core.CodeFlow
 	epochBefore := r.RingEpoch()

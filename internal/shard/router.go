@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"rdx/internal/sim"
 	"rdx/internal/telemetry"
 )
 
@@ -32,6 +33,9 @@ type Config struct {
 	// Registry receives every shard.* instrument; nil creates a private
 	// registry.
 	Registry *telemetry.Registry
+	// Clock is the time source for admission refill, queue-wait stamps, and
+	// rebalance latency (wall clock if nil — the simulator's seam).
+	Clock sim.Clock
 }
 
 func (c *Config) fillDefaults() {
@@ -46,6 +50,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
+	}
+	if c.Clock == nil {
+		c.Clock = sim.Real{}
 	}
 }
 
@@ -98,7 +105,7 @@ func NewRouter(cfg Config) *Router {
 		cfg:     cfg,
 		reg:     cfg.Registry,
 		ring:    NewMap(cfg.VNodes),
-		adm:     NewAdmission(cfg.DefaultQuota, cfg.Registry),
+		adm:     NewAdmission(cfg.DefaultQuota, cfg.Registry).WithClock(cfg.Clock),
 		shards:  map[int]*Shard{},
 		weights: map[string]int{},
 		keys:    map[string]*keyInfo{},
@@ -119,7 +126,7 @@ func (r *Router) AddShard(id int, ex Executor) error {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: cannot add shard %d", ErrRouterClosed, id)
 	}
-	s := newShard(id, r.cfg.Workers, r.cfg.QueueCap, ex, r.reg)
+	s := newShard(id, r.cfg.Workers, r.cfg.QueueCap, ex, r.cfg.Clock, r.reg)
 	old := r.shards[id]
 	r.shards[id] = s
 	r.mu.Unlock()
@@ -147,7 +154,7 @@ func (r *Router) Reinstate(id int, ex Executor) error {
 		r.mu.Unlock()
 		return fmt.Errorf("shard: reinstate of unknown shard %d", id)
 	}
-	r.shards[id] = newShard(id, r.cfg.Workers, r.cfg.QueueCap, ex, r.reg)
+	r.shards[id] = newShard(id, r.cfg.Workers, r.cfg.QueueCap, ex, r.cfg.Clock, r.reg)
 	r.mu.Unlock()
 	old.stop()
 	return nil

@@ -215,7 +215,9 @@ func TestRouterQueuedJobsFailOnFence(t *testing.T) {
 	}
 	// Let the jobs queue up behind the gated worker, then release it: the
 	// first job fences the shard, the rest must drain with the typed error.
-	time.Sleep(20 * time.Millisecond)
+	waitUntil(t, "three jobs queued behind the gated worker", func() bool {
+		return r.Status()[0].QueueDepth == 3
+	})
 	close(gate)
 	for i := 0; i < 4; i++ {
 		select {
@@ -235,14 +237,17 @@ func TestRouterContextCancel(t *testing.T) {
 	r := NewRouter(Config{Workers: 1})
 	defer r.Close()
 	block := make(chan struct{})
+	started := make(chan struct{})
 	r.AddShard(0, ExecFunc(func(ctx context.Context, j *Job) error {
+		close(started)
 		<-block
 		return nil
 	}))
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- r.Publish(ctx, testJob("t", "h")) }()
-	time.Sleep(10 * time.Millisecond)
+	// Cancel only once the job is demonstrably inside the executor.
+	<-started
 	cancel()
 	select {
 	case err := <-done:

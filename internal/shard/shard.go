@@ -10,6 +10,7 @@ import (
 
 	"rdx/internal/core"
 	"rdx/internal/ext"
+	"rdx/internal/sim"
 	"rdx/internal/telemetry"
 )
 
@@ -73,6 +74,7 @@ type Shard struct {
 	q        *fairQueue
 	exec     Executor
 	workers  int
+	clock    sim.Clock
 	down     atomic.Bool
 	draining atomic.Bool
 	cause    atomic.Pointer[error]
@@ -91,13 +93,17 @@ type Shard struct {
 // newShard builds and starts a shard front: workers goroutines draining a
 // queueCap-deep fair queue into ex. Instruments are named "shard.<id>.*"
 // so N shards sharing one registry stay distinguishable.
-func newShard(id, workers, queueCap int, ex Executor, reg *telemetry.Registry) *Shard {
+func newShard(id, workers, queueCap int, ex Executor, clock sim.Clock, reg *telemetry.Registry) *Shard {
+	if clock == nil {
+		clock = sim.Real{}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Shard{
 		ID:        id,
 		q:         newFairQueue(queueCap),
 		exec:      ex,
 		workers:   workers,
+		clock:     clock,
 		ctx:       ctx,
 		cancel:    cancel,
 		depth:     reg.Gauge(fmt.Sprintf("shard.%d.queue.depth", id)),
@@ -125,7 +131,7 @@ func (s *Shard) submit(j *Job) error {
 	if s.draining.Load() {
 		return fmt.Errorf("%w: shard %d draining", ErrRebalancing, s.ID)
 	}
-	j.enq = time.Now()
+	j.enq = s.clock.Now()
 	if err := s.q.push(j); err != nil {
 		return err
 	}
@@ -152,10 +158,10 @@ func (s *Shard) run() {
 // runOne executes one popped job and delivers its outcome.
 func (s *Shard) runOne(j *Job) {
 	s.depth.Set(int64(s.q.len()))
-	s.queueWait.RecordDuration(time.Since(j.enq))
-	start := time.Now()
+	s.queueWait.RecordDuration(s.clock.Since(j.enq))
+	start := s.clock.Now()
 	err := s.exec.Execute(s.ctx, j)
-	s.latency.RecordDuration(time.Since(start))
+	s.latency.RecordDuration(s.clock.Since(start))
 	if err == nil {
 		s.published.Inc()
 		j.finish(nil)
@@ -218,6 +224,9 @@ func (s *Shard) endDrain() { s.draining.Store(false) }
 // already quiescent for migration purposes (its queue failed everything
 // typed), so the barrier returns instead of spinning on a dead front.
 func (s *Shard) awaitDrain(ctx context.Context) error {
+	// Deliberately on the wall clock, not s.clock: this is a spin-wait on
+	// worker-goroutine progress (which the simulator does not schedule),
+	// not timing logic — a virtual ticker here would never fire.
 	tick := time.NewTicker(500 * time.Microsecond)
 	defer tick.Stop()
 	for {

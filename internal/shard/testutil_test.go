@@ -1,0 +1,22 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond until it holds, failing the test after a generous
+// deadline. Condition-based waiting replaces the fixed time.Sleep calls
+// that made the chaos tests timing-sensitive on loaded machines: a poll
+// proceeds the instant the observable state is right, and a genuinely
+// stuck system fails with a named condition instead of passing by luck.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

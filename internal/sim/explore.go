@@ -1,0 +1,127 @@
+package sim
+
+import "fmt"
+
+// Runner executes one fresh system-under-test run with the given config
+// and reports what happened. Each call must build a new world (hosts,
+// controllers, scenario state) bound to a new Scheduler — runs share
+// nothing.
+type Runner func(cfg Config) *Result
+
+// Report summarizes an exploration.
+type Report struct {
+	// Runs is how many schedules actually executed.
+	Runs int
+	// Violation is the first invariant failure found, already shrunk when
+	// the explorer shrinks; nil when every schedule passed.
+	Violation *Violation
+}
+
+// ExploreRandom runs n seeded-random schedules (seeds base..base+n-1) and
+// stops at the first violation, returning it shrunk to a minimal trace.
+func ExploreRandom(run Runner, base int64, n, maxSteps int) *Report {
+	rep := &Report{}
+	for i := 0; i < n; i++ {
+		res := run(Config{Seed: base + int64(i), MaxSteps: maxSteps})
+		rep.Runs++
+		if res.Violation != nil {
+			rep.Violation = Shrink(run, res.Violation, maxSteps)
+			return rep
+		}
+	}
+	return rep
+}
+
+// ExploreSystematic walks schedule prefixes depth-first with a deviation
+// budget: the all-zeros schedule runs first, and every completed run
+// opens sibling branches choices[:p]+[alt] for each position p at or past
+// the prefix and each alternative alt — a branch counts one deviation per
+// nonzero choice and is pruned past budget. maxRuns caps total
+// executions. The first violation is shrunk and returned.
+func ExploreSystematic(run Runner, budget, maxSteps, maxRuns int) *Report {
+	rep := &Report{}
+	seen := map[string]bool{}
+	stack := [][]int{nil}
+	for len(stack) > 0 && rep.Runs < maxRuns {
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		key := fmt.Sprint(prefix)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res := run(Config{Replay: prefix, Det: true, MaxSteps: maxSteps})
+		rep.Runs++
+		if res.Violation != nil {
+			rep.Violation = Shrink(run, res.Violation, maxSteps)
+			return rep
+		}
+		if countNonzero(prefix) >= budget {
+			continue
+		}
+		// Branch at every position at or past the prefix (earlier positions
+		// are this branch's parents' territory).
+		for p := len(prefix); p < len(res.Counts); p++ {
+			for alt := 1; alt < res.Counts[p]; alt++ {
+				child := make([]int, p+1)
+				copy(child, res.Choices[:p])
+				child[p] = alt
+				stack = append(stack, child)
+			}
+		}
+	}
+	return rep
+}
+
+// Shrink greedily minimizes a violating schedule: it repeatedly tries
+// dropping each choice and zeroing each nonzero choice, accepting any
+// candidate that still violates the SAME invariant with a strictly
+// simpler schedule (fewer choices, or equally many with fewer nonzero).
+// The result replays deterministically from its Seed+Choices.
+func Shrink(run Runner, v *Violation, maxSteps int) *Violation {
+	best := v
+	score := func(c []int) int { return len(c)*1024 + countNonzero(c) }
+	attempts := 0
+	for improved := true; improved && attempts < 2000; {
+		improved = false
+		for i := 0; i < len(best.Choices) && !improved; i++ {
+			cand := append(append([]int(nil), best.Choices[:i]...), best.Choices[i+1:]...)
+			if v2 := replayViolation(run, best, cand, maxSteps); v2 != nil && score(v2.Choices) < score(best.Choices) {
+				best, improved = v2, true
+			}
+			attempts++
+		}
+		for i := 0; i < len(best.Choices) && !improved; i++ {
+			if best.Choices[i] == 0 {
+				continue
+			}
+			cand := append([]int(nil), best.Choices...)
+			cand[i] = 0
+			if v2 := replayViolation(run, best, cand, maxSteps); v2 != nil && score(v2.Choices) < score(best.Choices) {
+				best, improved = v2, true
+			}
+			attempts++
+		}
+	}
+	return best
+}
+
+// replayViolation runs one shrink candidate and returns its violation
+// only when it reproduces the same invariant failure.
+func replayViolation(run Runner, orig *Violation, choices []int, maxSteps int) *Violation {
+	res := run(Config{Seed: orig.Seed, Replay: choices, Det: true, MaxSteps: maxSteps})
+	if res.Violation == nil || res.Violation.Invariant != orig.Invariant {
+		return nil
+	}
+	return res.Violation
+}
+
+func countNonzero(c []int) int {
+	n := 0
+	for _, x := range c {
+		if x != 0 {
+			n++
+		}
+	}
+	return n
+}

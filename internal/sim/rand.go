@@ -1,0 +1,15 @@
+package sim
+
+import "math/rand"
+
+// Rand is the randomness seam injected wherever the HA/shard paths want
+// jitter or sampling: production code seeds from entropy, the simulator
+// derives every stream from the run's seed so replays are exact.
+type Rand interface {
+	Intn(n int) int
+	Int63() int64
+	Float64() float64
+}
+
+// NewRand returns a deterministic Rand for the given seed.
+func NewRand(seed int64) Rand { return rand.New(rand.NewSource(seed)) }

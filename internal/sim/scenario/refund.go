@@ -1,0 +1,9 @@
+//go:build !simregression
+
+package scenario
+
+// skipRefundOnDrain re-seeds the PR 8 refund-on-failure router race when
+// true: a publish that lost its owner to a drain returned without
+// refunding the admission charge, leaking tenant quota on every
+// rebalance. The normal build keeps the fixed behavior.
+const skipRefundOnDrain = false

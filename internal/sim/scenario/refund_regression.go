@@ -1,0 +1,8 @@
+//go:build simregression
+
+package scenario
+
+// Regression build: the drained-shard publish path skips its admission
+// refund, reproducing the historical PR 8 bug for the simulator's
+// token-conservation invariant to find.
+const skipRefundOnDrain = true

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// toyWorld is a minimal system under test: two procs append their steps
+// to a shared log through park points, plus an optional poison action.
+type toyWorld struct {
+	mu     sync.Mutex
+	log    []string
+	poison bool
+}
+
+// toyRun builds one toy scheduler run: procs p and q each take 3 parked
+// steps; a "poison" action and a failing invariant are wired only when
+// armed.
+func toyRun(armed bool) Runner {
+	return func(cfg Config) *Result {
+		s := New(cfg)
+		w := &toyWorld{}
+		if armed {
+			s.AddAction("poison", 1, nil, func() {
+				w.mu.Lock()
+				w.poison = true
+				w.mu.Unlock()
+			})
+			s.AddInvariant("no-poison-after-two", func() error {
+				w.mu.Lock()
+				defer w.mu.Unlock()
+				if w.poison && len(w.log) >= 2 {
+					return errors.New("poisoned with two steps logged")
+				}
+				return nil
+			})
+		}
+		for _, name := range []string{"p", "q"} {
+			name := name
+			s.Spawn(name, func() {
+				for i := 0; i < 3; i++ {
+					step := fmt.Sprintf("%s%d", name, i)
+					if !s.parkVerb(step, func() {
+						w.mu.Lock()
+						w.log = append(w.log, step)
+						w.mu.Unlock()
+					}) {
+						return
+					}
+				}
+			})
+		}
+		return s.Run()
+	}
+}
+
+// TestRunDeterminism: the same seed must produce the identical schedule.
+func TestRunDeterminism(t *testing.T) {
+	run := toyRun(false)
+	a := run(Config{Seed: 42})
+	b := run(Config{Seed: 42})
+	if !reflect.DeepEqual(a.Choices, b.Choices) {
+		t.Fatalf("same seed, different choices: %v vs %v", a.Choices, b.Choices)
+	}
+	if a.Steps != 6 || b.Steps != 6 {
+		t.Fatalf("expected 6 steps, got %d and %d", a.Steps, b.Steps)
+	}
+}
+
+// TestSeedsDiverge: different seeds should explore different schedules
+// (over a handful of seeds at least one must differ, or the "random"
+// scheduler is not randomizing).
+func TestSeedsDiverge(t *testing.T) {
+	run := toyRun(false)
+	base := run(Config{Seed: 1})
+	for seed := int64(2); seed < 12; seed++ {
+		if !reflect.DeepEqual(run(Config{Seed: seed}).Choices, base.Choices) {
+			return
+		}
+	}
+	t.Fatal("10 different seeds all produced the same schedule")
+}
+
+// TestReplayReproduces: re-running with the recorded choice list in Det
+// mode must reproduce the run exactly.
+func TestReplayReproduces(t *testing.T) {
+	run := toyRun(false)
+	orig := run(Config{Seed: 7})
+	replay := run(Config{Seed: 7, Replay: orig.Choices, Det: true})
+	if !reflect.DeepEqual(orig.Choices, replay.Choices) {
+		t.Fatalf("replay diverged: %v vs %v", orig.Choices, replay.Choices)
+	}
+}
+
+// TestDetBaseline: Det mode with no replay always picks index 0.
+func TestDetBaseline(t *testing.T) {
+	res := toyRun(false)(Config{Det: true})
+	for i, c := range res.Choices {
+		if c != 0 {
+			t.Fatalf("det baseline chose %d at position %d", c, i)
+		}
+	}
+}
+
+// TestMaxStepsTruncates: exhausting the step budget ends the run cleanly
+// with Truncated set and parked procs released via ErrAborted.
+func TestMaxStepsTruncates(t *testing.T) {
+	res := toyRun(false)(Config{Det: true, MaxSteps: 3})
+	if !res.Truncated {
+		t.Fatal("run with MaxSteps 3 not marked truncated")
+	}
+	if res.Steps != 3 {
+		t.Fatalf("truncated run took %d steps, want 3", res.Steps)
+	}
+}
+
+// TestViolationFoundAndShrunk: random exploration must find the poison
+// violation, and shrinking must reduce it to essentially the poison
+// action alone (two proc steps + poison, in some order).
+func TestViolationFoundAndShrunk(t *testing.T) {
+	run := toyRun(true)
+	rep := ExploreRandom(run, 1, 200, 64)
+	if rep.Violation == nil {
+		t.Fatalf("poison violation not found in %d runs", rep.Runs)
+	}
+	v := rep.Violation
+	if v.Invariant != "no-poison-after-two" {
+		t.Fatalf("unexpected invariant %q", v.Invariant)
+	}
+	if len(v.Trace) > 4 {
+		t.Fatalf("shrunk trace has %d steps, want <= 4:\n%v", len(v.Trace), v)
+	}
+	// The shrunk schedule must itself replay to the same violation.
+	res := run(Config{Seed: v.Seed, Replay: v.Choices, Det: true, MaxSteps: 64})
+	if res.Violation == nil || res.Violation.Invariant != v.Invariant {
+		t.Fatalf("shrunk schedule does not replay its violation: %+v", res.Violation)
+	}
+}
+
+// TestSystematicFindsViolation: the poison bug needs exactly one
+// deviation from the baseline (fire the action early), so the systematic
+// explorer must find it within budget 1.
+func TestSystematicFindsViolation(t *testing.T) {
+	rep := ExploreSystematic(toyRun(true), 1, 64, 500)
+	if rep.Violation == nil {
+		t.Fatalf("systematic exploration missed the single-deviation bug in %d runs", rep.Runs)
+	}
+	if rep.Violation.Invariant != "no-poison-after-two" {
+		t.Fatalf("unexpected invariant %q", rep.Violation.Invariant)
+	}
+}
+
+// TestActionBudget: an action with budget 1 fires at most once per run.
+func TestActionBudget(t *testing.T) {
+	fired := 0
+	s := New(Config{Det: true})
+	s.AddAction("once", 1, nil, func() { fired++ })
+	s.Spawn("p", func() {
+		for i := 0; i < 3; i++ {
+			if !s.parkVerb("step", func() {}) {
+				return
+			}
+		}
+	})
+	res := s.Run()
+	if fired > 1 {
+		t.Fatalf("budget-1 action fired %d times", fired)
+	}
+	// 3 proc steps + at most 1 action.
+	if res.Steps > 4 {
+		t.Fatalf("run took %d steps", res.Steps)
+	}
+}
+
+// TestSetupRunsUnrecorded: Setup fires its steps without recording
+// choices, so schedules start after the prologue.
+func TestSetupRunsUnrecorded(t *testing.T) {
+	s := New(Config{Det: true})
+	ran := false
+	s.Setup("prologue", func() {
+		if !s.parkVerb("setup-step", func() { ran = true }) {
+			t.Error("setup step aborted")
+		}
+	})
+	if !ran {
+		t.Fatal("setup step did not execute")
+	}
+	s.Spawn("p", func() { s.parkVerb("step", func() {}) })
+	res := s.Run()
+	if len(res.Choices) != res.Steps {
+		t.Fatalf("recorded %d choices for %d steps", len(res.Choices), res.Steps)
+	}
+	if res.Steps != 1 {
+		t.Fatalf("setup step leaked into the recorded schedule: %d steps", res.Steps)
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schedule is the on-disk replay format: a seed plus the recorded choice
+// list reproduces a run exactly (choices index the canonically-ordered
+// enabled-step list, modulo its length, so a schedule stays meaningful
+// across small divergences). The testdata/schedules corpus checks in
+// failing-then-fixed schedules in this format.
+type Schedule struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Choices  []int  `json:"choices"`
+	MaxSteps int    `json:"max_steps,omitempty"`
+	Note     string `json:"note,omitempty"`
+}
+
+// Config converts a schedule into a replaying run config.
+func (sc *Schedule) Config() Config {
+	return Config{Seed: sc.Seed, Replay: append([]int(nil), sc.Choices...), Det: true, MaxSteps: sc.MaxSteps}
+}
+
+// LoadSchedule reads a schedule JSON file.
+func LoadSchedule(path string) (*Schedule, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sc Schedule
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return nil, fmt.Errorf("sim: bad schedule %s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+// SaveSchedule writes a schedule as indented JSON.
+func SaveSchedule(path string, sc *Schedule) error {
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rdx/internal/faultnet"
+	"rdx/internal/mem"
+	"rdx/internal/rdma"
+)
+
+// Net is the step-controlled in-memory fabric: named hosts expose an
+// arena plus a live MR-table view, and every verb issued through a QP
+// parks as a schedule step. Ops validate their rkey against the table as
+// it is when the step FIRES, not when it was posted — so an MR rotation
+// (the takeover fencing primitive) revokes in-flight stale verbs exactly
+// like ibv_rereg_mr does on real hardware.
+//
+// Faults reuse faultnet's vocabulary: a cut or severed link fails verbs
+// with an error wrapping faultnet.ErrInjected (a net.Error, Temporary), a
+// rotated-away rkey fails with rdma.ErrAccess, bounds violations with
+// rdma.ErrBounds — so the typed-error classification in the code under
+// test behaves exactly as it does over the TCP transport.
+type Net struct {
+	s *Scheduler
+
+	mu      sync.Mutex
+	hosts   map[string]*netHost
+	cuts    map[string]bool // "initiator|host" → link partitioned
+	severed map[string]bool // initiator killed (permanent)
+	dupNext map[string]bool // "initiator|host" → duplicate the next WRITE delivery
+}
+
+type netHost struct {
+	arena *mem.Arena
+	mrs   func() []rdma.MR
+}
+
+// NewNet builds a fabric bound to s.
+func NewNet(s *Scheduler) *Net {
+	return &Net{
+		s:       s,
+		hosts:   map[string]*netHost{},
+		cuts:    map[string]bool{},
+		severed: map[string]bool{},
+		dupNext: map[string]bool{},
+	}
+}
+
+// AddHost registers a named host: its arena and a function returning the
+// CURRENT MR table (re-evaluated at every fire, so registrations and
+// rotations propagate mid-run).
+func (n *Net) AddHost(name string, arena *mem.Arena, mrs func() []rdma.MR) {
+	n.mu.Lock()
+	n.hosts[name] = &netHost{arena: arena, mrs: mrs}
+	n.mu.Unlock()
+}
+
+func linkKey(initiator, host string) string { return initiator + "|" + host }
+
+// Cut partitions the initiator→host link: fired verbs fail injected until
+// Heal.
+func (n *Net) Cut(initiator, host string) {
+	n.mu.Lock()
+	n.cuts[linkKey(initiator, host)] = true
+	n.mu.Unlock()
+}
+
+// Heal restores a Cut link.
+func (n *Net) Heal(initiator, host string) {
+	n.mu.Lock()
+	delete(n.cuts, linkKey(initiator, host))
+	n.mu.Unlock()
+}
+
+// Severed reports whether the initiator has been killed.
+func (n *Net) Severed(initiator string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.severed[initiator]
+}
+
+// Sever kills an initiator permanently: every verb from any of its QPs
+// fails injected from the next fire on (the leader-kill fault).
+func (n *Net) Sever(initiator string) {
+	n.mu.Lock()
+	n.severed[initiator] = true
+	n.mu.Unlock()
+}
+
+// DuplicateNextWrite makes the next WRITE fired on initiator→host apply
+// twice — modeling an RC retransmission of an already-applied WRITE
+// (atomics are PSN-protected on real fabrics and are never duplicated).
+// The initiator observes a single completion; the invariant suite is what
+// proves the protocol is idempotent under the duplicate.
+func (n *Net) DuplicateNextWrite(initiator, host string) {
+	n.mu.Lock()
+	n.dupNext[linkKey(initiator, host)] = true
+	n.mu.Unlock()
+}
+
+// QP opens a queue pair from initiator to host. The returned Verbs parks
+// every operation as a schedule step.
+func (n *Net) QP(initiator, host string) *QP {
+	return &QP{net: n, initiator: initiator, host: host}
+}
+
+// QP is a sim queue pair implementing rdma.Verbs.
+type QP struct {
+	net       *Net
+	initiator string
+	host      string
+}
+
+var _ rdma.Verbs = (*QP)(nil)
+
+// gate returns the host entry after fault checks, at fire time.
+func (q *QP) gate() (*netHost, error) {
+	n := q.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.severed[q.initiator] {
+		return nil, fmt.Errorf("sim: initiator %q severed: %w", q.initiator, faultnet.ErrInjected)
+	}
+	if n.cuts[linkKey(q.initiator, q.host)] {
+		return nil, fmt.Errorf("sim: link %s→%s partitioned: %w", q.initiator, q.host, faultnet.ErrInjected)
+	}
+	h := n.hosts[q.host]
+	if h == nil {
+		return nil, fmt.Errorf("sim: unknown host %q: %w", q.host, faultnet.ErrInjected)
+	}
+	return h, nil
+}
+
+// resolve finds the MR for rkey in the host's CURRENT table and checks
+// permissions and bounds, mirroring Endpoint.exec's status taxonomy.
+func resolve(h *netHost, rkey uint32, need rdma.Perm, addr mem.Addr, n uint64) (rdma.MR, error) {
+	for _, mr := range h.mrs() {
+		if mr.RKey != rkey {
+			continue
+		}
+		if mr.Perm&need == 0 {
+			return rdma.MR{}, fmt.Errorf("sim: rkey %#x lacks permission: %w", rkey, rdma.ErrAccess)
+		}
+		if !(addr >= mr.Addr && n <= mr.Len && addr-mr.Addr <= mr.Len-n) {
+			return rdma.MR{}, fmt.Errorf("sim: [%#x,+%d) outside MR %q: %w", addr, n, mr.Name, rdma.ErrBounds)
+		}
+		return mr, nil
+	}
+	return rdma.MR{}, fmt.Errorf("sim: unknown rkey %#x: %w", rkey, rdma.ErrAccess)
+}
+
+// do parks one verb step; fn runs when the scheduler fires it.
+func (q *QP) do(op string, addr mem.Addr, fn func() error) error {
+	label := fmt.Sprintf("%s→%s %s@%#x", q.initiator, q.host, op, addr)
+	var err error
+	if !q.net.s.parkVerb(label, func() { err = fn() }) {
+		return fmt.Errorf("sim: %s: %w", label, ErrAborted)
+	}
+	return err
+}
+
+// ReadCtx implements rdma.Verbs.
+func (q *QP) ReadCtx(_ context.Context, rkey uint32, addr mem.Addr, n int) ([]byte, error) {
+	var out []byte
+	err := q.do("READ", addr, func() error {
+		h, err := q.gate()
+		if err != nil {
+			return err
+		}
+		if _, err := resolve(h, rkey, rdma.PermRead, addr, uint64(n)); err != nil {
+			return err
+		}
+		b, err := h.arena.Read(addr, n)
+		if err != nil {
+			return fmt.Errorf("sim: %v: %w", err, rdma.ErrBounds)
+		}
+		out = b
+		return nil
+	})
+	return out, err
+}
+
+// write applies one WRITE, honoring the duplicate-delivery fault.
+func (q *QP) write(h *netHost, rkey uint32, addr mem.Addr, data []byte) error {
+	if _, err := resolve(h, rkey, rdma.PermWrite, addr, uint64(len(data))); err != nil {
+		return err
+	}
+	n := q.net
+	n.mu.Lock()
+	dup := n.dupNext[linkKey(q.initiator, q.host)]
+	if dup {
+		delete(n.dupNext, linkKey(q.initiator, q.host))
+	}
+	n.mu.Unlock()
+	times := 1
+	if dup {
+		times = 2
+	}
+	for i := 0; i < times; i++ {
+		if err := h.arena.Write(addr, data); err != nil {
+			return fmt.Errorf("sim: %v: %w", err, rdma.ErrBounds)
+		}
+	}
+	return nil
+}
+
+// WriteCtx implements rdma.Verbs.
+func (q *QP) WriteCtx(_ context.Context, rkey uint32, addr mem.Addr, data []byte) error {
+	return q.do("WRITE", addr, func() error {
+		h, err := q.gate()
+		if err != nil {
+			return err
+		}
+		return q.write(h, rkey, addr, data)
+	})
+}
+
+// WriteImmCtx implements rdma.Verbs (doorbells are not modeled; the
+// write lands like a plain WRITE).
+func (q *QP) WriteImmCtx(_ context.Context, rkey uint32, addr mem.Addr, _ uint32, data []byte) error {
+	return q.do("WRITE_IMM", addr, func() error {
+		h, err := q.gate()
+		if err != nil {
+			return err
+		}
+		return q.write(h, rkey, addr, data)
+	})
+}
+
+// WriteBatchCtx implements rdma.Verbs: the chain fires as ONE step (one
+// doorbell ring moves the whole chain), sub-ops applying in posted order
+// with first-failure-flushes semantics.
+func (q *QP) WriteBatchCtx(_ context.Context, ops []rdma.BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	return q.do(fmt.Sprintf("BATCH[%d]", len(ops)), ops[0].Addr, func() error {
+		h, err := q.gate()
+		if err != nil {
+			return err
+		}
+		for i := range ops {
+			if err := q.write(h, ops[i].RKey, ops[i].Addr, ops[i].Data); err != nil {
+				return fmt.Errorf("sim: batch op %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+}
+
+// CompareAndSwapCtx implements rdma.Verbs.
+func (q *QP) CompareAndSwapCtx(_ context.Context, rkey uint32, addr mem.Addr, old, new uint64) (uint64, error) {
+	var prev uint64
+	err := q.do("CAS", addr, func() error {
+		h, err := q.gate()
+		if err != nil {
+			return err
+		}
+		if _, err := resolve(h, rkey, rdma.PermAtomic, addr, 8); err != nil {
+			return err
+		}
+		p, _, err := h.arena.CompareAndSwap(addr, old, new)
+		if err != nil {
+			return fmt.Errorf("sim: %v: %w", err, rdma.ErrBounds)
+		}
+		prev = p
+		return nil
+	})
+	return prev, err
+}
+
+// FetchAddCtx implements rdma.Verbs.
+func (q *QP) FetchAddCtx(_ context.Context, rkey uint32, addr mem.Addr, delta uint64) (uint64, error) {
+	var prev uint64
+	err := q.do("FETCH_ADD", addr, func() error {
+		h, err := q.gate()
+		if err != nil {
+			return err
+		}
+		if _, err := resolve(h, rkey, rdma.PermAtomic, addr, 8); err != nil {
+			return err
+		}
+		p, err := h.arena.FetchAdd(addr, delta)
+		if err != nil {
+			return fmt.Errorf("sim: %v: %w", err, rdma.ErrBounds)
+		}
+		prev = p
+		return nil
+	})
+	return prev, err
+}
+
+// QueryMRs implements rdma.Verbs: MR discovery is a wire round trip, so
+// it parks as a step too.
+func (q *QP) QueryMRs() ([]rdma.MR, error) {
+	var out []rdma.MR
+	err := q.do("QUERY_MRS", 0, func() error {
+		h, err := q.gate()
+		if err != nil {
+			return err
+		}
+		out = append([]rdma.MR(nil), h.mrs()...)
+		return nil
+	})
+	return out, err
+}
+
+// Close implements rdma.Verbs (sim QPs hold no resources).
+func (q *QP) Close() error { return nil }

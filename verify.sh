@@ -1,0 +1,30 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 verification gate, runnable locally and in
+# CI. Fails fast on the first broken stage.
+#
+#   ./verify.sh          full gate: vet, build, tests, race, simulation
+#   ./verify.sh quick    skip the -race pass (slowest stage) for inner loops
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test -timeout 120s ./...
+
+if [ "${1:-}" != "quick" ]; then
+    echo "== go test -race =="
+    go test -race -timeout 300s ./...
+fi
+
+# The simregression build re-seeds two historical bugs (pre-rotation
+# takeover fencing, the PR 8 refund-on-failure leak) and asserts the
+# model checker FINDS both and shrinks each to a short replayable trace.
+echo "== simulation regression (historical bugs must be found) =="
+go test -tags simregression -timeout 120s ./internal/sim/...
+
+echo "verify: all stages passed"
