@@ -40,6 +40,7 @@ var registry = []struct {
 	{"rebalance", "elastic rebalancing: live shard scale-in/out with journal-replay state migration", single(experiments.Rebalance)},
 	{"serve", "fleet under sustained traffic during continuous rollouts (wire hot path)", single(experiments.Serve)},
 	{"sim", "deterministic simulation soak: failover/rebalance model checking", single(experiments.Sim)},
+	{"chain", "verb-chain offload: NIC-resident barriers/renewal/heartbeats vs RPC under CPU saturation", single(experiments.Chain)},
 }
 
 // single adapts a one-table experiment to the registry signature.

@@ -1,0 +1,11 @@
+//go:build !simregression
+
+package controlha
+
+// guardChains gates the witness-epoch guard baked into every resident HA
+// chain. It is a const, not a flag: the only build that turns it off is
+// the simregression one, which re-opens the historical unguarded-chain
+// window — a deposed leader's pre-posted heartbeat program keeps
+// certifying liveness after the successor's epoch bump — so the simulator
+// can demonstrate it finds the bug (see internal/sim/scenario).
+const guardChains = true

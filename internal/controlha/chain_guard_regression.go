@@ -1,0 +1,13 @@
+//go:build simregression
+
+package controlha
+
+// Regression build: resident HA chains are armed WITHOUT the witness-epoch
+// guard, restoring the historical protocol in which chain fencing relied on
+// the programs' own CAS steps alone. The renew chain survives that (its
+// ownership CAS aborts once a successor rewrites the owner word), but the
+// heartbeat chain touches only chain-MR words — so a deposed leader keeps
+// beating, the standby's deadman stays quiet, and failover detection is
+// masked. The simulator's stale-chain-rejected invariant catches it
+// (go test -tags simregression ./internal/sim/...).
+const guardChains = false

@@ -1,6 +1,7 @@
 package controlha
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -169,39 +170,63 @@ func (l *Leader) Detach() {
 	l.CP.SetJournal(nil)
 }
 
-// FetchJournal reads the committed journal prefix out of a ring MR with
-// one-sided READs: the CAS-committed high-watermark bounds what is trusted,
-// and a ring that has wrapped past its capacity no longer holds its full
-// history (ErrRingOverrun — a standby that pumped continuously still has
-// the complete copy; this path is for late readers like rdxctl).
-func FetchJournal(mem *core.RemoteMemory, base uint64) ([]byte, error) {
+// FetchJournalView reads the committed journal prefix out of a ring MR
+// with one-sided READs, delivering the bytes as a zero-copy view of the
+// pooled response frame when the underlying issuer supports it (see
+// core.RemoteMemory.ReadBytesView). The CAS-committed high-watermark
+// bounds what is trusted, and a ring that has wrapped past its capacity no
+// longer holds its full history (ErrRingOverrun — a standby that pumped
+// continuously still has the complete copy; this path is for late readers
+// like rdxctl). The caller must Release the view; Replay copies everything
+// it keeps, so releasing right after replay is safe.
+func FetchJournalView(mem *core.RemoteMemory, base uint64) (rdma.FrameView, error) {
 	hwm, err := mem.ReadMem(base+ringOffHwm, 8)
 	if err != nil {
-		return nil, fmt.Errorf("controlha: ring read: %w", err)
+		return rdma.FrameView{}, fmt.Errorf("controlha: ring read: %w", err)
 	}
 	dataCap, err := mem.ReadMem(base+ringOffCap, 8)
 	if err != nil {
-		return nil, fmt.Errorf("controlha: ring read: %w", err)
+		return rdma.FrameView{}, fmt.Errorf("controlha: ring read: %w", err)
 	}
 	if hwm > dataCap {
-		return nil, fmt.Errorf("%w: %d committed bytes exceed ring capacity %d (oldest entries overwritten)",
+		return rdma.FrameView{}, fmt.Errorf("%w: %d committed bytes exceed ring capacity %d (oldest entries overwritten)",
 			ErrRingOverrun, hwm, dataCap)
 	}
 	if hwm == 0 {
+		return rdma.FrameView{}, nil
+	}
+	return mem.ReadBytesView(base+RingHdrSize, int(hwm))
+}
+
+// FetchJournal is FetchJournalView for callers that keep the bytes: the
+// view is copied to the heap and released.
+func FetchJournal(mem *core.RemoteMemory, base uint64) ([]byte, error) {
+	view, err := FetchJournalView(mem, base)
+	if err != nil {
+		return nil, err
+	}
+	defer view.Release()
+	if len(view.Bytes()) == 0 {
 		return nil, nil
 	}
-	return mem.ReadBytes(base+RingHdrSize, int(hwm))
+	return append([]byte(nil), view.Bytes()...), nil
 }
 
 // TakeOverRemote is TakeOver for a controller that does not own the standby
 // host's arena (rdxctl failover): the journal is fetched over one-sided
 // READs from the ring MR instead of pumped locally. Requires an unwrapped
 // ring; a continuously pumping standby should promote itself with TakeOver
-// instead. Without a host handle this path cannot rotate the ring rkey, so
-// it fences by epoch CAS alone — the narrower guarantee TakeOver had
-// before rotation existed (see TakeOverClock).
+// instead. Like TakeOverClock, the FIRST act is fencing the ring — here by
+// the remote OpRotateMR verb instead of a host-handle call — so a stale
+// leader's already-reserved WRITE/commit cannot land after the successor
+// replays (the window epoch-only fencing left open).
 func TakeOverRemote(cp *core.ControlPlane, qp rdma.Verbs, id uint64, ttl time.Duration, flows map[string]*core.CodeFlow) (*Leader, *State, error) {
 	start := time.Now()
+	if rotateRingOnTakeover {
+		if _, err := qp.RotateMRCtx(context.Background(), RingMRName); err != nil {
+			return nil, nil, fmt.Errorf("controlha: remote ring fence: %w", err)
+		}
+	}
 	mrs, err := qp.QueryMRs()
 	if err != nil {
 		return nil, nil, fmt.Errorf("controlha: MR discovery: %w", err)
@@ -223,11 +248,19 @@ func TakeOverRemote(cp *core.ControlPlane, qp rdma.Verbs, id uint64, ttl time.Du
 	if err := rep.Activate(); err != nil {
 		return nil, nil, err
 	}
-	journal, err := FetchJournal(mem, ring.Addr)
+	if rotateRingOnTakeover {
+		// The rotation may have fenced a dead reservation mid-flight;
+		// collapse it so the ring un-wedges (same as TakeOverClock).
+		if err := rep.Reconcile(); err != nil {
+			return nil, nil, err
+		}
+	}
+	view, err := FetchJournalView(mem, ring.Addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	state, err := Replay(journal)
+	state, err := Replay(view.Bytes())
+	view.Release()
 	if err != nil {
 		return nil, nil, fmt.Errorf("controlha: journal replay: %w", err)
 	}

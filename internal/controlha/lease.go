@@ -1,12 +1,14 @@
 package controlha
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"rdx/internal/core"
+	"rdx/internal/rdma"
 	"rdx/internal/sim"
 	"rdx/internal/telemetry"
 )
@@ -40,8 +42,8 @@ var ErrLeaseHeld = errors.New("controlha: lease held by another controller")
 // the new leader. Check is wired into core as the FenceCheck consulted
 // before every dispatch CAS.
 type Lease struct {
-	mem  *core.RemoteMemory
-	base uint64
+	mem   *core.RemoteMemory
+	base  uint64
 	id    uint64
 	ttl   time.Duration
 	reg   *telemetry.Registry
@@ -52,6 +54,7 @@ type Lease struct {
 	epoch  uint64
 	expiry time.Time
 	stop   chan struct{}
+	chain  *ChainOffload
 }
 
 // NewLease binds a lease view over the witness MR at base, on the wall
@@ -165,12 +168,59 @@ func (l *Lease) install() error {
 	return nil
 }
 
+// UseChain routes this lease's renewals through an armed renew chain (see
+// ChainOffload): Renew becomes one ChainTrigger verb instead of two reads
+// and a write. A nil offload restores the unoffloaded path.
+func (l *Lease) UseChain(co *ChainOffload) {
+	l.mu.Lock()
+	l.chain = co
+	l.mu.Unlock()
+}
+
+// RenewChain extends a held lease by firing the pre-posted renew chain with
+// the new expiry as the trigger argument. The chain's ownership CAS and
+// epoch guard run on the witness host's NIC; a revoked or faulted chain —
+// or an access error from a rotated chain MR — means this controller was
+// deposed, and the lease is marked lost locally (core.ErrFenced), exactly
+// like Renew discovering a foreign owner.
+func (l *Lease) RenewChain() error {
+	l.mu.Lock()
+	held, co := l.held, l.chain
+	l.mu.Unlock()
+	if !held {
+		return fmt.Errorf("controlha: renew without lease: %w", core.ErrFenced)
+	}
+	if co == nil {
+		return fmt.Errorf("controlha: no renew chain armed")
+	}
+	expiry := l.clock.Now().Add(l.ttl)
+	if _, err := co.TriggerRenew(context.Background(), uint64(expiry.UnixNano())); err != nil {
+		if errors.Is(err, rdma.ErrChainRevoked) || errors.Is(err, rdma.ErrChainFault) ||
+			errors.Is(err, rdma.ErrAccess) {
+			l.depose()
+			return fmt.Errorf("controlha: renew chain refused (%v): %w", err, core.ErrFenced)
+		}
+		return fmt.Errorf("controlha: renew chain: %w", err)
+	}
+	l.mu.Lock()
+	l.expiry = expiry
+	l.mu.Unlock()
+	l.reg.Counter("controlha.lease.renewed").Inc()
+	return nil
+}
+
 // Renew extends a held lease after verifying remote ownership. Discovering
-// a foreign owner (or epoch) marks the lease lost locally.
+// a foreign owner (or epoch) marks the lease lost locally. When a renew
+// chain is attached (UseChain), the whole sequence is offloaded to the
+// witness host's NIC via RenewChain.
 func (l *Lease) Renew() error {
 	l.mu.Lock()
 	held, epoch := l.held, l.epoch
+	chained := l.chain != nil
 	l.mu.Unlock()
+	if chained {
+		return l.RenewChain()
+	}
 	if !held {
 		return fmt.Errorf("controlha: renew without lease: %w", core.ErrFenced)
 	}

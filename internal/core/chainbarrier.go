@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rdx/internal/node"
+	"rdx/internal/verbchain"
+)
+
+// ErrBarrierSpent marks an arrival past a barrier's party count: the commit
+// already happened and the extra trigger executed nothing.
+var ErrBarrierSpent = errors.New("core: chain barrier already committed")
+
+// ChainBarrier is the offloaded publish barrier (DESIGN.md §15): a commit
+// chain resident in one node's scratchpad whose trigger count IS the
+// barrier qword. Each participant of a group publish fires one
+// ChainTrigger when its part completes — the trigger's FETCH-ADD on the
+// chain's trigger word is the fan-in — and every program op is gated
+// WhenTrigger(N), so the first N-1 arrivals execute nothing. The Nth
+// arrival flips the group-commit CAS (0 → the job's version) and rings the
+// CC-invalidate doorbell over the commit word, all on the host node's NIC.
+//
+// The party that fired last learns from its own trigger completion that
+// the commit happened (Arrive reports committed=true exactly once); nobody
+// polls, and no controller CPU sits between the last stage finishing and
+// the commit landing. Fencing: the chain carries no guard by default but
+// its region rkey obeys rotation like any MR — a takeover that rotates the
+// scratch MR leaves stale arrivals failing typed with rdma.ErrAccess.
+type ChainBarrier struct {
+	cf         *CodeFlow
+	parties    uint64
+	chainAddr  uint64
+	commitAddr uint64
+	version    uint64
+}
+
+// ArmChainBarrier allocates and pre-posts a commit chain for parties
+// arrivals on cf's node. The commit word starts at zero and is flipped to
+// version by the final arrival.
+func ArmChainBarrier(cf *CodeFlow, parties int, version uint64) (*ChainBarrier, error) {
+	if parties <= 0 {
+		return nil, fmt.Errorf("core: chain barrier needs at least one party")
+	}
+	if version == 0 {
+		return nil, fmt.Errorf("core: chain barrier version must be nonzero (zero marks uncommitted)")
+	}
+	commit, err := cf.AllocScratch(8)
+	if err != nil {
+		return nil, err
+	}
+	if err := cf.Remote.WriteMem(commit, 8, 0); err != nil {
+		return nil, err
+	}
+	rkey, err := cf.Remote.RKeyFor(commit, 8)
+	if err != nil {
+		return nil, err
+	}
+	prog := &verbchain.Program{
+		Ops: []verbchain.Op{{
+			Kind: verbchain.KindCAS, RKey: rkey, Addr: commit,
+			Cmp: verbchain.Imm(0), Src: verbchain.Imm(version),
+			Dst: verbchain.NoReg, AbortIfLost: true,
+			When: verbchain.WhenTrigger(uint64(parties)),
+		}},
+		Doorbell: &verbchain.Doorbell{RKey: rkey, Addr: commit, Imm: node.DoorbellCCInvalidate},
+	}
+	if err := prog.Validate(cf.Remote.Regions()); err != nil {
+		return nil, fmt.Errorf("core: chain barrier validate: %w", err)
+	}
+	region := verbchain.EncodeRegion(prog)
+	chainAddr, err := cf.AllocScratch(len(region))
+	if err != nil {
+		return nil, err
+	}
+	if err := cf.Remote.WriteBytes(chainAddr, region); err != nil {
+		return nil, err
+	}
+	return &ChainBarrier{
+		cf:         cf,
+		parties:    uint64(parties),
+		chainAddr:  chainAddr,
+		commitAddr: commit,
+		version:    version,
+	}, nil
+}
+
+// Arrive registers one party's completion by firing the barrier chain.
+// committed is true for exactly the arrival whose trigger completed the
+// barrier — its firing ran the commit CAS NIC-side. Arrivals beyond the
+// party count execute nothing (every op is WhenTrigger(N)-gated, and N has
+// passed) and surface ErrBarrierSpent: the trigger count in the completion
+// proves the over-arrival, no remote read needed.
+func (b *ChainBarrier) Arrive(ctx context.Context) (committed bool, err error) {
+	res, err := b.cf.Remote.WithContext(ctx).ChainTrigger(b.chainAddr, 0)
+	if err != nil {
+		return false, err
+	}
+	if res.Trigger > b.parties {
+		return false, fmt.Errorf("%w: arrival %d of a %d-party barrier", ErrBarrierSpent, res.Trigger, b.parties)
+	}
+	return res.Trigger == b.parties, nil
+}
+
+// Committed reads the group-commit word: zero while the barrier is open,
+// the armed version once the final arrival's chain flipped it.
+func (b *ChainBarrier) Committed() (uint64, error) {
+	return b.cf.Remote.ReadMem(b.commitAddr, 8)
+}
+
+// CommitAddr exposes the commit word's address (data-plane pollers).
+func (b *ChainBarrier) CommitAddr() uint64 { return b.commitAddr }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestChainBarrierFanIn pins the offloaded barrier's commit discipline:
+// early arrivals execute nothing (the program is WhenTrigger(N)-gated), the
+// Nth arrival's NIC-resident CAS flips the commit word to the armed
+// version, and over-arrival faults typed instead of recommitting.
+func TestChainBarrierFanIn(t *testing.T) {
+	r := newRig(t, 1)
+	cf := r.cfs[0]
+
+	if _, err := ArmChainBarrier(cf, 0, 1); err == nil {
+		t.Error("armed a zero-party barrier")
+	}
+	if _, err := ArmChainBarrier(cf, 3, 0); err == nil {
+		t.Error("armed a zero-version barrier")
+	}
+
+	b, err := ArmChainBarrier(cf, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		committed, err := b.Arrive(ctx)
+		if err != nil {
+			t.Fatalf("arrival %d: %v", i, err)
+		}
+		if committed {
+			t.Fatalf("arrival %d committed a 3-party barrier", i)
+		}
+		if v, _ := b.Committed(); v != 0 {
+			t.Fatalf("commit word = %d before the barrier closed", v)
+		}
+	}
+	committed, err := b.Arrive(ctx)
+	if err != nil {
+		t.Fatalf("final arrival: %v", err)
+	}
+	if !committed {
+		t.Fatal("final arrival did not observe the commit")
+	}
+	if v, _ := b.Committed(); v != 42 {
+		t.Fatalf("commit word = %d, want 42", v)
+	}
+	// A straggler past the party count executes nothing (the gated program
+	// only fires on the Nth trigger) and fails typed; the commit word keeps
+	// the original version.
+	if _, err := b.Arrive(ctx); !errors.Is(err, ErrBarrierSpent) {
+		t.Fatalf("over-arrival: %v, want ErrBarrierSpent", err)
+	}
+	if v, _ := b.Committed(); v != 42 {
+		t.Fatalf("over-arrival disturbed commit word: %d", v)
+	}
+}
+
+// TestBroadcastWithBarrier wires the barrier into a collective update: every
+// staging goroutine fires one arrival after its stage lands, and the last
+// arrival's chain commits the group word — checked against the armed
+// version after Broadcast returns.
+func TestBroadcastWithBarrier(t *testing.T) {
+	r := newRig(t, 3)
+	b, err := ArmChainBarrier(r.cfs[0], len(r.cfs), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Group(r.cfs).Broadcast(constProg("bar", 11), BroadcastOptions{Hook: "ingress", Barrier: b}); err != nil {
+		t.Fatalf("broadcast with barrier: %v", err)
+	}
+	if v, _ := b.Committed(); v != 7 {
+		t.Fatalf("group-commit word = %d after broadcast, want 7", v)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"rdx/internal/rdma"
+	"rdx/internal/verbchain"
 	"rdx/internal/xabi"
 )
 
@@ -115,6 +116,63 @@ func (m *RemoteMemory) ReadBytes(addr uint64, n int) ([]byte, error) {
 		return nil, err
 	}
 	return m.qp.ReadCtx(m.context(), rkey, addr, n)
+}
+
+// ReadBytesView is ReadBytes without the heap copy: when the underlying
+// issuer supports zero-copy completions (rdma.FrameReader — a raw QP or a
+// ReconnQP), the returned view aliases the pooled response frame and the
+// caller must Release it; otherwise it falls back to a copying read wrapped
+// in a no-op-release view. Bulk consumers (journal fetch, blob reads) use
+// this to keep large READ payloads off the heap.
+func (m *RemoteMemory) ReadBytesView(addr uint64, n int) (rdma.FrameView, error) {
+	rkey, err := m.rkeyFor(addr, n)
+	if err != nil {
+		return rdma.FrameView{}, err
+	}
+	if fr, ok := m.qp.(rdma.FrameReader); ok {
+		return fr.ReadFrameCtx(m.context(), rkey, addr, n)
+	}
+	b, err := m.qp.ReadCtx(m.context(), rkey, addr, n)
+	if err != nil {
+		return rdma.FrameView{}, err
+	}
+	return rdma.ViewOf(b), nil
+}
+
+// ChainTrigger fires the pre-posted verb chain resident at addr (see
+// internal/verbchain): one wire verb, after which the whole program runs on
+// the target's NIC. The chain's outcome comes back typed — rdma.ErrAccess
+// for a rotated chain region, rdma.ErrChainRevoked/ErrChainFault for a
+// program stopped by fencing or a failing step.
+func (m *RemoteMemory) ChainTrigger(addr uint64, arg uint64) (rdma.ChainResult, error) {
+	rkey, err := m.rkeyFor(addr, 8)
+	if err != nil {
+		return rdma.ChainResult{}, err
+	}
+	return m.qp.ChainTriggerCtx(m.context(), rkey, addr, arg)
+}
+
+// Regions mirrors the MR table as verbchain compile-time regions, for
+// validating chain programs before they are armed remotely.
+func (m *RemoteMemory) Regions() []verbchain.Region {
+	out := make([]verbchain.Region, len(m.mrs))
+	for i, mr := range m.mrs {
+		out[i] = verbchain.Region{
+			RKey:   mr.RKey,
+			Addr:   mr.Addr,
+			Len:    mr.Len,
+			Read:   mr.Perm&rdma.PermRead != 0,
+			Write:  mr.Perm&rdma.PermWrite != 0,
+			Atomic: mr.Perm&rdma.PermAtomic != 0,
+		}
+	}
+	return out
+}
+
+// RKeyFor exposes MR resolution for chain builders: the live rkey covering
+// [addr, addr+n).
+func (m *RemoteMemory) RKeyFor(addr uint64, n int) (uint32, error) {
+	return m.rkeyFor(addr, n)
 }
 
 // WriteBytes implements xabi.Memory.

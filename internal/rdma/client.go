@@ -21,6 +21,12 @@ type Completion struct {
 	Err    error
 	Data   []byte // READ payload, or 8-byte old value for CAS/FETCH_ADD
 	OldVal uint64 // decoded atomic result, valid for CAS/FETCH_ADD
+
+	// View is non-nil only for verbs posted through the view-read path
+	// (ReadFrameCtx): it is the pooled wire frame backing Data, retained
+	// for the consumer, who must Release it. Ordinary verbs copy Data out
+	// of the frame and leave View nil.
+	View *FrameBuf
 }
 
 // Verbs is the initiator-side verb surface shared by a raw QP and the
@@ -40,6 +46,8 @@ type Verbs interface {
 	WriteBatchCtx(ctx context.Context, ops []BatchOp) error
 	CompareAndSwapCtx(ctx context.Context, rkey uint32, addr mem.Addr, old, new uint64) (prev uint64, err error)
 	FetchAddCtx(ctx context.Context, rkey uint32, addr mem.Addr, delta uint64) (prev uint64, err error)
+	ChainTriggerCtx(ctx context.Context, rkey uint32, addr mem.Addr, arg uint64) (ChainResult, error)
+	RotateMRCtx(ctx context.Context, name string) (uint32, error)
 	QueryMRs() ([]MR, error)
 	Close() error
 }
@@ -84,7 +92,8 @@ type pendingVerb struct {
 	ch    chan Completion
 	id    uint64
 	op    uint8
-	bytes int // payload bytes carried by the verb (data out, or READ length)
+	bytes int  // payload bytes carried by the verb (data out, or READ length)
+	view  bool // deliver READ payload as a retained frame view, no copy
 	start time.Time
 	trace telemetry.TraceID
 }
@@ -183,7 +192,16 @@ func (qp *QP) readLoop() {
 				if c.Err == nil && len(resp.data) == 8 {
 					c.OldVal = binary.BigEndian.Uint64(resp.data)
 				}
-				c.Data = append([]byte(nil), resp.data...)
+				if pv.view {
+					// Zero-copy delivery: hand the consumer a retained
+					// reference to the pooled frame; Data aliases it. The
+					// consumer owns the extra reference (FrameView.Release).
+					f.Retain()
+					c.View = f
+					c.Data = resp.data
+				} else {
+					c.Data = append([]byte(nil), resp.data...)
+				}
 			}
 			qp.completed(pv, len(resp.data), c.Err)
 			pv.ch <- c
@@ -242,6 +260,7 @@ func (qp *QP) post(q request) (*pendingVerb, error) {
 	pv := pvPool.Get().(*pendingVerb)
 	pv.op = q.op
 	pv.bytes = q.payloadBytes()
+	pv.view = q.view
 	pv.trace = telemetry.TraceID(q.trace)
 
 	qp.sendMu.Lock()
@@ -281,32 +300,31 @@ func (qp *QP) post(q request) (*pendingVerb, error) {
 	return pv, nil
 }
 
-// writevMin is the payload size above which a write's data goes out as the
-// second element of a net.Buffers writev instead of being copied into the
-// assembled frame. Below it, one memcpy into a pooled buffer is cheaper
-// than a second vector element (and on the in-process fabric's net.Pipe —
-// which has no writev — Buffers degrades to sequential Writes, safe only
-// because sendMu is held across the whole emission).
-const writevMin = 256 << 10
-
 // writeRequest assembles and emits one request frame while holding sendMu.
 // Small frames are assembled [hdr|payload] in a pooled buffer and emitted
 // as a single conn.Write — one syscall per verb, zero steady-state
-// allocations. Large write payloads skip the copy: the header+meta prefix
-// rides in the pooled buffer and the caller's data slice is chained on via
-// net.Buffers (writev on real sockets). Returns the encoded payload size.
+// allocations. Write payloads above the tuner's adaptive threshold (see
+// wireTuner; fixed 256 KiB before any samples arrive) skip the copy: the
+// header+meta prefix rides in the pooled buffer and the caller's data
+// slice is chained on via net.Buffers (writev on real sockets; on the
+// in-process fabric's net.Pipe — which has no writev — Buffers degrades
+// to sequential Writes, safe only because sendMu is held across the whole
+// emission). Each emission's wall time feeds the tuner. Returns the
+// encoded payload size.
 func (qp *QP) writeRequest(q *request) (int, error) {
 	size := q.encodedSize() // exact for the hot opcodes, upper bound otherwise
 	if size > MaxFrame {
 		return 0, fmt.Errorf("rdma: frame of %d bytes exceeds max %d", size, MaxFrame)
 	}
-	if (q.op == OpWrite || q.op == OpWriteImm) && len(q.data) >= writevMin {
+	if (q.op == OpWrite || q.op == OpWriteImm) && len(q.data) >= tuner.writevThreshold() {
 		f := getFrame(frameHdr + size - len(q.data))
 		b := f.b[:0]
 		b = binary.BigEndian.AppendUint32(b, uint32(size))
 		b = q.appendMeta(b)
 		bufs := net.Buffers{b, q.data}
+		start := time.Now()
 		_, err := bufs.WriteTo(qp.conn)
+		tuner.observe(size, time.Since(start).Nanoseconds())
 		f.Release()
 		return size, err
 	}
@@ -316,7 +334,9 @@ func (qp *QP) writeRequest(q *request) (int, error) {
 	// Back-patch the prefix with the true length: encodedSize may
 	// overestimate for cold opcodes.
 	binary.BigEndian.PutUint32(b[:frameHdr], uint32(len(b)-frameHdr))
+	start := time.Now()
 	_, err := qp.conn.Write(b)
+	tuner.observe(len(b)-frameHdr, time.Since(start).Nanoseconds())
 	f.Release()
 	return len(b) - frameHdr, err
 }

@@ -312,9 +312,11 @@ const scratchKeep = 128 << 10
 // goroutine, so the steady-state service path performs zero allocations.
 type connScratch struct {
 	resp     []byte
+	read     []byte
 	subs     []request
 	statuses []byte
 	qword    [8]byte
+	chain    [chainRespLen]byte
 }
 
 // ServeConn services one QP until the peer disconnects. Requests execute
@@ -434,8 +436,27 @@ func (e *Endpoint) handle(q *request, cs *connScratch) (uint8, []byte) {
 	if q.op == OpQueryMRs {
 		return StatusOK, e.encodeMRTable()
 	}
+	if q.op == OpRotateMR {
+		// Control-plane op, like QueryMRs: no latency charge, no arena work.
+		mr, err := e.RotateMR(string(q.data))
+		if err != nil {
+			return StatusOpErr, nil
+		}
+		binary.BigEndian.PutUint32(cs.qword[:4], mr.RKey)
+		return StatusOK, cs.qword[:4]
+	}
 	if q.op == OpBatch {
 		return e.handleBatch(q, cs)
+	}
+	if q.op == OpChainTrigger {
+		// One trigger doorbell moves the whole resident program: the fabric
+		// is charged for the 8-byte trigger write only — that is the point
+		// of the offload.
+		start := time.Now()
+		e.latency.Wait(8)
+		st, data := e.execChain(q, cs.chain[:])
+		e.observe(q, st, 8, len(data), 8, start)
+		return st, data
 	}
 
 	// Model fabric + RNIC processing latency for the verb.
@@ -445,7 +466,7 @@ func (e *Endpoint) handle(q *request, cs *connScratch) (uint8, []byte) {
 	}
 	start := time.Now()
 	e.latency.Wait(size)
-	st, data := e.exec(q, &cs.qword)
+	st, data := e.exec(q, cs)
 	e.observe(q, st, len(q.data), len(data), size, start)
 	return st, data
 }
@@ -485,7 +506,7 @@ func (e *Endpoint) handleBatch(q *request, cs *connScratch) (uint8, []byte) {
 			statuses[i] = StatusFlushed
 			continue
 		}
-		st, _ := e.exec(&q.subs[i], &cs.qword)
+		st, _ := e.exec(&q.subs[i], cs)
 		statuses[i] = st
 		if st != StatusOK {
 			overall = st
@@ -496,9 +517,11 @@ func (e *Endpoint) handleBatch(q *request, cs *connScratch) (uint8, []byte) {
 }
 
 // exec applies one already-decoded verb to the arena with no latency charge
-// (the caller models fabric cost per frame, not per sub-verb). out receives
-// atomic results — caller-owned scratch so the hot path allocates nothing.
-func (e *Endpoint) exec(q *request, out *[8]byte) (uint8, []byte) {
+// (the caller models fabric cost per frame, not per sub-verb). Atomic results
+// land in cs.qword and READ data in cs.read — caller-owned scratch, valid
+// until the next frame on this connection, so the hot path allocates nothing.
+func (e *Endpoint) exec(q *request, cs *connScratch) (uint8, []byte) {
+	out := &cs.qword
 	e.mu.RLock()
 	mr, ok := e.mrs[q.rkey]
 	e.mu.RUnlock()
@@ -518,11 +541,21 @@ func (e *Endpoint) exec(q *request, out *[8]byte) (uint8, []byte) {
 		if !inBounds(q.addr, uint64(q.len)) {
 			return StatusBoundsErr, nil
 		}
-		data, err := e.arena.Read(q.addr, int(q.len))
-		if err != nil {
+		n := int(q.len)
+		buf := cs.read
+		if cap(buf) < n {
+			if n <= scratchKeep {
+				cs.read = make([]byte, n)
+				buf = cs.read
+			} else {
+				buf = make([]byte, n) // one-off giant read: don't pin it
+			}
+		}
+		buf = buf[:n]
+		if err := e.arena.ReadInto(q.addr, buf); err != nil {
 			return StatusBoundsErr, nil
 		}
-		return StatusOK, data
+		return StatusOK, buf
 
 	case OpWrite, OpWriteImm:
 		if mr.Perm&PermWrite == 0 {

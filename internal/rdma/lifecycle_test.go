@@ -145,12 +145,12 @@ func TestDoorbellStraddlesWindowStart(t *testing.T) {
 		mu.Unlock()
 	})
 
-	ep.fireDoorbells(1, 90, make([]byte, 20))  // [90,110) straddles the start → fires
-	ep.fireDoorbells(2, 95, make([]byte, 5))   // [95,100) stops at the boundary → no
-	ep.fireDoorbells(3, 150, make([]byte, 8))  // starts at the window end → no
-	ep.fireDoorbells(4, 149, make([]byte, 1))  // last byte of the window → fires
-	ep.fireDoorbells(5, 149, nil)              // zero-length ring at last byte → fires
-	ep.fireDoorbells(6, 150, nil)              // zero-length ring past the end → no
+	ep.fireDoorbells(1, 90, make([]byte, 20)) // [90,110) straddles the start → fires
+	ep.fireDoorbells(2, 95, make([]byte, 5))  // [95,100) stops at the boundary → no
+	ep.fireDoorbells(3, 150, make([]byte, 8)) // starts at the window end → no
+	ep.fireDoorbells(4, 149, make([]byte, 1)) // last byte of the window → fires
+	ep.fireDoorbells(5, 149, nil)             // zero-length ring at last byte → fires
+	ep.fireDoorbells(6, 150, nil)             // zero-length ring past the end → no
 
 	mu.Lock()
 	defer mu.Unlock()

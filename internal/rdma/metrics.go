@@ -6,13 +6,15 @@ import (
 
 // opNames maps wire opcodes to the labels used in metric names and traces.
 var opNames = [...]string{
-	OpRead:     "read",
-	OpWrite:    "write",
-	OpCAS:      "cas",
-	OpFetchAdd: "fetch_add",
-	OpWriteImm: "write_imm",
-	OpQueryMRs: "query_mrs",
-	OpBatch:    "batch",
+	OpRead:         "read",
+	OpWrite:        "write",
+	OpCAS:          "cas",
+	OpFetchAdd:     "fetch_add",
+	OpWriteImm:     "write_imm",
+	OpQueryMRs:     "query_mrs",
+	OpBatch:        "batch",
+	OpChainTrigger: "chain_trigger",
+	OpRotateMR:     "rotate_mr",
 }
 
 // OpName returns the human label for a wire opcode ("read", "batch", ...).

@@ -141,6 +141,8 @@ func BindWireInstruments(reg *telemetry.Registry) {
 		misses:        reg.Counter("rdma.wire.pool.misses"),
 		framesPerPoll: reg.Histogram("rdma.wire.frames_per_poll"),
 	})
+	bindChainInstruments(reg)
+	bindTunerGauge(reg)
 }
 
 // recordPoll accounts one poll pass that drained n frames.

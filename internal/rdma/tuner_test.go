@@ -1,0 +1,90 @@
+package rdma
+
+import (
+	"testing"
+
+	"rdx/internal/telemetry"
+)
+
+// TestTunerAdaptsThreshold feeds a fresh tuner synthetic syscall costs and
+// checks the crossover lands where overhead/perByte says, clamped to the
+// legal range, with the gauge tracking it.
+func TestTunerAdaptsThreshold(t *testing.T) {
+	tu := newWireTuner()
+	if tu.writevThreshold() != tunerDefault {
+		t.Fatalf("default threshold = %d, want %d", tu.writevThreshold(), tunerDefault)
+	}
+
+	// Fixed overhead ~100µs per write, ~1ns per byte: crossover at 100k
+	// bytes, inside the clamp range.
+	for i := 0; i < 50; i++ {
+		tu.observe(1024, 100_000)               // small write: pure overhead
+		tu.observe(1<<20, 100_000+int64(1<<20)) // large write: overhead + 1ns/B
+	}
+	th := tu.writevThreshold()
+	if th < 90_000 || th > 110_000 {
+		t.Errorf("threshold = %d, want ~100000", th)
+	}
+
+	// Tiny overhead: the crossover would be below tunerMin — clamp floor.
+	lo := newWireTuner()
+	for i := 0; i < 50; i++ {
+		lo.observe(1024, 10)                  // ~10ns overhead
+		lo.observe(1<<20, 10+int64(10*1<<20)) // 10ns/B
+	}
+	if th := lo.writevThreshold(); th != tunerMin {
+		t.Errorf("low-overhead threshold = %d, want clamp floor %d", th, tunerMin)
+	}
+
+	// Huge overhead: crossover above tunerMax — clamp ceiling.
+	hi := newWireTuner()
+	for i := 0; i < 50; i++ {
+		hi.observe(1024, 1_000_000_000)
+		hi.observe(1<<20, 1_000_000_000+int64(1<<20))
+	}
+	if th := hi.writevThreshold(); th != tunerMax {
+		t.Errorf("high-overhead threshold = %d, want clamp ceiling %d", th, tunerMax)
+	}
+}
+
+// TestTunerGauge checks the registry gauge publishes the live threshold.
+func TestTunerGauge(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	old := tunerGauge.Load()
+	defer tunerGauge.Store(old)
+	bindTunerGauge(reg)
+	g := reg.Gauge("rdma.wire.writev_threshold")
+	if g.Value() == 0 {
+		t.Fatalf("gauge unset after bind")
+	}
+	// A large-write observation that moves the global tuner must move the
+	// gauge too.
+	before := g.Value()
+	for i := 0; i < 50; i++ {
+		tuner.observe(1024, 500_000)
+		tuner.observe(1<<20, 500_000+int64(1<<20))
+	}
+	if g.Value() == before && g.Value() != tunerMax {
+		t.Errorf("gauge did not track threshold: still %d", g.Value())
+	}
+}
+
+// TestTunerIgnoresDegenerateSamples pins the guards: non-positive
+// durations and large writes cheaper than the learned overhead must not
+// poison the estimate.
+func TestTunerIgnoresDegenerateSamples(t *testing.T) {
+	tu := newWireTuner()
+	tu.observe(1024, 0)
+	tu.observe(1024, -5)
+	tu.observe(1<<20, 0)
+	if tu.writevThreshold() != tunerDefault {
+		t.Errorf("degenerate samples moved threshold to %d", tu.writevThreshold())
+	}
+	// Overhead learned high, then a large write faster than the overhead:
+	// per-byte would be negative — must be discarded.
+	tu.observe(1024, 1_000_000)
+	tu.observe(1<<20, 500_000)
+	if tu.writevThreshold() != tunerDefault {
+		t.Errorf("negative per-byte sample moved threshold to %d", tu.writevThreshold())
+	}
+}

@@ -43,7 +43,22 @@ const (
 	OpWriteImm uint8 = 5 // body: rkey u32, addr u64, imm u32, data
 	OpQueryMRs uint8 = 6 // body: empty; resp: MR table (metadata exchange, as in RDMA CM)
 	OpBatch    uint8 = 7 // body: count u16, then per sub-verb a WRITE/WRITE_IMM descriptor
-	OpResp     uint8 = 0x80
+
+	// OpChainTrigger fires a pre-posted verb chain resident in the region
+	// rkey (see internal/verbchain): the endpoint FETCH-ADDs the region's
+	// trigger qword, stores the 8-byte argument into the chain's argument
+	// register, and runs the program on its own goroutine — never on node
+	// cores. body: rkey u32, addr u64, arg u64; resp: packed status u64,
+	// steps u64, trigger count u64.
+	OpChainTrigger uint8 = 8
+	// OpRotateMR remotely re-keys a named region (the fencing primitive,
+	// ibv_rereg_mr style): any holder of the old rkey — including resident
+	// chains — gets StatusAccessErr afterward. body: rkey u32 + addr u64
+	// (both zero, kept for the uniform verb prefix), then the region name;
+	// resp: new rkey u32.
+	OpRotateMR uint8 = 9
+
+	OpResp uint8 = 0x80
 )
 
 // Status codes carried in responses.
@@ -185,13 +200,17 @@ type request struct {
 	trace uint64 // originating trace id; 0 = untraced
 	rkey  uint32
 	addr  uint64
-	len   uint32 // OpRead
-	cmp   uint64 // OpCAS
-	swap  uint64 // OpCAS
-	delta uint64 // OpFetchAdd
-	imm   uint32 // OpWriteImm
-	data  []byte // OpWrite / OpWriteImm
+	len   uint32    // OpRead
+	cmp   uint64    // OpCAS
+	swap  uint64    // OpCAS
+	delta uint64    // OpFetchAdd
+	imm   uint32    // OpWriteImm
+	data  []byte    // OpWrite / OpWriteImm / OpRotateMR (region name)
 	subs  []request // OpBatch: sub-verbs, each OpWrite or OpWriteImm
+
+	// view is initiator-local (never encoded): deliver this READ's payload
+	// as a retained pooled-frame view instead of a copy.
+	view bool
 }
 
 // Batch sub-verb descriptor layout (concatenated, one per sub-verb):
@@ -286,8 +305,10 @@ func (q *request) encodedSize() int {
 		return reqHdr + 16 + len(q.data)
 	case OpCAS:
 		return reqHdr + 28
-	case OpFetchAdd:
+	case OpFetchAdd, OpChainTrigger:
 		return reqHdr + 20
+	case OpRotateMR:
+		return reqHdr + 12 + len(q.data)
 	case OpBatch:
 		size := reqHdr + 2
 		for i := range q.subs {
@@ -336,10 +357,12 @@ func (q *request) appendTo(b []byte) []byte {
 	case OpCAS:
 		b = binary.BigEndian.AppendUint64(b, q.cmp)
 		b = binary.BigEndian.AppendUint64(b, q.swap)
-	case OpFetchAdd:
+	case OpFetchAdd, OpChainTrigger:
 		b = binary.BigEndian.AppendUint64(b, q.delta)
 	case OpWriteImm:
 		b = binary.BigEndian.AppendUint32(b, q.imm)
+		b = append(b, q.data...)
+	case OpRotateMR:
 		b = append(b, q.data...)
 	}
 	return b
@@ -397,6 +420,13 @@ func (q *request) decodeInto(p []byte, subsScratch []request) error {
 			return errors.New("rdma: bad FETCH_ADD body")
 		}
 		q.delta = binary.BigEndian.Uint64(rest)
+	case OpChainTrigger:
+		if len(rest) != 8 {
+			return errors.New("rdma: bad CHAIN_TRIGGER body")
+		}
+		q.delta = binary.BigEndian.Uint64(rest)
+	case OpRotateMR:
+		q.data = rest
 	case OpWriteImm:
 		if len(rest) < 4 {
 			return errors.New("rdma: bad WRITE_IMM body")

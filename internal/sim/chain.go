@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"rdx/internal/mem"
+	"rdx/internal/rdma"
+	"rdx/internal/verbchain"
+)
+
+// Verb-chain offload under the model checker. A chain trigger parks as ONE
+// schedule step — that is the semantics being modeled: between trigger and
+// effect there are no initiator round trips for the scheduler to interleave
+// with. Everything else matches the endpoint exactly, because both drive
+// the same verbchain.Execute interpreter: per-step rkey re-resolution
+// against the host's CURRENT MR table (a rotation fired before this step
+// revokes the resident chain), the guard re-read before every step, and
+// the persistent register file in the chain region.
+//
+// WAITs see a frozen world — no concurrent step can satisfy one while the
+// chain step is firing — so an unsatisfied WAIT deterministically exhausts
+// its bounded spin budget and faults. Schedules that need a WAIT satisfied
+// must order the satisfying write before the trigger.
+
+// BindRotator attaches a remote-rotation handler to a registered host:
+// the function backing the OpRotateMR verb (conventionally the endpoint's
+// RotateMR, returning the fresh rkey). Hosts without a rotator fail
+// RotateMRCtx with rdma.ErrOp.
+func (n *Net) BindRotator(host string, fn func(name string) (uint32, error)) {
+	n.mu.Lock()
+	if h := n.hosts[host]; h != nil {
+		h.rotate = fn
+	}
+	n.mu.Unlock()
+}
+
+// chainEnv adapts a sim host to the verbchain executor, mirroring the
+// endpoint's endpointEnv: rkeys re-resolve against the live table at every
+// access, unknown rkeys are the revoked class, permission and bounds
+// violations fault.
+type chainEnv struct {
+	h *netHost
+}
+
+func (v chainEnv) resolve(rkey uint32, addr mem.Addr, need rdma.Perm) error {
+	for _, mr := range v.h.mrs() {
+		if mr.RKey != rkey {
+			continue
+		}
+		if mr.Perm&need != need {
+			return fmt.Errorf("sim: chain step rkey %#x lacks permission", rkey)
+		}
+		if !(addr%8 == 0 && addr >= mr.Addr && mr.Len >= 8 && addr-mr.Addr <= mr.Len-8) {
+			return fmt.Errorf("sim: chain step target %#x outside MR %q", addr, mr.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("sim: rkey %#x: %w", rkey, verbchain.ErrRevoked)
+}
+
+func (v chainEnv) LoadQword(rkey uint32, addr uint64) (uint64, error) {
+	if err := v.resolve(rkey, addr, rdma.PermRead); err != nil {
+		return 0, err
+	}
+	return v.h.arena.ReadQword(addr)
+}
+
+func (v chainEnv) StoreQword(rkey uint32, addr uint64, val uint64) error {
+	if err := v.resolve(rkey, addr, rdma.PermWrite); err != nil {
+		return err
+	}
+	return v.h.arena.WriteQword(addr, val)
+}
+
+func (v chainEnv) CompareAndSwap(rkey uint32, addr uint64, old, new uint64) (uint64, bool, error) {
+	if err := v.resolve(rkey, addr, rdma.PermAtomic); err != nil {
+		return 0, false, err
+	}
+	return v.h.arena.CompareAndSwap(addr, old, new)
+}
+
+func (v chainEnv) FetchAdd(rkey uint32, addr uint64, delta uint64) (uint64, error) {
+	if err := v.resolve(rkey, addr, rdma.PermAtomic); err != nil {
+		return 0, err
+	}
+	return v.h.arena.FetchAdd(addr, delta)
+}
+
+// Yield is a no-op: the world is frozen while a chain step fires.
+func (v chainEnv) Yield() {}
+
+var _ verbchain.Env = chainEnv{}
+
+// runChain is the fire-time body of one CHAIN_TRIGGER step, mirroring
+// Endpoint.execChain over the sim host.
+func runChain(h *netHost, rkey uint32, base mem.Addr, arg uint64) (rdma.ChainResult, error) {
+	if _, err := resolve(h, rkey, rdma.PermAtomic, base, uint64(verbchain.OffProg)); err != nil {
+		return rdma.ChainResult{}, err
+	}
+	prev, err := h.arena.FetchAdd(base+verbchain.OffTrigger, 1)
+	if err != nil {
+		return rdma.ChainResult{}, fmt.Errorf("sim: %v: %w", err, rdma.ErrBounds)
+	}
+	trigger := prev + 1
+
+	fault := func() (rdma.ChainResult, error) {
+		st := verbchain.PackStatus(verbchain.StatusFault, 0)
+		_ = h.arena.WriteQword(base+verbchain.OffStatus, st)
+		return rdma.ChainResult{Status: st, Trigger: trigger},
+			fmt.Errorf("%w (pc 0)", rdma.ErrChainFault)
+	}
+
+	progLen, err := h.arena.ReadQword(base + verbchain.OffProgLen)
+	if err != nil || progLen == 0 || progLen > verbchain.MaxProgBytes {
+		return fault()
+	}
+	progBytes, err := h.arena.Read(base+verbchain.OffProg, int(progLen))
+	if err != nil {
+		return fault()
+	}
+	prog, err := verbchain.Decode(progBytes)
+	if err != nil {
+		return fault()
+	}
+
+	var regs [verbchain.NRegs]uint64
+	for i := range regs {
+		if regs[i], err = h.arena.ReadQword(base + verbchain.OffRegs + mem.Addr(8*i)); err != nil {
+			return fault()
+		}
+	}
+	regs[verbchain.ArgReg] = arg
+
+	res := verbchain.Execute(prog, &regs, trigger, chainEnv{h})
+
+	for i := range regs {
+		_ = h.arena.WriteQword(base+verbchain.OffRegs+mem.Addr(8*i), regs[i])
+	}
+	_ = h.arena.WriteQword(base+verbchain.OffStatus, res.Status)
+
+	out := rdma.ChainResult{Status: res.Status, Steps: res.Steps, Trigger: trigger}
+	switch res.Code() {
+	case verbchain.StatusOK:
+		return out, nil
+	case verbchain.StatusRevoked:
+		return out, fmt.Errorf("%w (pc %d)", rdma.ErrChainRevoked, out.PC())
+	default:
+		return out, fmt.Errorf("%w (pc %d)", rdma.ErrChainFault, out.PC())
+	}
+}
+
+// ChainTriggerCtx implements rdma.Verbs: the whole resident program fires
+// as one schedule step.
+func (q *QP) ChainTriggerCtx(_ context.Context, rkey uint32, addr mem.Addr, arg uint64) (rdma.ChainResult, error) {
+	var out rdma.ChainResult
+	var cerr error
+	err := q.do("CHAIN_TRIGGER", addr, func() error {
+		h, err := q.gate()
+		if err != nil {
+			return err
+		}
+		out, cerr = runChain(h, rkey, addr, arg)
+		return cerr
+	})
+	if err != nil {
+		return out, err
+	}
+	return out, cerr
+}
+
+// ReadFrameCtx implements rdma.FrameReader: sim reads already copy out of
+// the host arena, so the "view" is a plain releasable wrapper — the seam
+// exists so code written against the zero-copy surface runs unchanged
+// under the model checker.
+func (q *QP) ReadFrameCtx(ctx context.Context, rkey uint32, addr mem.Addr, n int) (rdma.FrameView, error) {
+	b, err := q.ReadCtx(ctx, rkey, addr, n)
+	if err != nil {
+		return rdma.FrameView{}, err
+	}
+	return rdma.ViewOf(b), nil
+}
+
+var _ rdma.FrameReader = (*QP)(nil)
+
+// RotateMRCtx implements rdma.Verbs: remote re-keying parks as a step and
+// is delegated to the host's bound rotator.
+func (q *QP) RotateMRCtx(_ context.Context, name string) (uint32, error) {
+	var out uint32
+	err := q.do("ROTATE_MR", 0, func() error {
+		h, err := q.gate()
+		if err != nil {
+			return err
+		}
+		if h.rotate == nil {
+			return fmt.Errorf("sim: host %q has no rotator bound: %w", q.host, rdma.ErrOp)
+		}
+		k, err := h.rotate(name)
+		if err != nil {
+			return fmt.Errorf("sim: rotate %q: %w", name, rdma.ErrOp)
+		}
+		out = k
+		return nil
+	})
+	return out, err
+}

@@ -13,6 +13,7 @@ import (
 var runners = map[string]sim.Runner{
 	"failover":  RunFailover,
 	"rebalance": RunRebalance,
+	"chain":     RunChainOffload,
 }
 
 // TestCorpusReplaysClean replays every checked-in schedule from

@@ -20,7 +20,7 @@ const (
 	rbFleet      = "fleet"
 	rbCellRKey   = 7
 	rbQuotaRate  = 50 // publishes/sec per tenant — finite, so refill needs the clock
-	rbQuotaBurst = 2 // below rbPubsPerTen, so refill (a clock advance) is on the path
+	rbQuotaBurst = 2  // below rbPubsPerTen, so refill (a clock advance) is on the path
 )
 
 var rbTenants = []string{"acme", "globex"}
@@ -37,8 +37,8 @@ type rbShardState struct {
 // rebalanceWorld is the shared observation state; see failoverWorld for
 // why it carries its own mutex.
 type rebalanceWorld struct {
-	mu       sync.Mutex
-	shards   [rbShards]rbShardState
+	mu            sync.Mutex
+	shards        [rbShards]rbShardState
 	acked         int
 	inflight      int
 	owners        map[string]map[uint64]int // key → ring epoch → owning shard at ack

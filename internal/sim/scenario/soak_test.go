@@ -14,6 +14,7 @@ import (
 const (
 	soakFailoverRuns  = 6000
 	soakRebalanceRuns = 5000
+	soakChainRuns     = 4000
 	soakMaxSteps      = 300
 )
 
@@ -65,4 +66,30 @@ func TestRebalanceSystematic(t *testing.T) {
 		t.Fatalf("rebalance systematic found a violation:\n%v", rep.Violation)
 	}
 	t.Logf("rebalance systematic: %d schedules within deviation budget 2", rep.Runs)
+}
+
+// TestChainOffloadSoak random-explores the verb-chain offload scenario:
+// chained renewals and heartbeats interleaved with takeover, chain-MR
+// rotation, heartbeat fencing, expiry, and partitions. Every trigger is
+// one schedule step; the guard must keep every post-fence trigger from
+// succeeding in every interleaving.
+func TestChainOffloadSoak(t *testing.T) {
+	start := time.Now()
+	rep := sim.ExploreRandom(RunChainOffload, 1, soakChainRuns, soakMaxSteps)
+	if rep.Violation != nil {
+		t.Fatalf("chain soak found a violation:\n%v", rep.Violation)
+	}
+	elapsed := time.Since(start)
+	t.Logf("chain: %d schedules in %v (%.0f/s)", rep.Runs, elapsed,
+		float64(rep.Runs)/elapsed.Seconds())
+}
+
+// TestChainOffloadSystematic walks the low-deviation schedule space of the
+// chain scenario.
+func TestChainOffloadSystematic(t *testing.T) {
+	rep := sim.ExploreSystematic(RunChainOffload, 2, soakMaxSteps, 800)
+	if rep.Violation != nil {
+		t.Fatalf("chain systematic found a violation:\n%v", rep.Violation)
+	}
+	t.Logf("chain systematic: %d schedules within deviation budget 2", rep.Runs)
 }

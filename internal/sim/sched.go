@@ -114,19 +114,19 @@ type Scheduler struct {
 	clock *VirtualClock
 	rng   Rand
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []*pendingStep
-	actions []*action
-	invs    []invariant
-	running int
-	live    int
-	nextSeq uint64
-	pos     int
-	choices []int
-	counts  []int
-	trace   []string
-	aborted bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*pendingStep
+	actions  []*action
+	invs     []invariant
+	running  int
+	live     int
+	nextSeq  uint64
+	pos      int
+	choices  []int
+	counts   []int
+	trace    []string
+	aborted  bool
 	panicMsg string
 
 	progress atomic.Uint64 // bumped on every park/fire; the watchdog's pulse

@@ -33,8 +33,9 @@ type Net struct {
 }
 
 type netHost struct {
-	arena *mem.Arena
-	mrs   func() []rdma.MR
+	arena  *mem.Arena
+	mrs    func() []rdma.MR
+	rotate func(name string) (uint32, error) // remote OpRotateMR handler, see BindRotator
 }
 
 // NewNet builds a fabric bound to s.

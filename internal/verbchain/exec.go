@@ -1,0 +1,157 @@
+package verbchain
+
+import "errors"
+
+// Env is the memory surface a chain executes against. The rdma endpoint
+// implements it over its arena and live MR table; the deterministic
+// simulator implements it over a host's arena with fire-time MR
+// resolution. Every access re-resolves its rkey, so a rotation lands on
+// in-flight chains exactly as it lands on single verbs.
+//
+// Implementations return ErrRevoked (possibly wrapped) when an rkey no
+// longer resolves; any other error is a fault (bounds, permissions).
+type Env interface {
+	LoadQword(rkey uint32, addr uint64) (uint64, error)
+	StoreQword(rkey uint32, addr uint64, v uint64) error
+	CompareAndSwap(rkey uint32, addr uint64, old, new uint64) (prev uint64, swapped bool, err error)
+	FetchAdd(rkey uint32, addr uint64, delta uint64) (prev uint64, err error)
+	// Yield is called between WAIT spins; the endpoint yields the
+	// goroutine, the simulator does nothing (its WAITs see a frozen
+	// world, so an unsatisfied WAIT simply exhausts its budget).
+	Yield()
+}
+
+// ErrRevoked is returned (or wrapped) by Env implementations when a
+// chain target's rkey no longer resolves — the region was rotated or
+// deregistered after the chain was posted. Execute maps it to
+// StatusRevoked: the chain stops without executing further steps.
+var ErrRevoked = errors.New("verbchain: chain target rkey revoked")
+
+// Result is one execution's outcome: the packed status word written back
+// to the region and the number of steps executed.
+type Result struct {
+	Status uint64
+	Steps  uint64
+}
+
+// Code returns the result's status code.
+func (r Result) Code() uint8 { return StatusCode(r.Status) }
+
+// Execute runs one trigger of p against env. regs is the live register
+// file (mutated in place; the caller persists it back to the region),
+// trigger is the post-increment trigger count. Programs reaching here
+// passed Decode's structural validation, but every limit is enforced
+// again — the interpreter trusts nothing.
+func Execute(p *Program, regs *[NRegs]uint64, trigger uint64, env Env) Result {
+	operand := func(o Operand) uint64 {
+		switch o.Kind {
+		case OperandReg:
+			return regs[o.Reg%NRegs]
+		case OperandTrigger:
+			return trigger
+		default:
+			return o.Imm
+		}
+	}
+	enabled := func(c Cond) bool {
+		switch c.Kind {
+		case CondRegEq:
+			return regs[c.Reg%NRegs] == c.Val
+		case CondTrigEq:
+			return trigger == c.Val
+		default:
+			return true
+		}
+	}
+	setDst := func(op *Op, v uint64) {
+		if op.Dst != NoReg && op.Dst < NRegs {
+			regs[op.Dst] = v
+		}
+	}
+
+	var rem [MaxOps]uint32
+	var armed [MaxOps]bool
+	steps := uint64(0)
+	for pc := 0; pc < len(p.Ops) && pc < MaxOps; {
+		if steps >= MaxTotalSteps {
+			return Result{Status: PackStatus(StatusFault, pc), Steps: steps}
+		}
+		// The guard is re-read before EVERY step: a fencing-epoch bump
+		// mid-chain revokes the remaining steps, not just the next trigger.
+		if p.Guard.Enabled {
+			v, err := env.LoadQword(p.Guard.RKey, p.Guard.Addr)
+			if err != nil || v != p.Guard.Want {
+				return Result{Status: PackStatus(StatusRevoked, pc), Steps: steps}
+			}
+		}
+		op := &p.Ops[pc]
+		steps++
+		if op.Kind != KindLoop && !enabled(op.When) {
+			pc++
+			continue
+		}
+		var err error
+		switch op.Kind {
+		case KindWrite:
+			err = env.StoreQword(op.RKey, op.Addr, operand(op.Src))
+		case KindCAS:
+			var prev uint64
+			var swapped bool
+			prev, swapped, err = env.CompareAndSwap(op.RKey, op.Addr, operand(op.Cmp), operand(op.Src))
+			if err == nil {
+				setDst(op, prev)
+				if !swapped && op.AbortIfLost {
+					return Result{Status: PackStatus(StatusFault, pc), Steps: steps}
+				}
+			}
+		case KindFetchAdd:
+			var prev uint64
+			prev, err = env.FetchAdd(op.RKey, op.Addr, operand(op.Src))
+			if err == nil {
+				setDst(op, prev)
+			}
+		case KindWait:
+			want := operand(op.Src)
+			var v uint64
+			hit := false
+			for i := uint32(0); i < op.Spins; i++ {
+				if v, err = env.LoadQword(op.RKey, op.Addr); err != nil {
+					break
+				}
+				if v == want {
+					hit = true
+					break
+				}
+				env.Yield()
+			}
+			if err == nil {
+				setDst(op, v)
+				if !hit {
+					return Result{Status: PackStatus(StatusFault, pc), Steps: steps}
+				}
+			}
+		case KindLoop:
+			if !armed[pc] {
+				rem[pc] = op.Spins
+				armed[pc] = true
+			}
+			rem[pc]--
+			if rem[pc] > 0 {
+				pc = int(op.To)
+				continue
+			}
+			armed[pc] = false
+		default:
+			return Result{Status: PackStatus(StatusFault, pc), Steps: steps}
+		}
+		if err != nil {
+			code := StatusFault
+			if errors.Is(err, ErrRevoked) {
+				code = StatusRevoked
+			}
+			return Result{Status: PackStatus(code, pc), Steps: steps}
+		}
+		pc++
+	}
+	return Result{Status: PackStatus(StatusOK, len(p.Ops)), Steps: steps}
+}

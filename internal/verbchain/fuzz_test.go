@@ -1,0 +1,54 @@
+package verbchain
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzChainValidate feeds arbitrary bytes to the program decoder and, for
+// anything that decodes, runs it against a sealed environment. The
+// invariants: malformed bytes are rejected with ErrMalformed (never a
+// panic), and anything that does execute stays within the static step
+// bound — a hostile pre-posted program cannot occupy the NIC unboundedly.
+func FuzzChainValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Program{Ops: []Op{
+		{Kind: KindWrite, RKey: 1, Addr: 0, Src: Imm(1), Dst: NoReg},
+	}}).Encode())
+	f.Add((&Program{
+		Ops: []Op{
+			{Kind: KindFetchAdd, RKey: 1, Addr: 0, Src: Imm(1), Dst: 0},
+			{Kind: KindLoop, To: 0, Spins: 8, Dst: NoReg},
+			{Kind: KindCAS, RKey: 1, Addr: 8, Cmp: Reg(0), Src: Trigger(), Dst: 1, When: WhenTrigger(2), AbortIfLost: true},
+			{Kind: KindWait, RKey: 1, Addr: 16, Src: Imm(3), Spins: 4, Dst: NoReg},
+		},
+		Guard:    Guard{Enabled: true, RKey: 1, Addr: 24, Want: 1},
+		Doorbell: &Doorbell{RKey: 1, Addr: 32, Imm: 9},
+	}).Encode())
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Decode(b)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("decode error outside ErrMalformed: %v", err)
+			}
+			return
+		}
+		// Decoded programs must satisfy the structural rules...
+		if verr := p.Validate(nil); verr != nil {
+			t.Fatalf("Decode accepted what Validate rejects: %v", verr)
+		}
+		// ...and re-encode to the identical bytes (canonical form).
+		if re := p.Encode(); string(re) != string(b) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d out", len(b), len(re))
+		}
+		// Execute against a permissive environment: the step cap must hold.
+		env := newMemEnv()
+		env.words[key(p.Guard.RKey, p.Guard.Addr)] = p.Guard.Want
+		var regs [NRegs]uint64
+		r := Execute(p, &regs, 1, env)
+		if r.Steps > MaxTotalSteps {
+			t.Fatalf("executed %d steps past cap %d", r.Steps, MaxTotalSteps)
+		}
+	})
+}

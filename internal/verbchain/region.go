@@ -1,0 +1,201 @@
+package verbchain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Chain region layout. A chain region is a window of the target's arena
+// holding one pre-posted program and its execution state; the trigger
+// doorbell is the qword at its base. All words are little-endian (arena
+// convention).
+//
+//	+0   trigger count qword — each OpChainTrigger FETCH-ADDs it; the
+//	     post-increment value is the trigger count the program sees
+//	+8   status qword — PackStatus(code, pc) of the last execution
+//	+16  register file R0..R7 (64 bytes, persistent across triggers)
+//	+80  program length qword (encoded bytes)
+//	+88  encoded program
+const (
+	OffTrigger = 0
+	OffStatus  = 8
+	OffRegs    = 16
+	OffProgLen = 80
+	OffProg    = 88
+)
+
+// Program encoding sizes.
+const (
+	progMagic   = 0x52445843 // "RDXC"
+	progVersion = 1
+	hdrSize     = 44
+	opSize      = 56
+
+	// MaxProgBytes bounds an encoded program.
+	MaxProgBytes = hdrSize + MaxOps*opSize
+	// MaxRegionSize bounds a chain region.
+	MaxRegionSize = OffProg + MaxProgBytes
+)
+
+// Status codes recorded in the region's status qword (low byte); the
+// faulting/finishing pc rides in bits 8..31.
+const (
+	StatusIdle    uint8 = 0 // armed, never triggered
+	StatusOK      uint8 = 1 // last execution completed
+	StatusFault   uint8 = 2 // a step failed: bounds/permissions, lost CAS with AbortIfLost, WAIT exhausted, malformed program
+	StatusRevoked uint8 = 3 // guard mismatch or target rkey rotated mid-chain
+)
+
+// PackStatus packs a status code and the pc it was raised at.
+func PackStatus(code uint8, pc int) uint64 {
+	return uint64(code) | uint64(uint32(pc))<<8
+}
+
+// StatusCode extracts the code from a packed status word.
+func StatusCode(w uint64) uint8 { return uint8(w) }
+
+// StatusPC extracts the pc from a packed status word.
+func StatusPC(w uint64) int { return int(uint32(w >> 8)) }
+
+// RegionSize returns the chain-region footprint of p.
+func RegionSize(p *Program) int { return OffProg + encodedLen(p) }
+
+func encodedLen(p *Program) int { return hdrSize + len(p.Ops)*opSize }
+
+// Encode serializes a program. Encode does not validate; call Validate
+// first — Decode enforces the structural rules on the way back in.
+func (p *Program) Encode() []byte {
+	b := make([]byte, 0, encodedLen(p))
+	var flags uint8
+	if p.Guard.Enabled {
+		flags |= 1
+	}
+	if p.Doorbell != nil {
+		flags |= 2
+	}
+	b = binary.LittleEndian.AppendUint32(b, progMagic)
+	b = append(b, progVersion, flags)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Ops)))
+	b = binary.LittleEndian.AppendUint32(b, p.Guard.RKey)
+	b = binary.LittleEndian.AppendUint64(b, p.Guard.Addr)
+	b = binary.LittleEndian.AppendUint64(b, p.Guard.Want)
+	var db Doorbell
+	if p.Doorbell != nil {
+		db = *p.Doorbell
+	}
+	b = binary.LittleEndian.AppendUint32(b, db.RKey)
+	b = binary.LittleEndian.AppendUint64(b, db.Addr)
+	b = binary.LittleEndian.AppendUint32(b, db.Imm)
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		var fl uint8
+		if op.AbortIfLost {
+			fl |= 1
+		}
+		b = append(b, uint8(op.Kind), op.Dst,
+			uint8(op.When.Kind), op.When.Reg,
+			uint8(op.Src.Kind), op.Src.Reg,
+			uint8(op.Cmp.Kind), op.Cmp.Reg,
+			op.To, fl, 0, 0)
+		b = binary.LittleEndian.AppendUint32(b, op.RKey)
+		b = binary.LittleEndian.AppendUint32(b, op.Spins)
+		b = binary.LittleEndian.AppendUint32(b, 0) // pad to 8-byte words
+		b = binary.LittleEndian.AppendUint64(b, op.Addr)
+		b = binary.LittleEndian.AppendUint64(b, op.Src.Imm)
+		b = binary.LittleEndian.AppendUint64(b, op.Cmp.Imm)
+		b = binary.LittleEndian.AppendUint64(b, op.When.Val)
+	}
+	return b
+}
+
+// ErrMalformed marks bytes that do not decode to a structurally valid
+// program. A chain region carrying such bytes never executes.
+var ErrMalformed = errors.New("verbchain: malformed program bytes")
+
+// Decode deserializes and structurally re-validates a program (length
+// caps, register ranges, backward counted loops, step bound). It never
+// panics on arbitrary input — this is the endpoint's last line of defense
+// before executing resident bytes, and the fuzz target. Decoding is
+// strict: reserved padding, unknown flag bits, and sections a clear flag
+// says are absent must be zero, so decode∘encode is the identity on
+// every accepted input and no bits can ride along unexamined.
+func Decode(b []byte) (*Program, error) {
+	if len(b) < hdrSize {
+		return nil, fmt.Errorf("%w: %d header bytes", ErrMalformed, len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != progMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	if b[4] != progVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrMalformed, b[4])
+	}
+	flags := b[5]
+	if flags&^uint8(3) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrMalformed, flags)
+	}
+	n := int(binary.LittleEndian.Uint16(b[6:8]))
+	if n == 0 || n > MaxOps {
+		return nil, fmt.Errorf("%w: %d ops", ErrMalformed, n)
+	}
+	if len(b) != hdrSize+n*opSize {
+		return nil, fmt.Errorf("%w: %d bytes for %d ops", ErrMalformed, len(b), n)
+	}
+	p := &Program{Ops: make([]Op, n)}
+	p.Guard = Guard{
+		Enabled: flags&1 != 0,
+		RKey:    binary.LittleEndian.Uint32(b[8:12]),
+		Addr:    binary.LittleEndian.Uint64(b[12:20]),
+		Want:    binary.LittleEndian.Uint64(b[20:28]),
+	}
+	if flags&2 != 0 {
+		p.Doorbell = &Doorbell{
+			RKey: binary.LittleEndian.Uint32(b[28:32]),
+			Addr: binary.LittleEndian.Uint64(b[32:40]),
+			Imm:  binary.LittleEndian.Uint32(b[40:44]),
+		}
+	} else {
+		for _, x := range b[28:44] {
+			if x != 0 {
+				return nil, fmt.Errorf("%w: doorbell bytes without doorbell flag", ErrMalformed)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		o := b[hdrSize+i*opSize:]
+		op := &p.Ops[i]
+		op.Kind = OpKind(o[0])
+		op.Dst = o[1]
+		op.When = Cond{Kind: CondKind(o[2]), Reg: o[3], Val: binary.LittleEndian.Uint64(o[48:56])}
+		op.Src = Operand{Kind: OperandKind(o[4]), Reg: o[5], Imm: binary.LittleEndian.Uint64(o[32:40])}
+		op.Cmp = Operand{Kind: OperandKind(o[6]), Reg: o[7], Imm: binary.LittleEndian.Uint64(o[40:48])}
+		op.To = o[8]
+		if o[9]&^uint8(1) != 0 {
+			return nil, fmt.Errorf("%w: op %d: unknown flag bits %#x", ErrMalformed, i, o[9])
+		}
+		op.AbortIfLost = o[9]&1 != 0
+		if o[10] != 0 || o[11] != 0 || binary.LittleEndian.Uint32(o[20:24]) != 0 {
+			return nil, fmt.Errorf("%w: op %d: nonzero padding", ErrMalformed, i)
+		}
+		op.RKey = binary.LittleEndian.Uint32(o[12:16])
+		op.Spins = binary.LittleEndian.Uint32(o[16:20])
+		op.Addr = binary.LittleEndian.Uint64(o[24:32])
+	}
+	// Structural validation only: the decoder has no region table — the
+	// executor re-resolves every rkey at step-fire time anyway.
+	if err := p.Validate(nil); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return p, nil
+}
+
+// EncodeRegion lays out a freshly armed chain region: zero trigger count,
+// idle status, zeroed registers, and the encoded program. The returned
+// slice is RegionSize(p) bytes, ready to WRITE at the region base.
+func EncodeRegion(p *Program) []byte {
+	prog := p.Encode()
+	b := make([]byte, OffProg+len(prog))
+	binary.LittleEndian.PutUint64(b[OffProgLen:], uint64(len(prog)))
+	copy(b[OffProg:], prog)
+	return b
+}

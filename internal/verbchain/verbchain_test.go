@@ -1,0 +1,338 @@
+package verbchain
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// testRegions is a two-region map: one general-purpose window, one
+// read-only window.
+func testRegions() []Region {
+	return []Region{
+		{RKey: 0x10, Addr: 0, Len: 4096, Read: true, Write: true, Atomic: true},
+		{RKey: 0x20, Addr: 4096, Len: 4096, Read: true},
+	}
+}
+
+func writeOp(addr uint64, v uint64) Op {
+	return Op{Kind: KindWrite, RKey: 0x10, Addr: addr, Src: Imm(v), Dst: NoReg}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	p := &Program{Ops: []Op{
+		{Kind: KindFetchAdd, RKey: 0x10, Addr: 0, Src: Imm(1), Dst: 0},
+		{Kind: KindCAS, RKey: 0x10, Addr: 8, Cmp: Reg(0), Src: Trigger(), Dst: 1, When: WhenTrigger(3)},
+		{Kind: KindWait, RKey: 0x20, Addr: 4096, Src: Imm(7), Spins: 16, Dst: NoReg},
+		writeOp(16, 42),
+		{Kind: KindLoop, To: 3, Spins: 4, Dst: NoReg},
+	}}
+	p.Guard = Guard{Enabled: true, RKey: 0x20, Addr: 4104, Want: 9}
+	p.Doorbell = &Doorbell{RKey: 0x10, Addr: 24, Imm: 1}
+	if err := p.Validate(testRegions()); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	regions := testRegions()
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"empty", &Program{}},
+		{"too-long", &Program{Ops: make([]Op, MaxOps+1)}},
+		{"unknown-kind", &Program{Ops: []Op{{Kind: 99, Dst: NoReg}}}},
+		{"bad-dst-reg", &Program{Ops: []Op{{Kind: KindWrite, RKey: 0x10, Src: Imm(1), Dst: NRegs}}}},
+		{"bad-src-reg", &Program{Ops: []Op{{Kind: KindWrite, RKey: 0x10, Src: Reg(NRegs), Dst: NoReg}}}},
+		{"bad-cond", &Program{Ops: []Op{{Kind: KindWrite, RKey: 0x10, Src: Imm(1), Dst: NoReg,
+			When: Cond{Kind: CondRegEq, Reg: NRegs}}}}},
+		{"unknown-rkey", &Program{Ops: []Op{{Kind: KindWrite, RKey: 0xdead, Src: Imm(1), Dst: NoReg}}}},
+		{"write-to-readonly", &Program{Ops: []Op{{Kind: KindWrite, RKey: 0x20, Addr: 4096, Src: Imm(1), Dst: NoReg}}}},
+		{"atomic-on-readonly", &Program{Ops: []Op{{Kind: KindFetchAdd, RKey: 0x20, Addr: 4096, Src: Imm(1), Dst: NoReg}}}},
+		{"unaligned", &Program{Ops: []Op{{Kind: KindWrite, RKey: 0x10, Addr: 4, Src: Imm(1), Dst: NoReg}}}},
+		{"out-of-bounds", &Program{Ops: []Op{{Kind: KindWrite, RKey: 0x10, Addr: 4096, Src: Imm(1), Dst: NoReg}}}},
+		{"forward-loop", &Program{Ops: []Op{
+			writeOp(0, 1),
+			{Kind: KindLoop, To: 1, Spins: 2, Dst: NoReg},
+		}}},
+		{"zero-loop-count", &Program{Ops: []Op{
+			writeOp(0, 1),
+			{Kind: KindLoop, To: 0, Spins: 0, Dst: NoReg},
+		}}},
+		{"zero-wait-spins", &Program{Ops: []Op{{Kind: KindWait, RKey: 0x10, Addr: 0, Src: Imm(1), Spins: 0, Dst: NoReg}}}},
+		{"bad-guard", &Program{
+			Ops:   []Op{writeOp(0, 1)},
+			Guard: Guard{Enabled: true, RKey: 0x10, Addr: 3, Want: 1},
+		}},
+		{"step-bound-blown", &Program{Ops: []Op{
+			writeOp(0, 1),
+			{Kind: KindLoop, To: 0, Spins: MaxLoopIters, Dst: NoReg},
+			{Kind: KindLoop, To: 0, Spins: MaxLoopIters, Dst: NoReg},
+		}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.p.Validate(regions); !errors.Is(err, ErrInvalid) {
+				t.Fatalf("want ErrInvalid, got %v", err)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Program{Ops: []Op{
+		{Kind: KindFetchAdd, RKey: 0x10, Addr: 0, Src: Imm(3), Dst: 2},
+		{Kind: KindCAS, RKey: 0x10, Addr: 8, Cmp: Reg(2), Src: Trigger(), Dst: NoReg,
+			When: WhenReg(1, 77), AbortIfLost: true},
+		{Kind: KindWait, RKey: 0x20, Addr: 4096, Src: Imm(5), Spins: 9, Dst: 0},
+		writeOp(16, 1),
+		{Kind: KindLoop, To: 2, Spins: 3, Dst: NoReg},
+	},
+		Guard:    Guard{Enabled: true, RKey: 0x99, Addr: 0x1000, Want: 0xabc},
+		Doorbell: &Doorbell{RKey: 0x10, Addr: 24, Imm: 0xbeef},
+	}
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := (&Program{Ops: []Op{writeOp(0, 1)}}).Encode()
+	cases := map[string][]byte{
+		"empty":        {},
+		"short-header": good[:hdrSize-1],
+		"bad-magic":    append([]byte{0, 0, 0, 0}, good[4:]...),
+		"truncated-op": good[:len(good)-1],
+		"trailing":     append(append([]byte(nil), good...), 0),
+	}
+	badKind := append([]byte(nil), good...)
+	badKind[hdrSize] = 200
+	cases["bad-op-kind"] = badKind
+	badCount := append([]byte(nil), good...)
+	badCount[6], badCount[7] = 0, 0
+	cases["zero-count"] = badCount
+	for name, b := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(b); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("want ErrMalformed, got %v", err)
+			}
+		})
+	}
+}
+
+// memEnv is a toy Env over a flat qword map keyed by (rkey, addr), with a
+// revoked-rkey set.
+type memEnv struct {
+	words   map[uint64]uint64
+	revoked map[uint32]bool
+	loads   int
+}
+
+func newMemEnv() *memEnv {
+	return &memEnv{words: map[uint64]uint64{}, revoked: map[uint32]bool{}}
+}
+
+func key(rkey uint32, addr uint64) uint64 { return uint64(rkey)<<40 ^ addr }
+
+func (m *memEnv) check(rkey uint32) error {
+	if m.revoked[rkey] {
+		return ErrRevoked
+	}
+	return nil
+}
+
+func (m *memEnv) LoadQword(rkey uint32, addr uint64) (uint64, error) {
+	m.loads++
+	if err := m.check(rkey); err != nil {
+		return 0, err
+	}
+	return m.words[key(rkey, addr)], nil
+}
+
+func (m *memEnv) StoreQword(rkey uint32, addr uint64, v uint64) error {
+	if err := m.check(rkey); err != nil {
+		return err
+	}
+	m.words[key(rkey, addr)] = v
+	return nil
+}
+
+func (m *memEnv) CompareAndSwap(rkey uint32, addr uint64, old, new uint64) (uint64, bool, error) {
+	if err := m.check(rkey); err != nil {
+		return 0, false, err
+	}
+	prev := m.words[key(rkey, addr)]
+	if prev == old {
+		m.words[key(rkey, addr)] = new
+		return prev, true, nil
+	}
+	return prev, false, nil
+}
+
+func (m *memEnv) FetchAdd(rkey uint32, addr uint64, delta uint64) (uint64, error) {
+	if err := m.check(rkey); err != nil {
+		return 0, err
+	}
+	prev := m.words[key(rkey, addr)]
+	m.words[key(rkey, addr)] = prev + delta
+	return prev, nil
+}
+
+func (m *memEnv) Yield() {}
+
+func TestExecuteBarrierFanIn(t *testing.T) {
+	// The canonical barrier: the commit CAS is enabled only on trigger 3.
+	p := &Program{Ops: []Op{
+		{Kind: KindCAS, RKey: 1, Addr: 0, Cmp: Imm(100), Src: Imm(200), Dst: 0, When: WhenTrigger(3)},
+	}}
+	env := newMemEnv()
+	env.words[key(1, 0)] = 100
+	var regs [NRegs]uint64
+	for trig := uint64(1); trig <= 2; trig++ {
+		r := Execute(p, &regs, trig, env)
+		if r.Code() != StatusOK || env.words[key(1, 0)] != 100 {
+			t.Fatalf("trigger %d: commit fired early (status %d, word %d)", trig, r.Code(), env.words[key(1, 0)])
+		}
+	}
+	r := Execute(p, &regs, 3, env)
+	if r.Code() != StatusOK || env.words[key(1, 0)] != 200 {
+		t.Fatalf("trigger 3: commit did not fire (status %d, word %d)", r.Code(), env.words[key(1, 0)])
+	}
+	if regs[0] != 100 {
+		t.Fatalf("CAS prev not captured: regs[0] = %d", regs[0])
+	}
+}
+
+func TestExecuteLoopAndRegisters(t *testing.T) {
+	// FETCH_ADD x4 via a counted loop, accumulating into one word.
+	p := &Program{Ops: []Op{
+		{Kind: KindFetchAdd, RKey: 1, Addr: 0, Src: Imm(10), Dst: 0},
+		{Kind: KindLoop, To: 0, Spins: 4, Dst: NoReg},
+	}}
+	env := newMemEnv()
+	var regs [NRegs]uint64
+	r := Execute(p, &regs, 1, env)
+	if r.Code() != StatusOK {
+		t.Fatalf("status %d", r.Code())
+	}
+	if env.words[key(1, 0)] != 40 {
+		t.Fatalf("loop body ran %d/4 times", env.words[key(1, 0)]/10)
+	}
+	if regs[0] != 30 {
+		t.Fatalf("last prev = %d, want 30", regs[0])
+	}
+	if r.Steps != 8 { // 4 adds + 4 loop steps
+		t.Fatalf("steps = %d, want 8", r.Steps)
+	}
+}
+
+func TestExecuteCASAbortIfLost(t *testing.T) {
+	p := &Program{Ops: []Op{
+		{Kind: KindCAS, RKey: 1, Addr: 0, Cmp: Imm(5), Src: Imm(6), Dst: NoReg, AbortIfLost: true},
+		writeOp(8, 1),
+	}}
+	p.Ops[1].RKey = 1
+	env := newMemEnv()
+	env.words[key(1, 0)] = 999 // CAS will lose
+	var regs [NRegs]uint64
+	r := Execute(p, &regs, 1, env)
+	if r.Code() != StatusFault || StatusPC(r.Status) != 0 {
+		t.Fatalf("lost CAS did not fault at pc 0: status %#x", r.Status)
+	}
+	if _, ok := env.words[key(1, 8)]; ok {
+		t.Fatal("op after aborting CAS executed")
+	}
+}
+
+func TestExecuteWaitExhaustion(t *testing.T) {
+	p := &Program{Ops: []Op{
+		{Kind: KindWait, RKey: 1, Addr: 0, Src: Imm(7), Spins: 5, Dst: 0},
+	}}
+	env := newMemEnv() // word stays 0: wait can never be satisfied
+	var regs [NRegs]uint64
+	r := Execute(p, &regs, 1, env)
+	if r.Code() != StatusFault {
+		t.Fatalf("exhausted WAIT status %d, want fault", r.Code())
+	}
+	if env.loads != 5 {
+		t.Fatalf("WAIT spun %d times, want 5", env.loads)
+	}
+	env.words[key(1, 0)] = 7
+	if r = Execute(p, &regs, 2, env); r.Code() != StatusOK || regs[0] != 7 {
+		t.Fatalf("satisfied WAIT: status %d regs[0]=%d", r.Code(), regs[0])
+	}
+}
+
+func TestExecuteGuardRevokesMidChain(t *testing.T) {
+	// Guard holds for the first step, then the first step itself bumps the
+	// guarded epoch word — the second step must be revoked.
+	p := &Program{
+		Ops: []Op{
+			{Kind: KindFetchAdd, RKey: 1, Addr: 0, Src: Imm(1), Dst: NoReg},
+			writeOp(8, 42),
+		},
+		Guard: Guard{Enabled: true, RKey: 1, Addr: 0, Want: 5},
+	}
+	p.Ops[1].RKey = 1
+	env := newMemEnv()
+	env.words[key(1, 0)] = 5
+	var regs [NRegs]uint64
+	r := Execute(p, &regs, 1, env)
+	if r.Code() != StatusRevoked || StatusPC(r.Status) != 1 {
+		t.Fatalf("mid-chain guard bump not revoked: status %#x", r.Status)
+	}
+	if _, ok := env.words[key(1, 8)]; ok {
+		t.Fatal("step after guard bump executed")
+	}
+}
+
+func TestExecuteRevokedRKey(t *testing.T) {
+	p := &Program{Ops: []Op{writeOp(0, 1)}}
+	p.Ops[0].RKey = 1
+	env := newMemEnv()
+	env.revoked[1] = true
+	var regs [NRegs]uint64
+	if r := Execute(p, &regs, 1, env); r.Code() != StatusRevoked {
+		t.Fatalf("rotated target rkey: status %d, want revoked", r.Code())
+	}
+}
+
+func TestExecuteTriggerArgRegister(t *testing.T) {
+	// The caller stores the trigger arg in regs[ArgReg] before Execute;
+	// the program reads it as a normal register.
+	p := &Program{Ops: []Op{
+		{Kind: KindWrite, RKey: 1, Addr: 0, Src: Reg(ArgReg), Dst: NoReg},
+	}}
+	env := newMemEnv()
+	var regs [NRegs]uint64
+	regs[ArgReg] = 0xfeed
+	if r := Execute(p, &regs, 1, env); r.Code() != StatusOK {
+		t.Fatalf("status %d", r.Code())
+	}
+	if env.words[key(1, 0)] != 0xfeed {
+		t.Fatalf("arg register not visible: %#x", env.words[key(1, 0)])
+	}
+}
+
+func TestRegionLayout(t *testing.T) {
+	p := &Program{Ops: []Op{writeOp(0, 1)}}
+	b := EncodeRegion(p)
+	if len(b) != RegionSize(p) {
+		t.Fatalf("region %d bytes, want %d", len(b), RegionSize(p))
+	}
+	if RegionSize(p) > MaxRegionSize {
+		t.Fatalf("region exceeds MaxRegionSize")
+	}
+	dec, err := Decode(b[OffProg:])
+	if err != nil {
+		t.Fatalf("region program decode: %v", err)
+	}
+	if len(dec.Ops) != 1 {
+		t.Fatalf("decoded %d ops", len(dec.Ops))
+	}
+}
